@@ -1,0 +1,96 @@
+"""Ablation E: the on-device cost model behind the paper's motivation.
+
+Two analytic tables:
+
+1. **Storage/energy (§I)** — store-the-whole-stream vs. the paper's
+   buffer-only framework, on a Jetson-class and an MCU-class profile.
+   Expected shape: store-all grows without bound, overflows MCU Flash,
+   and costs orders of magnitude more write energy; the buffer is
+   constant-size and Flash-free.
+2. **Analytic Table I** — per-iteration FLOPs of training vs. scoring
+   across lazy intervals; the FLOP ratio mirrors the measured relative
+   batch time.
+"""
+
+from conftest import describe
+
+from repro.device import (
+    JETSON_CLASS,
+    MCU_CLASS,
+    iteration_compute_cost,
+    storage_cost,
+)
+from repro.experiments import default_config, scaled_config
+from repro.experiments.config import bench_seed
+from repro.experiments.runner import build_components
+from repro.utils.tables import format_table
+
+
+def test_device_cost_model(benchmark, report, run_meta):
+    config = scaled_config(default_config(seed=bench_seed()))
+    comp = build_components(config)
+    image_size = comp.dataset.config.image_size
+
+    def run():
+        storage_rows = []
+        for profile in (JETSON_CLASS, MCU_CLASS):
+            for stream in (10_000, 1_000_000):
+                rep = storage_cost(
+                    profile,
+                    stream,
+                    comp.dataset.image_shape,
+                    config.buffer_size,
+                    epochs_over_store=100,
+                )
+                storage_rows.append(
+                    [
+                        profile.name,
+                        f"{stream:,}",
+                        f"{rep.store_all_bytes / 1e6:.1f} MB",
+                        f"{rep.buffer_bytes / 1e3:.1f} KB",
+                        f"{rep.store_all_energy_mj:.1f} mJ",
+                        "yes" if rep.exceeds_flash else "no",
+                    ]
+                )
+        compute_rows = []
+        for interval in (None, 4, 20, 50, 100, 200):
+            rep = iteration_compute_cost(
+                JETSON_CLASS,
+                comp.encoder,
+                comp.projector,
+                image_size,
+                config.buffer_size,
+                lazy_interval=interval,
+            )
+            compute_rows.append(
+                [
+                    "disabled" if interval is None else str(interval),
+                    f"{rep.train_flops / 1e6:.1f}M",
+                    f"{rep.scoring_flops_lazy / 1e6:.1f}M",
+                    f"{rep.relative_batch_flops_lazy:.3f}",
+                ]
+            )
+        return storage_rows, compute_rows
+
+    storage_rows, compute_rows = benchmark.pedantic(run, rounds=1, iterations=1)
+
+    lines = [describe("Ablation E — on-device cost model", run_meta, config)]
+    lines.append("storage: store-everything vs buffer-only (100 training epochs)")
+    lines.append(
+        format_table(
+            ["device", "stream samples", "store-all", "buffer", "store-all energy", "exceeds flash"],
+            storage_rows,
+        )
+    )
+    lines.append("\ncompute: analytic Table I (FLOPs per framework iteration)")
+    lines.append(
+        format_table(
+            ["lazy interval", "train FLOPs", "scoring FLOPs", "relative batch FLOPs"],
+            compute_rows,
+        )
+    )
+    report("\n".join(lines))
+
+    relative = [float(r[3]) for r in compute_rows]
+    assert relative[0] == max(relative)  # eager scoring is the most expensive
+    assert all(a >= b for a, b in zip(relative[1:], relative[2:]))

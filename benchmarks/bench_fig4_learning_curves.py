@@ -1,0 +1,56 @@
+"""Fig. 4: learning curves on CIFAR-10 (a) and ImageNet-100 (b).
+
+Paper shape: Contrast Scoring's accuracy-vs-seen-inputs curve dominates
+Random and FIFO; on CIFAR-10 it reaches the random policy's accuracy
+~2.67x faster, and final accuracies order CS > Random > FIFO.
+"""
+
+from conftest import describe
+
+from repro.experiments import (
+    default_config,
+    format_learning_curves,
+    run_learning_curves,
+    scaled_config,
+)
+from repro.experiments.config import bench_seed
+
+
+def test_fig4a_cifar10(benchmark, report, run_meta):
+    config = scaled_config(
+        default_config("cifar10", seed=bench_seed()).with_(total_samples=6144)
+    )
+    result = benchmark.pedantic(
+        lambda: run_learning_curves("cifar10", config, eval_points=6),
+        rounds=1,
+        iterations=1,
+    )
+    lines = [describe("Fig. 4(a) — learning curve, cifar10-like", run_meta, config)]
+    lines.append(format_learning_curves(result))
+    report("\n".join(lines))
+
+    finals = result.final_accuracies()
+    assert all(0.0 <= acc <= 1.0 for acc in finals.values())
+    assert len(result.runs["contrast-scoring"].curve) >= 4
+
+
+def test_fig4b_imagenet100(benchmark, report, run_meta):
+    config = scaled_config(
+        default_config("imagenet100", seed=bench_seed()).with_(
+            total_samples=4096,
+            probe_train_per_class=15,
+            probe_test_per_class=8,
+            augment_jitter=0.18,
+        )
+    )
+    result = benchmark.pedantic(
+        lambda: run_learning_curves("imagenet100", config, eval_points=4),
+        rounds=1,
+        iterations=1,
+    )
+    lines = [describe("Fig. 4(b) — learning curve, imagenet100-like", run_meta, config)]
+    lines.append(format_learning_curves(result))
+    report("\n".join(lines))
+
+    finals = result.final_accuracies()
+    assert all(0.0 <= acc <= 1.0 for acc in finals.values())

@@ -1,0 +1,52 @@
+"""Table I: the impacts of lazy scoring.
+
+Sweeps the lazy interval T over the paper's grid {disabled, 4, 20, 50,
+100, 200}.  Paper shape: re-scoring percentage falls roughly like 1/T
+(100% → 21.78 → 4.31 → 1.71 → 0.89 → 0.44), relative batch time falls
+from 1.478 toward ~1.17, accuracy is flat-to-up for moderate T with a
+drop at the largest interval.
+"""
+
+from conftest import describe
+
+from repro.experiments import (
+    LAZY_INTERVALS,
+    default_config,
+    format_table1,
+    run_table1,
+    scaled_config,
+)
+from repro.experiments.config import bench_seed
+
+
+def test_table1_lazy_scoring(benchmark, report, run_meta):
+    config = scaled_config(
+        default_config(seed=bench_seed()).with_(total_samples=3072)
+    )
+    result = benchmark.pedantic(
+        lambda: run_table1(config, intervals=LAZY_INTERVALS),
+        rounds=1,
+        iterations=1,
+    )
+    lines = [describe("Table I — lazy scoring sweep (cifar10-like)", run_meta, config)]
+    lines.append(format_table1(result))
+    eager = result.runs[None]
+    lines.append(
+        f"\npaper targets: re-scoring pct ~1/T; relative batch time decreasing "
+        f"in T; accuracy stable for moderate T.\n"
+        f"measured: eager re-scoring {eager.rescoring_fraction:.1%}, relative "
+        f"batch time {eager.relative_batch_time:.3f}"
+    )
+    report("\n".join(lines))
+
+    # structural checks that hold at any scale
+    assert eager.rescoring_fraction == 1.0
+    fractions = [
+        run.rescoring_fraction
+        for interval, run in result.runs.items()
+        if interval is not None
+    ]
+    assert all(f < 1.0 for f in fractions)
+    # larger interval => no more re-scoring than smaller interval
+    ordered = [result.runs[t].rescoring_fraction for t in (4, 20, 50, 100, 200)]
+    assert all(a >= b - 0.02 for a, b in zip(ordered, ordered[1:]))

@@ -1,0 +1,43 @@
+"""Shared benchmark fixtures.
+
+``report`` prints through pytest's capture so the regenerated paper
+tables land in the terminal (and in bench_output.txt when tee'd), not
+in swallowed captured-output buffers.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.config import bench_scale, bench_seed
+
+
+@pytest.fixture
+def report(request):
+    """Print a block of text bypassing pytest's output capture."""
+    capmanager = request.config.pluginmanager.getplugin("capturemanager")
+
+    def _print(text: str) -> None:
+        if capmanager is not None:
+            with capmanager.global_and_fixture_disabled():
+                print(f"\n{text}", flush=True)
+        else:  # pragma: no cover - capture plugin always present under pytest
+            print(f"\n{text}", flush=True)
+
+    return _print
+
+
+@pytest.fixture
+def run_meta():
+    """The scale/seed knobs, echoed into every benchmark report."""
+    return {"scale": bench_scale(), "seed": bench_seed()}
+
+
+def describe(name: str, meta: dict, config) -> str:
+    """Header block identifying the experiment and resolved parameters."""
+    return (
+        f"=== {name} ===\n"
+        f"scale={meta['scale']} seed={meta['seed']} dataset={config.dataset} "
+        f"buffer={config.buffer_size} stc={config.stc} "
+        f"total_samples={config.total_samples} lr={config.lr:g}"
+    )

@@ -1,0 +1,106 @@
+#!/usr/bin/env python3
+"""Device budgeting: is on-device learning feasible on *your* hardware?
+
+Walks through the paper's §I motivation quantitatively using the
+repro.device cost model:
+
+1. how quickly "store the whole stream, then train" breaks the storage
+   budget of an edge device, vs. the paper's constant-size buffer;
+2. what contrast scoring costs per iteration in FLOPs/energy, and how
+   the lazy interval T trades that off (the analytic Table I).
+
+Pure arithmetic — runs in under a second.
+
+    python examples/device_budget.py
+"""
+
+from repro.device import (
+    JETSON_CLASS,
+    MCU_CLASS,
+    iteration_compute_cost,
+    storage_cost,
+)
+from repro.nn import ProjectionHead, resnet_small
+from repro.utils.rng import new_rng
+from repro.utils.tables import format_table
+
+IMAGE_SHAPE = (3, 12, 12)
+BUFFER = 32
+FRAMES_PER_DAY = 86_400  # one frame per second
+
+
+def storage_story() -> None:
+    print("1) storage: store-everything vs the buffer framework")
+    rows = []
+    for profile in (JETSON_CLASS, MCU_CLASS):
+        for days in (1, 30):
+            report = storage_cost(
+                profile,
+                stream_samples=days * FRAMES_PER_DAY,
+                image_shape=IMAGE_SHAPE,
+                buffer_size=BUFFER,
+                epochs_over_store=100,
+            )
+            rows.append(
+                [
+                    profile.name,
+                    f"{days}d @ 1 fps",
+                    f"{report.store_all_bytes / 1e6:,.0f} MB",
+                    f"{report.buffer_bytes / 1e3:.1f} KB",
+                    f"{report.store_all_energy_mj / 1e3:,.1f} J",
+                    "OVERFLOWS" if report.exceeds_flash else "fits",
+                ]
+            )
+    print(
+        format_table(
+            ["device", "stream", "store-all", "buffer", "store-all energy", "flash"],
+            rows,
+        )
+    )
+    print()
+
+
+def compute_story() -> None:
+    print("2) compute: contrast scoring overhead per iteration (analytic Table I)")
+    rng = new_rng(0)
+    encoder = resnet_small(rng=rng)
+    projector = ProjectionHead(encoder.feature_dim, out_dim=32, rng=rng)
+    rows = []
+    for interval in (None, 4, 20, 50, 100, 200):
+        report = iteration_compute_cost(
+            MCU_CLASS,
+            encoder,
+            projector,
+            image_size=IMAGE_SHAPE[1],
+            buffer_size=BUFFER,
+            lazy_interval=interval,
+        )
+        rows.append(
+            [
+                "disabled" if interval is None else str(interval),
+                f"{report.train_flops / 1e6:.0f}M",
+                f"{report.scoring_flops_lazy / 1e6:.0f}M",
+                f"{report.relative_batch_flops_lazy:.3f}",
+                f"{report.energy_scoring_lazy_mj:.2f} mJ",
+            ]
+        )
+    print(
+        format_table(
+            ["lazy T", "train FLOPs", "scoring FLOPs", "relative cost", "scoring energy"],
+            rows,
+        )
+    )
+    print(
+        "\ncompare with the paper's measured Table I: relative batch time "
+        "1.478 (eager) down to ~1.17 (T=200)."
+    )
+
+
+def main() -> None:
+    print(f"model: resnet_small encoder, buffer {BUFFER}, {IMAGE_SHAPE} images\n")
+    storage_story()
+    compute_story()
+
+
+if __name__ == "__main__":
+    main()

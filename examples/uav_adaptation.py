@@ -1,0 +1,123 @@
+#!/usr/bin/env python3
+"""UAV deployed to an unknown environment: fine-tuning with lazy scoring.
+
+The paper's second motivating scenario: a model is pre-trained (here, on
+the "svhn" stand-in environment), then the device is deployed into a new
+environment ("cifar10" stand-in) and must adapt from its unlabeled
+stream.  On-device compute is scarce, so lazy scoring (paper Eq. 7-8)
+is enabled to cut the scoring overhead.
+
+Demonstrates:
+  * checkpointing / restoring encoder weights (repro.nn.serialization),
+  * fine-tuning an already-trained encoder on a new stream,
+  * the lazy-scoring overhead/accuracy trade-off on a budget.
+
+    python examples/uav_adaptation.py
+"""
+
+import os
+import tempfile
+
+from repro.core import (
+    ContrastScorer,
+    ContrastScoringPolicy,
+    LazyScoringSchedule,
+    OnDeviceContrastiveLearner,
+)
+from repro.data import SimCLRAugment, TemporalStream, make_dataset
+from repro.nn import ProjectionHead, load_module, resnet_small, save_module
+from repro.train import evaluate_encoder
+from repro.utils.rng import RngRegistry
+
+BUFFER = 32
+PRETRAIN_STREAM = 1024
+ADAPT_STREAM = 1536
+LAZY_INTERVAL = 8
+
+
+def pretrain(checkpoint_path: str) -> None:
+    """Phase 1: pre-train in the home environment (svhn stand-in)."""
+    rngs = RngRegistry(0)
+    home = make_dataset("svhn", image_size=12)
+    encoder = resnet_small(rng=rngs.get("model"))
+    projector = ProjectionHead(encoder.feature_dim, out_dim=32, rng=rngs.get("model"))
+    scorer = ContrastScorer(encoder, projector)
+    learner = OnDeviceContrastiveLearner(
+        encoder,
+        projector,
+        ContrastScoringPolicy(scorer, BUFFER),
+        BUFFER,
+        rngs.get("augment"),
+        lr=1e-3,
+        augment=SimCLRAugment(jitter_strength=0.12),
+    )
+    stream = TemporalStream(home, 32, rngs.get("stream"))
+    for segment in stream.segments(BUFFER, PRETRAIN_STREAM):
+        learner.process_segment(segment)
+    save_module(encoder, checkpoint_path)
+    print(f"  pre-trained encoder saved to {checkpoint_path}")
+
+
+def adapt(checkpoint_path: str, lazy_interval):
+    """Phase 2: deploy to the new environment and adapt from its stream."""
+    rngs = RngRegistry(1)
+    new_env = make_dataset("cifar10")
+    encoder = resnet_small(rng=rngs.get("model"))
+    load_module(encoder, checkpoint_path)  # resume from the pre-trained weights
+    projector = ProjectionHead(encoder.feature_dim, out_dim=32, rng=rngs.get("model"))
+    scorer = ContrastScorer(encoder, projector)
+    policy = ContrastScoringPolicy(
+        scorer, BUFFER, lazy=LazyScoringSchedule(lazy_interval)
+    )
+    learner = OnDeviceContrastiveLearner(
+        encoder,
+        projector,
+        policy,
+        BUFFER,
+        rngs.get("augment"),
+        lr=1e-3,
+        augment=SimCLRAugment(jitter_strength=0.2),
+    )
+    stream = TemporalStream(new_env, 64, rngs.get("stream"))
+    for segment in stream.segments(BUFFER, ADAPT_STREAM):
+        learner.process_segment(segment)
+
+    rng = rngs.get("eval")
+    train_x, train_y = new_env.make_split(40, rng)
+    test_x, test_y = new_env.make_split(20, rng)
+    probe = evaluate_encoder(
+        encoder, train_x, train_y, test_x, test_y, new_env.num_classes, rng, epochs=40
+    )
+    overhead = (
+        learner.mean_select_seconds() + learner.mean_train_seconds()
+    ) / learner.mean_train_seconds()
+    return {
+        "accuracy": probe.accuracy,
+        "relative_batch_time": overhead,
+        "rescoring_pct": policy.lazy.rescoring_fraction,
+    }
+
+
+def main() -> None:
+    with tempfile.TemporaryDirectory() as tmp:
+        checkpoint = os.path.join(tmp, "uav_encoder.npz")
+        print("phase 1: pre-training in the home environment (svhn-like)")
+        pretrain(checkpoint)
+
+        print("\nphase 2: adapting in the new environment (cifar10-like)")
+        label = {None: "eager scoring", LAZY_INTERVAL: f"lazy T={LAZY_INTERVAL}"}
+        for interval in (None, LAZY_INTERVAL):
+            res = adapt(checkpoint, interval)
+            print(
+                f"  {label[interval]:16s} accuracy {res['accuracy']:.1%}  "
+                f"relative batch time {res['relative_batch_time']:.2f}x  "
+                f"re-scoring {res['rescoring_pct']:.1%}"
+            )
+        print(
+            "\nlazy scoring trades a negligible accuracy change for a "
+            "substantially cheaper replacement step — the Table I effect."
+        )
+
+
+if __name__ == "__main__":
+    main()

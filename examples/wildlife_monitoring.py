@@ -1,0 +1,110 @@
+#!/usr/bin/env python3
+"""Wildlife monitoring camera: the paper's motivating scenario.
+
+The introduction motivates the problem with a continuous monitoring
+camera: "goats from a group can appear in adjacent images ... at some
+time, while zebras can appear in adjacent images at another time" — a
+strongly temporally correlated, unlabeled stream.
+
+This example compares the three replacement policies on such a stream
+and inspects the buffer composition they maintain.  FIFO's buffer
+collapses to the animal currently in front of the camera; contrast
+scoring keeps the species the model hasn't learned yet.
+
+    python examples/wildlife_monitoring.py
+"""
+
+import numpy as np
+
+from repro.core import (
+    ContrastScorer,
+    ContrastScoringPolicy,
+    OnDeviceContrastiveLearner,
+)
+from repro.data import SimCLRAugment, TemporalStream, make_dataset, measure_stc
+from repro.nn import ProjectionHead, resnet_small
+from repro.selection import FIFOPolicy, RandomReplacePolicy
+from repro.train import evaluate_encoder
+from repro.utils.rng import RngRegistry
+
+# "imagenet20" stands in for 20 animal species at higher resolution.
+DATASET = "imagenet20"
+BUFFER = 32
+STC = 96  # long same-species bursts: a herd lingers in front of the camera
+STREAM_LENGTH = 2048
+SPECIES = [f"species-{i:02d}" for i in range(20)]
+
+
+def run_policy(policy_name: str, seed: int = 0):
+    rngs = RngRegistry(seed)
+    dataset = make_dataset(DATASET)
+    encoder = resnet_small(rng=rngs.get("model"))
+    projector = ProjectionHead(encoder.feature_dim, out_dim=32, rng=rngs.get("model"))
+    scorer = ContrastScorer(encoder, projector)
+
+    if policy_name == "contrast-scoring":
+        policy = ContrastScoringPolicy(scorer, BUFFER)
+    elif policy_name == "random-replace":
+        policy = RandomReplacePolicy(BUFFER, rngs.get("policy"))
+    else:
+        policy = FIFOPolicy(BUFFER)
+
+    learner = OnDeviceContrastiveLearner(
+        encoder,
+        projector,
+        policy,
+        BUFFER,
+        rngs.get("augment"),
+        lr=1e-3,
+        augment=SimCLRAugment(min_crop_scale=0.6, jitter_strength=0.25),
+    )
+    stream = TemporalStream(dataset, STC, rngs.get("stream"))
+
+    seen_labels = []
+    diversity = []
+    for segment in stream.segments(BUFFER, STREAM_LENGTH):
+        learner.process_segment(segment)
+        seen_labels.extend(segment.labels.tolist())
+        hist = learner.buffer_class_histogram(dataset.num_classes)
+        diversity.append((hist > 0).sum())
+
+    rng = rngs.get("eval")
+    train_x, train_y = dataset.make_split(30, rng)
+    test_x, test_y = dataset.make_split(15, rng)
+    probe = evaluate_encoder(
+        encoder, train_x, train_y, test_x, test_y, dataset.num_classes, rng, epochs=40
+    )
+    return {
+        "accuracy": probe.accuracy,
+        "mean_buffer_species": float(np.mean(diversity)),
+        "final_buffer": learner.buffer_class_histogram(dataset.num_classes),
+        "measured_stc": measure_stc(np.asarray(seen_labels)),
+    }
+
+
+def main() -> None:
+    print(f"scenario: monitoring camera, {len(SPECIES)} species, STC={STC}")
+    print(f"stream length {STREAM_LENGTH}, buffer {BUFFER} images\n")
+
+    results = {}
+    for name in ("contrast-scoring", "random-replace", "fifo"):
+        print(f"running {name} ...")
+        results[name] = run_policy(name)
+
+    print(f"\nmeasured stream STC: {results['fifo']['measured_stc']:.1f}\n")
+    print(f"{'policy':18s} {'accuracy':>9s} {'avg species in buffer':>22s}")
+    for name, res in results.items():
+        print(
+            f"{name:18s} {res['accuracy']:9.1%} {res['mean_buffer_species']:22.1f}"
+        )
+
+    print("\nfinal buffer composition (species -> count):")
+    for name, res in results.items():
+        present = {
+            SPECIES[i]: int(c) for i, c in enumerate(res["final_buffer"]) if c > 0
+        }
+        print(f"  {name:18s} {present}")
+
+
+if __name__ == "__main__":
+    main()

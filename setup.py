@@ -1,0 +1,12 @@
+"""Setup shim.
+
+The offline environment ships setuptools without the ``wheel`` package,
+so PEP 660 editable installs (``pip install -e .``) cannot build an
+editable wheel.  This shim lets ``python setup.py develop`` (and
+``pip install -e . --no-build-isolation`` on toolchains that have
+``wheel``) install the package; all metadata lives in pyproject.toml.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,85 @@
+"""repro — reproduction of "Enabling On-Device Self-Supervised
+Contrastive Learning with Selective Data Contrast" (DAC 2021).
+
+Public API tour
+---------------
+* :mod:`repro.core` — the paper's contribution: contrast scoring
+  (:class:`~repro.core.ContrastScorer`), the replacement policy
+  (:class:`~repro.core.ContrastScoringPolicy`), lazy scoring
+  (:class:`~repro.core.LazyScoringSchedule`), and the stage-1 framework
+  (:class:`~repro.core.OnDeviceContrastiveLearner`).
+* :mod:`repro.nn` — numpy autograd substrate: ResNet encoder,
+  projection head, NT-Xent loss, Adam.
+* :mod:`repro.data` — synthetic datasets, temporally correlated streams
+  (STC), SimCLR augmentations, label splits.
+* :mod:`repro.selection` — the four label-free baselines.
+* :mod:`repro.train` — stage-2 linear probes and the supervised
+  baseline.
+* :mod:`repro.experiments` — harnesses regenerating every paper table
+  and figure.
+
+Quickstart
+----------
+>>> from repro import quickstart_components
+>>> learner, stream, dataset = quickstart_components(seed=0)
+>>> for segment in stream.segments(32, 640):
+...     stats = learner.process_segment(segment)
+"""
+
+from repro.core import (
+    ContrastScorer,
+    ContrastScoringPolicy,
+    DataBuffer,
+    LazyScoringSchedule,
+    OnDeviceContrastiveLearner,
+)
+from repro.version import __version__
+
+__all__ = [
+    "__version__",
+    "ContrastScorer",
+    "ContrastScoringPolicy",
+    "DataBuffer",
+    "LazyScoringSchedule",
+    "OnDeviceContrastiveLearner",
+    "quickstart_components",
+]
+
+
+def quickstart_components(
+    dataset: str = "cifar10",
+    buffer_size: int = 32,
+    stc: int = 64,
+    seed: int = 0,
+):
+    """Build a ready-to-run (learner, stream, dataset) triple.
+
+    A convenience wrapper over :mod:`repro.experiments` wiring for the
+    README quickstart and the examples.
+    """
+    from repro.data.augment import SimCLRAugment
+    from repro.data.stream import TemporalStream
+    from repro.experiments.config import default_config
+    from repro.experiments.runner import build_components, make_policy
+
+    config = default_config(dataset, seed=seed).with_(buffer_size=buffer_size, stc=stc)
+    comp = build_components(config)
+    policy = make_policy(
+        "contrast-scoring", comp.scorer, buffer_size, comp.rngs.get("policy")
+    )
+    learner = OnDeviceContrastiveLearner(
+        comp.encoder,
+        comp.projector,
+        policy,
+        buffer_size,
+        comp.rngs.get("augment"),
+        temperature=config.temperature,
+        lr=config.lr,
+        weight_decay=config.weight_decay,
+        augment=SimCLRAugment(
+            min_crop_scale=config.augment_min_crop,
+            jitter_strength=config.augment_jitter,
+        ),
+    )
+    stream = TemporalStream(comp.dataset, stc, comp.rngs.get("stream"))
+    return learner, stream, comp.dataset

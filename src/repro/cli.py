@@ -1,0 +1,137 @@
+"""Command-line entry point: ``python -m repro.cli <experiment>``.
+
+Runs any of the paper's experiments at the current ``REPRO_BENCH_SCALE``
+and prints the corresponding table.  Experiment ids mirror DESIGN.md:
+
+    fig3            label-ratio comparison (+ supervised reference)
+    fig4a .. fig6b  learning curves per dataset
+    table1            lazy scoring sweep
+    table2            buffer size sweep
+    ablation-grad     score-vs-gradient relation
+    ablation-views    deterministic vs randomized scoring views
+    ablation-stc      temporal-correlation sweep
+    ablation-momentum explicit EMA scores vs lazy scoring
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Callable, Dict
+
+from repro.experiments import (
+    default_config,
+    format_fig3,
+    format_gradient_ablation,
+    format_learning_curves,
+    format_momentum_ablation,
+    format_scoring_view_ablation,
+    format_stc_sweep,
+    format_table1,
+    format_table2,
+    run_fig3,
+    run_gradient_ablation,
+    run_learning_curves,
+    run_momentum_ablation,
+    run_scoring_view_ablation,
+    run_stc_sweep,
+    run_table1,
+    run_table2,
+    scaled_config,
+)
+
+__all__ = ["main", "EXPERIMENTS"]
+
+_CURVE_DATASETS = {
+    "fig4a": "cifar10",
+    "fig4b": "imagenet100",
+    "fig5a": "imagenet20",
+    "fig5b": "imagenet50",
+    "fig6a": "svhn",
+    "fig6b": "cifar100",
+}
+
+
+def _run_fig3(seed: int) -> str:
+    config = scaled_config(default_config(seed=seed))
+    return format_fig3(run_fig3(config))
+
+
+def _curve_runner(dataset: str) -> Callable[[int], str]:
+    def run(seed: int) -> str:
+        config = scaled_config(default_config(dataset, seed=seed))
+        return format_learning_curves(run_learning_curves(dataset, config))
+
+    return run
+
+
+def _run_table1(seed: int) -> str:
+    config = scaled_config(default_config(seed=seed))
+    return format_table1(run_table1(config))
+
+
+def _run_table2(seed: int) -> str:
+    config = scaled_config(default_config(seed=seed))
+    return format_table2(run_table2(config))
+
+
+def _run_ablation_grad(seed: int) -> str:
+    config = scaled_config(default_config(seed=seed))
+    return format_gradient_ablation(run_gradient_ablation(config))
+
+
+def _run_ablation_views(seed: int) -> str:
+    config = scaled_config(default_config(seed=seed))
+    return format_scoring_view_ablation(run_scoring_view_ablation(config))
+
+
+def _run_ablation_stc(seed: int) -> str:
+    config = scaled_config(default_config(seed=seed))
+    return format_stc_sweep(run_stc_sweep(config))
+
+
+def _run_ablation_momentum(seed: int) -> str:
+    config = scaled_config(default_config(seed=seed))
+    return format_momentum_ablation(run_momentum_ablation(config))
+
+
+def _run_ablation_drift(seed: int) -> str:
+    from repro.experiments.drift import format_drift, run_drift_experiment
+
+    config = scaled_config(default_config(seed=seed))
+    return format_drift(run_drift_experiment(config))
+
+
+EXPERIMENTS: Dict[str, Callable[[int], str]] = {
+    "fig3": _run_fig3,
+    **{name: _curve_runner(ds) for name, ds in _CURVE_DATASETS.items()},
+    "table1": _run_table1,
+    "table2": _run_table2,
+    "ablation-grad": _run_ablation_grad,
+    "ablation-views": _run_ablation_views,
+    "ablation-stc": _run_ablation_stc,
+    "ablation-momentum": _run_ablation_momentum,
+    "ablation-drift": _run_ablation_drift,
+}
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Reproduce a table/figure of the Selective Data Contrast paper.",
+    )
+    parser.add_argument(
+        "experiment",
+        choices=sorted(EXPERIMENTS),
+        help="experiment id (see DESIGN.md per-experiment index)",
+    )
+    parser.add_argument("--seed", type=int, default=0, help="experiment seed")
+    args = parser.parse_args(argv)
+
+    print(f"== {args.experiment} (seed {args.seed}) ==")
+    print(EXPERIMENTS[args.experiment](args.seed))
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via subprocess
+    sys.exit(main())

@@ -1,0 +1,33 @@
+"""The paper's primary contribution: contrast scoring, the data buffer,
+the replacement policy, lazy scoring, the stage-1 learning framework,
+and the §III-C gradient analysis.
+"""
+
+from repro.core.buffer import DataBuffer
+from repro.core.framework import OnDeviceContrastiveLearner, StepStats
+from repro.core.gradient_analysis import (
+    ScoreGradientRelation,
+    contrast_scores_from_projections,
+    ntxent_grad_wrt_anchor,
+    pair_probabilities,
+    per_anchor_gradient_norms,
+    score_gradient_relation,
+)
+from repro.core.lazy import LazyScoringSchedule
+from repro.core.replacement import ContrastScoringPolicy
+from repro.core.scoring import ContrastScorer
+
+__all__ = [
+    "ContrastScorer",
+    "DataBuffer",
+    "LazyScoringSchedule",
+    "ContrastScoringPolicy",
+    "OnDeviceContrastiveLearner",
+    "StepStats",
+    "ScoreGradientRelation",
+    "contrast_scores_from_projections",
+    "ntxent_grad_wrt_anchor",
+    "pair_probabilities",
+    "per_anchor_gradient_norms",
+    "score_gradient_relation",
+]

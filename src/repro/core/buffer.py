@@ -1,0 +1,149 @@
+"""The small on-device data buffer B.
+
+Holds the current mini-batch worth of images plus the per-entry
+bookkeeping the paper's replacement and lazy-scoring machinery needs:
+
+* ``ages``   — iterations since the entry was placed in B (Eq. 7),
+* ``scores`` — the entry's most recent contrast score (Eq. 8 reuse),
+* ``uids``   — stable identifiers so the framework can track evaluation
+  metadata (e.g. class labels) *outside* the buffer.  By design the
+  buffer stores no labels: selection policies receive the buffer object
+  and structurally cannot peek at labels the paper says they must not
+  use.
+* ``inserted_at`` — insertion iteration (drives the FIFO baseline).
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+import numpy as np
+
+__all__ = ["DataBuffer"]
+
+
+class DataBuffer:
+    """Fixed-capacity image buffer with replacement bookkeeping."""
+
+    def __init__(self, capacity: int) -> None:
+        if capacity < 1:
+            raise ValueError(f"capacity must be >= 1, got {capacity}")
+        self.capacity = int(capacity)
+        self.images: Optional[np.ndarray] = None  # (n, C, H, W)
+        self.uids = np.zeros(0, dtype=np.int64)
+        self.ages = np.zeros(0, dtype=np.int64)
+        self.scores = np.zeros(0, dtype=np.float64)
+        self.inserted_at = np.zeros(0, dtype=np.int64)
+        self._next_uid = 0
+
+    # ------------------------------------------------------------------
+    @property
+    def size(self) -> int:
+        """Number of entries currently stored."""
+        return 0 if self.images is None else self.images.shape[0]
+
+    @property
+    def is_full(self) -> bool:
+        return self.size >= self.capacity
+
+    def __len__(self) -> int:
+        return self.size
+
+    def as_batch(self) -> np.ndarray:
+        """The buffered images as one training mini-batch (copy)."""
+        if self.images is None or self.size == 0:
+            raise ValueError("buffer is empty")
+        return self.images.copy()
+
+    # ------------------------------------------------------------------
+    def replace(
+        self,
+        pool_images: np.ndarray,
+        keep_indices: np.ndarray,
+        pool_scores: Optional[np.ndarray],
+        iteration: int,
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        """Install the selected pool entries as the new buffer contents.
+
+        The *pool* is ``[current buffer entries ; incoming segment]`` in
+        that order; ``keep_indices`` index into it.  Indices below the
+        current size refer to surviving buffer entries (which keep their
+        uid and age+1); the rest are fresh insertions (new uid, age 0).
+
+        Parameters
+        ----------
+        pool_images: the pooled candidate images (buffer then incoming).
+        keep_indices: indices of entries to keep (length <= capacity).
+        pool_scores: optional scores aligned with the pool; stored for
+            score-reusing policies (NaN when a policy does not score).
+        iteration: current framework iteration (stamps insertions).
+
+        Returns
+        -------
+        ``(kept_old_uids, new_uids)``: uids of surviving entries and the
+        uids assigned to fresh insertions (in ``keep_indices`` order the
+        caller can align with pool positions).
+        """
+        keep_indices = np.asarray(keep_indices)
+        if keep_indices.ndim != 1:
+            raise ValueError(f"keep_indices must be 1-D, got {keep_indices.shape}")
+        if keep_indices.size > self.capacity:
+            raise ValueError(
+                f"selected {keep_indices.size} entries for a capacity-"
+                f"{self.capacity} buffer"
+            )
+        if keep_indices.size != np.unique(keep_indices).size:
+            raise ValueError("keep_indices contains duplicates")
+        n_pool = pool_images.shape[0]
+        if keep_indices.size and (keep_indices.min() < 0 or keep_indices.max() >= n_pool):
+            raise ValueError(
+                f"keep_indices out of range for pool of {n_pool} entries"
+            )
+
+        old_size = self.size
+        from_buffer = keep_indices < old_size
+
+        new_uids_list = []
+        uids = np.empty(keep_indices.size, dtype=np.int64)
+        ages = np.empty(keep_indices.size, dtype=np.int64)
+        inserted = np.empty(keep_indices.size, dtype=np.int64)
+        for out_pos, pool_idx in enumerate(keep_indices):
+            if pool_idx < old_size:
+                uids[out_pos] = self.uids[pool_idx]
+                ages[out_pos] = self.ages[pool_idx] + 1
+                inserted[out_pos] = self.inserted_at[pool_idx]
+            else:
+                uid = self._next_uid
+                self._next_uid += 1
+                uids[out_pos] = uid
+                ages[out_pos] = 0
+                inserted[out_pos] = iteration
+                new_uids_list.append(uid)
+
+        if pool_scores is not None:
+            pool_scores = np.asarray(pool_scores, dtype=np.float64)
+            if pool_scores.shape[0] != n_pool:
+                raise ValueError(
+                    f"pool_scores length {pool_scores.shape[0]} != pool {n_pool}"
+                )
+            scores = pool_scores[keep_indices]
+        else:
+            scores = np.full(keep_indices.size, np.nan)
+
+        kept_old_uids = uids[from_buffer].copy()
+        self.images = pool_images[keep_indices].copy()
+        self.uids = uids
+        self.ages = ages
+        self.scores = scores
+        self.inserted_at = inserted
+        return kept_old_uids, np.asarray(new_uids_list, dtype=np.int64)
+
+    def set_scores(self, indices: np.ndarray, values: np.ndarray) -> None:
+        """Overwrite the stored scores of the entries at ``indices``."""
+        indices = np.asarray(indices)
+        if indices.size and (indices.min() < 0 or indices.max() >= self.size):
+            raise ValueError("indices out of range")
+        self.scores[indices] = np.asarray(values, dtype=np.float64)
+
+    def __repr__(self) -> str:
+        return f"DataBuffer(size={self.size}/{self.capacity})"

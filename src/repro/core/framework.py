@@ -1,0 +1,211 @@
+"""Stage-1 on-device learning framework (paper Fig. 1, left).
+
+:class:`OnDeviceContrastiveLearner` consumes an unlabeled stream segment
+by segment.  Each iteration:
+
+1. the replacement policy selects the next buffer from
+   ``[buffer ; incoming segment]`` (labels are never exposed to it);
+2. the buffer contents become one training mini-batch: two strong
+   SimCLR views are generated and the encoder+projector take one
+   NT-Xent gradient step (Eq. 1);
+3. bookkeeping: per-entry ages, seen-input counters, timing (scoring
+   vs. training time backs the paper's Table I "relative batch time").
+
+Stage 2 (classifier on few labels) lives in
+:mod:`repro.train.classifier`.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Iterable, List, Optional
+
+import numpy as np
+
+from repro.core.buffer import DataBuffer
+from repro.data.augment import SimCLRAugment
+from repro.data.stream import StreamSegment
+from repro.nn.layers import Module
+from repro.nn.losses import NTXentLoss
+from repro.nn.optim import Adam
+from repro.nn.tensor import Tensor
+from repro.selection.base import ReplacementPolicy
+
+__all__ = ["StepStats", "OnDeviceContrastiveLearner"]
+
+
+@dataclass
+class StepStats:
+    """Diagnostics of one replacement + training iteration."""
+
+    iteration: int
+    seen_inputs: int
+    loss: float
+    buffer_size: int
+    num_scored: int
+    select_seconds: float
+    train_seconds: float
+    info: Dict[str, float] = field(default_factory=dict)
+
+    @property
+    def total_seconds(self) -> float:
+        return self.select_seconds + self.train_seconds
+
+
+class OnDeviceContrastiveLearner:
+    """Self-supervised learner over an unlabeled, non-iid input stream.
+
+    Parameters
+    ----------
+    encoder, projector:
+        The model ``f`` and projection head ``g`` updated by training.
+    policy:
+        Replacement policy maintaining the buffer (the paper's
+        :class:`~repro.core.replacement.ContrastScoringPolicy` or a
+        baseline from :mod:`repro.selection`).
+    buffer_size:
+        Buffer capacity N = training mini-batch size.
+    rng:
+        Drives augmentation randomness.
+    temperature, lr, weight_decay:
+        NT-Xent temperature and Adam hyper-parameters (paper defaults:
+        τ=0.5, lr=1e-4, wd=1e-4 for CIFAR-scale data).
+    augment:
+        The strong two-view augmentation (SimCLR family).
+    """
+
+    def __init__(
+        self,
+        encoder: Module,
+        projector: Module,
+        policy: ReplacementPolicy,
+        buffer_size: int,
+        rng: np.random.Generator,
+        temperature: float = 0.5,
+        lr: float = 1e-3,
+        weight_decay: float = 1e-4,
+        augment: Optional[SimCLRAugment] = None,
+    ) -> None:
+        if buffer_size < 2:
+            raise ValueError(
+                f"buffer_size must be >= 2 (NT-Xent needs negatives), got {buffer_size}"
+            )
+        self.encoder = encoder
+        self.projector = projector
+        self.policy = policy
+        self.buffer = DataBuffer(buffer_size)
+        self.rng = rng
+        self.loss_fn = NTXentLoss(temperature)
+        self.optimizer = Adam(
+            [*encoder.parameters(), *projector.parameters()],
+            lr=lr,
+            weight_decay=weight_decay,
+        )
+        self.augment = augment if augment is not None else SimCLRAugment()
+        self.iteration = 0
+        self.seen_inputs = 0
+        self._buffer_labels = np.zeros(0, dtype=np.int64)
+        self.history: List[StepStats] = []
+
+    # ------------------------------------------------------------------
+    def process_segment(self, segment: StreamSegment) -> StepStats:
+        """One framework iteration: replace buffer data, then train once."""
+        incoming = segment.images
+        if incoming.ndim != 4 or incoming.shape[0] == 0:
+            raise ValueError(f"segment must be a non-empty NCHW batch")
+
+        # --- 1. data replacement (labels hidden from the policy) -------
+        t0 = time.perf_counter()
+        result = self.policy.select(self.buffer, incoming, self.iteration)
+        select_seconds = time.perf_counter() - t0
+
+        pool_images = (
+            np.concatenate([self.buffer.images, incoming], axis=0)
+            if self.buffer.size
+            else incoming
+        )
+        pool_labels = np.concatenate([self._buffer_labels, segment.labels])
+        self.buffer.replace(
+            pool_images, result.keep_indices, result.pool_scores, self.iteration
+        )
+        self._buffer_labels = pool_labels[result.keep_indices]
+
+        # --- 2. one contrastive update on the buffer mini-batch --------
+        t1 = time.perf_counter()
+        loss_value = self._train_step()
+        train_seconds = time.perf_counter() - t1
+
+        # --- 3. bookkeeping --------------------------------------------
+        self.seen_inputs += incoming.shape[0]
+        stats = StepStats(
+            iteration=self.iteration,
+            seen_inputs=self.seen_inputs,
+            loss=loss_value,
+            buffer_size=self.buffer.size,
+            num_scored=result.num_scored,
+            select_seconds=select_seconds,
+            train_seconds=train_seconds,
+            info=dict(result.info),
+        )
+        self.history.append(stats)
+        self.iteration += 1
+        return stats
+
+    def _train_step(self) -> float:
+        """One NT-Xent gradient step on the current buffer contents."""
+        if self.buffer.size < 2:
+            return float("nan")  # not enough data to form negatives yet
+        images = self.buffer.as_batch()
+        v1, v2 = self.augment(images, self.rng)
+        self.encoder.train()
+        self.projector.train()
+        z1 = self.projector(self.encoder(Tensor(v1)))
+        z2 = self.projector(self.encoder(Tensor(v2)))
+        loss = self.loss_fn(z1, z2)
+        self.optimizer.zero_grad()
+        loss.backward()
+        self.optimizer.step()
+        return float(loss.item())
+
+    # ------------------------------------------------------------------
+    def fit(
+        self,
+        segments: Iterable[StreamSegment],
+        callback: Optional[Callable[["OnDeviceContrastiveLearner", StepStats], None]] = None,
+    ) -> List[StepStats]:
+        """Consume a stream of segments; returns the per-step stats.
+
+        ``callback(learner, stats)`` runs after every iteration — used
+        by experiment harnesses to record learning curves.
+        """
+        collected: List[StepStats] = []
+        for segment in segments:
+            stats = self.process_segment(segment)
+            collected.append(stats)
+            if callback is not None:
+                callback(self, stats)
+        return collected
+
+    # ------------------------------------------------------------------
+    # Evaluation-only introspection (never available to the policy).
+    # ------------------------------------------------------------------
+    def buffer_labels(self) -> np.ndarray:
+        """Ground-truth labels of current buffer entries (diagnostics)."""
+        return self._buffer_labels.copy()
+
+    def buffer_class_histogram(self, num_classes: int) -> np.ndarray:
+        """Class counts of the buffer contents (diversity diagnostics)."""
+        return np.bincount(self._buffer_labels, minlength=num_classes)
+
+    def mean_select_seconds(self) -> float:
+        """Average policy-selection time per iteration so far."""
+        if not self.history:
+            return 0.0
+        return float(np.mean([s.select_seconds for s in self.history]))
+
+    def mean_train_seconds(self) -> float:
+        """Average model-update time per iteration so far."""
+        if not self.history:
+            return 0.0
+        return float(np.mean([s.train_seconds for s in self.history]))

@@ -1,0 +1,95 @@
+"""Lazy scoring — paper Eq. 7-8.
+
+Re-scoring every buffered sample at every iteration costs one extra
+model forward per candidate.  Lazy scoring exploits that (a) most
+buffer entries survive replacement and (b) scores drift slowly because
+the encoder updates slowly: a buffered entry is re-scored only when its
+age is a multiple of the interval ``T``; otherwise its stored score is
+reused.  Incoming stream data has no stored score and is always scored.
+
+The schedule also accounts re-scoring statistics, which back the paper's
+Table I "Re-scoring Pct." column.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+__all__ = ["LazyScoringSchedule"]
+
+
+class LazyScoringSchedule:
+    """Decide which buffer entries need fresh scores this iteration.
+
+    Parameters
+    ----------
+    interval:
+        The paper's ``T``.  ``None`` (or 1) disables laziness: every
+        entry is re-scored every iteration.
+    """
+
+    def __init__(self, interval: Optional[int] = None) -> None:
+        if interval is not None and interval < 1:
+            raise ValueError(f"interval must be >= 1 or None, got {interval}")
+        self.interval = interval
+        self._rescored_total = 0
+        self._candidates_total = 0
+        self._steps = 0
+
+    @property
+    def enabled(self) -> bool:
+        """Whether lazy reuse is active (interval set and > 1)."""
+        return self.interval is not None and self.interval > 1
+
+    # ------------------------------------------------------------------
+    def needs_scoring(self, ages: np.ndarray) -> np.ndarray:
+        """Boolean mask over buffer entries: True = re-score now (Eq. 7).
+
+        ``ages`` are iterations-since-insertion.  Age 0 means the entry
+        was scored as incoming data when it entered the buffer on the
+        previous iteration, so its stored score is one iteration fresh
+        and is reused; re-scoring happens at ages T, 2T, ...  (The
+        policy separately re-scores any entry whose stored score is NaN,
+        e.g. after external buffer manipulation.)
+        """
+        ages = np.asarray(ages)
+        if not self.enabled:
+            return np.ones(ages.shape, dtype=bool)
+        return (ages > 0) & ((ages % self.interval) == 0)
+
+    def record(self, num_rescored: int, num_candidates: int) -> None:
+        """Account one replacement iteration's buffer re-scoring."""
+        if num_candidates < 0 or num_rescored < 0 or num_rescored > num_candidates:
+            raise ValueError(
+                f"invalid accounting: rescored={num_rescored}, "
+                f"candidates={num_candidates}"
+            )
+        self._rescored_total += num_rescored
+        self._candidates_total += num_candidates
+        self._steps += 1
+
+    @property
+    def rescoring_fraction(self) -> float:
+        """Average fraction of buffer entries re-scored per iteration.
+
+        This is the quantity the paper's Table I reports as
+        "Re-scoring Pct." (×100).
+        """
+        if self._candidates_total == 0:
+            return 0.0
+        return self._rescored_total / self._candidates_total
+
+    @property
+    def steps(self) -> int:
+        return self._steps
+
+    def reset_stats(self) -> None:
+        self._rescored_total = 0
+        self._candidates_total = 0
+        self._steps = 0
+
+    def __repr__(self) -> str:
+        label = self.interval if self.enabled else "disabled"
+        return f"LazyScoringSchedule(interval={label})"

@@ -1,0 +1,123 @@
+"""Contrast scoring — paper Eq. 2-3.
+
+For each candidate image ``x`` the scorer builds the deterministic weak
+view ``x+`` (horizontal flip), embeds both through the encoder ``f`` and
+projection head ``g``, l2-normalizes, and returns
+
+    S(x) = 1 - z^T z+          with z = g(f(x)) / ||g(f(x))||
+
+so ``S`` lies in [0, 2].  High score = the two views embed differently =
+the encoder has not learned an invariant representation of ``x`` yet =
+``x`` is valuable training data (and, by the paper's §III-C analysis,
+produces a large NT-Xent gradient).
+
+Design principle (paper §III-B): the scoring view must be
+*deterministic*.  Randomized strong augmentation would make the score
+reflect augmentation luck rather than encoder capability.  Accordingly
+the scorer also runs the model in eval mode (batch-norm running
+statistics), so a sample's score does not depend on which other samples
+happen to share its scoring batch.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional
+
+import numpy as np
+
+from repro.data.augment import horizontal_flip
+from repro.nn.layers import Module
+from repro.nn.tensor import Tensor, no_grad
+
+__all__ = ["ContrastScorer"]
+
+
+class ContrastScorer:
+    """Compute contrast scores S(x) for batches of images.
+
+    Parameters
+    ----------
+    encoder:
+        The base encoder ``f(·)`` mapping NCHW images to representation
+        vectors.
+    projector:
+        The projection head ``g(·)``; its output is l2-normalized (if the
+        head does not normalize, the scorer normalizes defensively).
+    view_fn:
+        The deterministic weak augmentation producing ``x+``.  Defaults
+        to horizontal flip, the paper's choice.  Must be deterministic —
+        pass a pure function of the image batch only.
+    max_batch:
+        Upper bound on images pushed through the model at once (keeps
+        peak memory flat when scoring large candidate pools).
+    """
+
+    def __init__(
+        self,
+        encoder: Module,
+        projector: Module,
+        view_fn: Callable[[np.ndarray], np.ndarray] = horizontal_flip,
+        max_batch: int = 512,
+    ) -> None:
+        if max_batch < 1:
+            raise ValueError(f"max_batch must be >= 1, got {max_batch}")
+        self.encoder = encoder
+        self.projector = projector
+        self.view_fn = view_fn
+        self.max_batch = max_batch
+
+    # ------------------------------------------------------------------
+    def project(self, images: np.ndarray) -> np.ndarray:
+        """Normalized projections z = g(f(x))/||g(f(x))|| (no gradient)."""
+        if images.ndim != 4:
+            raise ValueError(f"expected NCHW batch, got shape {images.shape}")
+        outputs = []
+        enc_training = self.encoder.training
+        proj_training = self.projector.training
+        self.encoder.eval()
+        self.projector.eval()
+        try:
+            with no_grad():
+                for start in range(0, images.shape[0], self.max_batch):
+                    chunk = images[start : start + self.max_batch]
+                    z = self.projector(self.encoder(Tensor(chunk))).data
+                    outputs.append(np.asarray(z, dtype=np.float64))
+        finally:
+            self.encoder.train(enc_training)
+            self.projector.train(proj_training)
+        z = np.concatenate(outputs, axis=0) if outputs else np.zeros((0, 1))
+        norms = np.linalg.norm(z, axis=1, keepdims=True)
+        return z / np.maximum(norms, 1e-12)
+
+    def score(self, images: np.ndarray) -> np.ndarray:
+        """Contrast scores S(x) in [0, 2] for every image in the batch."""
+        if images.shape[0] == 0:
+            return np.zeros(0, dtype=np.float64)
+        z = self.project(images)
+        z_flip = self.project(self.view_fn(images))
+        scores = 1.0 - (z * z_flip).sum(axis=1)
+        return np.clip(scores, 0.0, 2.0)
+
+    def features(self, images: np.ndarray) -> np.ndarray:
+        """Encoder representations h = f(x) (no gradient, eval mode).
+
+        Used by feature-space baselines (K-Center) and the stage-2
+        classifier.
+        """
+        if images.ndim != 4:
+            raise ValueError(f"expected NCHW batch, got shape {images.shape}")
+        outputs = []
+        enc_training = self.encoder.training
+        self.encoder.eval()
+        try:
+            with no_grad():
+                for start in range(0, images.shape[0], self.max_batch):
+                    chunk = images[start : start + self.max_batch]
+                    outputs.append(np.asarray(self.encoder(Tensor(chunk)).data))
+        finally:
+            self.encoder.train(enc_training)
+        return (
+            np.concatenate(outputs, axis=0)
+            if outputs
+            else np.zeros((0, getattr(self.encoder, "feature_dim", 1)))
+        )

@@ -1,0 +1,49 @@
+"""Data substrate: synthetic datasets, temporal streams, augmentations,
+and label splits — the stand-in for the paper's CIFAR/SVHN/ImageNet
+streaming inputs.
+"""
+
+from repro.data.augment import (
+    SimCLRAugment,
+    color_jitter,
+    horizontal_flip,
+    random_crop_resize,
+    random_grayscale,
+    random_horizontal_flip,
+)
+from repro.data.datasets import (
+    DATASET_REGISTRY,
+    dataset_names,
+    get_dataset_config,
+    make_dataset,
+)
+from repro.data.drift import DriftStream, growing_phases
+from repro.data.resize import bilinear_resize, crop_resize_batch, grid_sample_bilinear
+from repro.data.splits import labeled_subset, train_test_split
+from repro.data.stream import StreamSegment, TemporalStream, measure_stc
+from repro.data.synthetic import SyntheticConfig, SyntheticImageDataset
+
+__all__ = [
+    "SyntheticConfig",
+    "SyntheticImageDataset",
+    "DATASET_REGISTRY",
+    "dataset_names",
+    "get_dataset_config",
+    "make_dataset",
+    "StreamSegment",
+    "DriftStream",
+    "growing_phases",
+    "TemporalStream",
+    "measure_stc",
+    "SimCLRAugment",
+    "horizontal_flip",
+    "random_horizontal_flip",
+    "random_crop_resize",
+    "color_jitter",
+    "random_grayscale",
+    "bilinear_resize",
+    "crop_resize_batch",
+    "grid_sample_bilinear",
+    "labeled_subset",
+    "train_test_split",
+]

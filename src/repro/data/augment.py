@@ -1,0 +1,137 @@
+"""Image augmentations.
+
+Two distinct families, per the paper:
+
+* **Strong (stochastic) augmentation** for training — SimCLR-style
+  random crop + resize, random horizontal flip, color jitter, and
+  random grayscale.  :class:`SimCLRAugment` composes these into the
+  two-view transform used by the contrastive loss (Eq. 1).
+* **Weak (deterministic) augmentation** for scoring — *only* a
+  horizontal flip.  The paper's "Contrast Score Design Principle"
+  requires the scoring view to be deterministic so the score reflects
+  the encoder's capability, not augmentation randomness;
+  :func:`horizontal_flip` is exactly that view.
+
+All functions take and return float32 NCHW batches in [0, 1].
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Tuple
+
+import numpy as np
+
+from repro.data.resize import crop_resize_batch
+
+__all__ = [
+    "horizontal_flip",
+    "random_horizontal_flip",
+    "random_crop_resize",
+    "color_jitter",
+    "random_grayscale",
+    "SimCLRAugment",
+]
+
+
+def _check_batch(images: np.ndarray) -> None:
+    if images.ndim != 4:
+        raise ValueError(f"expected NCHW batch, got shape {images.shape}")
+
+
+def horizontal_flip(images: np.ndarray) -> np.ndarray:
+    """Deterministic horizontal flip of every image (the scoring view)."""
+    _check_batch(images)
+    return np.ascontiguousarray(images[:, :, :, ::-1])
+
+
+def random_horizontal_flip(
+    images: np.ndarray, rng: np.random.Generator, p: float = 0.5
+) -> np.ndarray:
+    """Flip each image independently with probability ``p``."""
+    _check_batch(images)
+    flip = rng.random(images.shape[0]) < p
+    out = images.copy()
+    out[flip] = out[flip, :, :, ::-1]
+    return out
+
+
+def random_crop_resize(
+    images: np.ndarray,
+    rng: np.random.Generator,
+    min_scale: float = 0.6,
+    max_scale: float = 1.0,
+) -> np.ndarray:
+    """Random square crop (area scale in [min_scale, max_scale]) + resize back."""
+    _check_batch(images)
+    if not 0.0 < min_scale <= max_scale <= 1.0:
+        raise ValueError(
+            f"need 0 < min_scale <= max_scale <= 1, got {min_scale}, {max_scale}"
+        )
+    n, _, h, w = images.shape
+    side_scale = np.sqrt(rng.uniform(min_scale, max_scale, size=n))
+    heights = np.maximum(np.round(side_scale * h), 1.0)
+    widths = np.maximum(np.round(side_scale * w), 1.0)
+    tops = rng.uniform(0.0, h - heights + 1e-9, size=n)
+    lefts = rng.uniform(0.0, w - widths + 1e-9, size=n)
+    return crop_resize_batch(images, tops, lefts, heights, widths)
+
+
+def color_jitter(
+    images: np.ndarray, rng: np.random.Generator, strength: float = 0.4
+) -> np.ndarray:
+    """Random brightness / contrast / per-channel gain distortion."""
+    _check_batch(images)
+    if strength < 0:
+        raise ValueError(f"strength must be non-negative, got {strength}")
+    n, c, _, _ = images.shape
+    brightness = rng.uniform(-strength / 2, strength / 2, size=(n, 1, 1, 1))
+    contrast = rng.uniform(1.0 - strength, 1.0 + strength, size=(n, 1, 1, 1))
+    channel_gain = rng.uniform(1.0 - strength / 2, 1.0 + strength / 2, size=(n, c, 1, 1))
+    mean = images.mean(axis=(2, 3), keepdims=True)
+    out = (images - mean) * contrast * channel_gain + mean + brightness
+    return np.clip(out, 0.0, 1.0).astype(np.float32)
+
+
+def random_grayscale(
+    images: np.ndarray, rng: np.random.Generator, p: float = 0.2
+) -> np.ndarray:
+    """Replace all channels by their mean with probability ``p`` per image."""
+    _check_batch(images)
+    pick = rng.random(images.shape[0]) < p
+    if not pick.any():
+        return images
+    out = images.copy()
+    gray = out[pick].mean(axis=1, keepdims=True)
+    out[pick] = np.broadcast_to(gray, out[pick].shape)
+    return out
+
+
+@dataclass
+class SimCLRAugment:
+    """The paper's strong two-view augmentation (crop, flip, jitter, gray).
+
+    Calling the instance returns two independently augmented views of
+    the batch, as consumed by :func:`repro.nn.losses.nt_xent_loss`.
+    """
+
+    min_crop_scale: float = 0.6
+    flip_p: float = 0.5
+    jitter_strength: float = 0.4
+    grayscale_p: float = 0.2
+
+    def augment_once(
+        self, images: np.ndarray, rng: np.random.Generator
+    ) -> np.ndarray:
+        """One stochastic view of the batch."""
+        out = random_crop_resize(images, rng, self.min_crop_scale)
+        out = random_horizontal_flip(out, rng, self.flip_p)
+        out = color_jitter(out, rng, self.jitter_strength)
+        out = random_grayscale(out, rng, self.grayscale_p)
+        return out
+
+    def __call__(
+        self, images: np.ndarray, rng: np.random.Generator
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        """Two independent views ``(v1, v2)`` of the batch."""
+        return self.augment_once(images, rng), self.augment_once(images, rng)

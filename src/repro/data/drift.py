@@ -1,0 +1,148 @@
+"""Environment drift: streams whose class population changes over time.
+
+The paper motivates on-device learning with devices deployed "to an
+unknown environment" that must adapt as the world changes.  A
+:class:`DriftStream` models that: the stream progresses through
+*phases*, each exposing a subset of the dataset's classes, while within
+a phase samples remain temporally correlated (STC runs) exactly like
+:class:`~repro.data.stream.TemporalStream`.
+
+The interesting dynamics for the paper's policy: when a phase boundary
+introduces never-seen classes, their contrast scores are high (the
+encoder cannot embed them invariantly yet), so contrast scoring floods
+the buffer with the new environment's data and adapts quickly, while
+random replacement dilutes it into the reservoir.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, List, Optional, Sequence
+
+import numpy as np
+
+from repro.data.stream import StreamSegment
+from repro.data.synthetic import SyntheticImageDataset
+
+__all__ = ["DriftStream", "growing_phases"]
+
+
+def growing_phases(num_classes: int, num_phases: int) -> List[List[int]]:
+    """Phases that cumulatively unlock classes (0..k1, 0..k2, ...).
+
+    Classic class-incremental drift: every phase adds a fresh slice of
+    classes while keeping the old ones in circulation.
+    """
+    if num_phases < 1:
+        raise ValueError(f"num_phases must be >= 1, got {num_phases}")
+    if num_classes < num_phases:
+        raise ValueError(
+            f"need at least one new class per phase: {num_classes} classes, "
+            f"{num_phases} phases"
+        )
+    boundaries = np.linspace(0, num_classes, num_phases + 1).astype(int)[1:]
+    return [list(range(b)) for b in boundaries]
+
+
+class DriftStream:
+    """Temporally correlated stream over a changing class population.
+
+    Parameters
+    ----------
+    dataset: generative dataset.
+    stc: same-class run length within a phase.
+    rng: randomness for class choices and sample noise.
+    phases: one class-id list per phase.
+    phase_length: stream samples per phase; after the last phase the
+        stream stays in it indefinitely.
+    """
+
+    def __init__(
+        self,
+        dataset: SyntheticImageDataset,
+        stc: int,
+        rng: np.random.Generator,
+        phases: Sequence[Sequence[int]],
+        phase_length: int,
+    ) -> None:
+        if stc < 1:
+            raise ValueError(f"stc must be >= 1, got {stc}")
+        if phase_length < 1:
+            raise ValueError(f"phase_length must be >= 1, got {phase_length}")
+        if not phases:
+            raise ValueError("need at least one phase")
+        for i, phase in enumerate(phases):
+            if not phase:
+                raise ValueError(f"phase {i} has no classes")
+            ids = np.asarray(phase)
+            if ids.min() < 0 or ids.max() >= dataset.num_classes:
+                raise ValueError(
+                    f"phase {i} references classes outside "
+                    f"[0, {dataset.num_classes})"
+                )
+        self.dataset = dataset
+        self.stc = int(stc)
+        self.rng = rng
+        self.phases = [list(p) for p in phases]
+        self.phase_length = int(phase_length)
+        self._position = 0
+        self._current_class: Optional[int] = None
+        self._remaining_in_run = 0
+
+    # ------------------------------------------------------------------
+    def phase_index(self, position: Optional[int] = None) -> int:
+        """Phase active at ``position`` (defaults to the current one)."""
+        position = self._position if position is None else position
+        return min(position // self.phase_length, len(self.phases) - 1)
+
+    def active_classes(self, position: Optional[int] = None) -> List[int]:
+        """Classes circulating at ``position``."""
+        return list(self.phases[self.phase_index(position)])
+
+    def _next_class(self, pool: Sequence[int]) -> int:
+        if len(pool) == 1:
+            return int(pool[0])
+        choices = [c for c in pool if c != self._current_class]
+        return int(choices[self.rng.integers(0, len(choices))])
+
+    def next_labels(self, count: int) -> np.ndarray:
+        """The next ``count`` class ids, respecting phases and runs.
+
+        Advances the stream position (phases are position-driven).
+        """
+        if count < 1:
+            raise ValueError(f"count must be >= 1, got {count}")
+        out = np.empty(count, dtype=np.int64)
+        for i in range(count):
+            pool = self.active_classes(self._position)
+            run_invalid = (
+                self._remaining_in_run == 0 or self._current_class not in pool
+            )
+            if run_invalid:
+                self._current_class = self._next_class(pool)
+                self._remaining_in_run = self.stc
+            out[i] = self._current_class
+            self._remaining_in_run -= 1
+            self._position += 1
+        return out
+
+    def next_segment(self, segment_size: int) -> StreamSegment:
+        start = self._position
+        labels = self.next_labels(segment_size)
+        images = self.dataset.sample(labels, self.rng)
+        return StreamSegment(images, labels, start)
+
+    def segments(
+        self, segment_size: int, total_samples: int
+    ) -> Iterator[StreamSegment]:
+        """Iterate segments until ``total_samples`` inputs have streamed."""
+        if segment_size < 1 or total_samples < 1:
+            raise ValueError("segment_size and total_samples must be >= 1")
+        produced = 0
+        while produced < total_samples:
+            take = min(segment_size, total_samples - produced)
+            yield self.next_segment(take)
+            produced += take
+
+    @property
+    def position(self) -> int:
+        return self._position

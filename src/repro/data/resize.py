@@ -1,0 +1,106 @@
+"""Vectorized bilinear resampling for NCHW image batches.
+
+These are the geometric primitives behind the synthetic dataset
+generator and the SimCLR random-crop augmentation.  Everything is plain
+numpy (augmentation happens outside the autograd graph).
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+__all__ = ["grid_sample_bilinear", "bilinear_resize", "crop_resize_batch"]
+
+
+def grid_sample_bilinear(
+    images: np.ndarray, ys: np.ndarray, xs: np.ndarray
+) -> np.ndarray:
+    """Sample ``images`` (N, C, H, W) at per-sample float coordinates.
+
+    Parameters
+    ----------
+    images: input batch.
+    ys, xs: ``(N, H_out, W_out)`` coordinates in input pixel space
+        (0 .. H-1 / 0 .. W-1); coordinates are clamped to the valid range.
+
+    Returns
+    -------
+    ``(N, C, H_out, W_out)`` resampled batch (same dtype as input).
+    """
+    if images.ndim != 4:
+        raise ValueError(f"expected NCHW batch, got shape {images.shape}")
+    n, c, h, w = images.shape
+    if ys.shape != xs.shape or ys.shape[0] != n or ys.ndim != 3:
+        raise ValueError(
+            f"coordinate shapes {ys.shape}/{xs.shape} do not match batch {n}"
+        )
+    ys = np.clip(ys, 0.0, h - 1.0)
+    xs = np.clip(xs, 0.0, w - 1.0)
+    y0 = np.floor(ys).astype(np.intp)
+    x0 = np.floor(xs).astype(np.intp)
+    y1 = np.minimum(y0 + 1, h - 1)
+    x1 = np.minimum(x0 + 1, w - 1)
+    wy = (ys - y0).astype(images.dtype)
+    wx = (xs - x0).astype(images.dtype)
+
+    batch = np.arange(n, dtype=np.intp)[:, None, None, None]
+    chan = np.arange(c, dtype=np.intp)[None, :, None, None]
+    y0e, y1e = y0[:, None], y1[:, None]  # (N, 1, H_out, W_out)
+    x0e, x1e = x0[:, None], x1[:, None]
+
+    top_left = images[batch, chan, y0e, x0e]
+    top_right = images[batch, chan, y0e, x1e]
+    bottom_left = images[batch, chan, y1e, x0e]
+    bottom_right = images[batch, chan, y1e, x1e]
+
+    wy_e = wy[:, None]
+    wx_e = wx[:, None]
+    top = top_left * (1 - wx_e) + top_right * wx_e
+    bottom = bottom_left * (1 - wx_e) + bottom_right * wx_e
+    return (top * (1 - wy_e) + bottom * wy_e).astype(images.dtype, copy=False)
+
+
+def bilinear_resize(images: np.ndarray, out_h: int, out_w: int) -> np.ndarray:
+    """Resize an NCHW batch to (out_h, out_w) with bilinear interpolation."""
+    n, _, h, w = images.shape
+    ys = np.linspace(0.0, h - 1.0, out_h, dtype=np.float64)
+    xs = np.linspace(0.0, w - 1.0, out_w, dtype=np.float64)
+    grid_y = np.broadcast_to(ys[:, None], (out_h, out_w))
+    grid_x = np.broadcast_to(xs[None, :], (out_h, out_w))
+    grid_y = np.broadcast_to(grid_y[None], (n, out_h, out_w))
+    grid_x = np.broadcast_to(grid_x[None], (n, out_h, out_w))
+    return grid_sample_bilinear(images, grid_y, grid_x)
+
+
+def crop_resize_batch(
+    images: np.ndarray,
+    tops: np.ndarray,
+    lefts: np.ndarray,
+    heights: np.ndarray,
+    widths: np.ndarray,
+) -> np.ndarray:
+    """Crop a per-sample box and resize back to the input resolution.
+
+    Parameters
+    ----------
+    images: ``(N, C, H, W)`` batch.
+    tops, lefts: per-sample crop origin (float, pixels).
+    heights, widths: per-sample crop extents (float, pixels, >= 1).
+
+    Returns
+    -------
+    ``(N, C, H, W)`` batch of resized crops.
+    """
+    n, _, h, w = images.shape
+    for name, arr in (("tops", tops), ("lefts", lefts), ("heights", heights), ("widths", widths)):
+        if np.asarray(arr).shape != (n,):
+            raise ValueError(f"{name} must have shape ({n},), got {np.asarray(arr).shape}")
+    unit_y = np.linspace(0.0, 1.0, h, dtype=np.float64)
+    unit_x = np.linspace(0.0, 1.0, w, dtype=np.float64)
+    ys = tops[:, None, None] + unit_y[None, :, None] * (heights[:, None, None] - 1.0)
+    xs = lefts[:, None, None] + unit_x[None, None, :] * (widths[:, None, None] - 1.0)
+    ys = np.broadcast_to(ys, (n, h, w))
+    xs = np.broadcast_to(xs, (n, h, w))
+    return grid_sample_bilinear(images, ys, xs)

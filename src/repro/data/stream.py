@@ -1,0 +1,144 @@
+"""Non-iid streaming input with controllable temporal correlation.
+
+The paper models on-device input as a temporally correlated stream: a
+camera sees many consecutive frames of the same class before the class
+switches.  Correlation strength is measured by STC ("Strength of
+Temporal Correlation"): the number of consecutive same-class samples
+until a class change (paper §IV-A, following Hayes et al.).
+
+:class:`TemporalStream` produces exactly that process from a generative
+dataset; ``stc=1`` degenerates to an iid stream.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, Optional
+
+import numpy as np
+
+from repro.data.synthetic import SyntheticImageDataset
+
+__all__ = ["StreamSegment", "TemporalStream", "measure_stc"]
+
+
+@dataclass
+class StreamSegment:
+    """A contiguous chunk of the input stream.
+
+    ``labels`` travel with the segment for *evaluation only*; the
+    framework never exposes them to selection policies (the paper's
+    setting is fully unlabeled stage-1 learning).
+    """
+
+    images: np.ndarray  # (B, C, H, W) float32
+    labels: np.ndarray  # (B,) int64
+    start_index: int  # index of the first sample within the stream
+
+    def __len__(self) -> int:
+        return self.images.shape[0]
+
+    @property
+    def end_index(self) -> int:
+        return self.start_index + len(self)
+
+
+class TemporalStream:
+    """Generate a class-correlated sample stream from a dataset.
+
+    Parameters
+    ----------
+    dataset:
+        Generative dataset supplying ``sample(class_ids, rng)``.
+    stc:
+        Run length: each chosen class is emitted for exactly ``stc``
+        consecutive samples before the class switches (paper's STC).
+    rng:
+        Generator driving both the class sequence and sample noise.
+    forbid_repeat:
+        If True (default), the next run's class always differs from the
+        previous run's class, making STC exact rather than in
+        expectation.
+    """
+
+    def __init__(
+        self,
+        dataset: SyntheticImageDataset,
+        stc: int,
+        rng: np.random.Generator,
+        forbid_repeat: bool = True,
+    ) -> None:
+        if stc < 1:
+            raise ValueError(f"stc must be >= 1, got {stc}")
+        self.dataset = dataset
+        self.stc = int(stc)
+        self.rng = rng
+        self.forbid_repeat = forbid_repeat and dataset.num_classes > 1
+        self._position = 0
+        self._current_class: Optional[int] = None
+        self._remaining_in_run = 0
+
+    # ------------------------------------------------------------------
+    def _next_class(self) -> int:
+        k = self.dataset.num_classes
+        if not self.forbid_repeat or self._current_class is None:
+            return int(self.rng.integers(0, k))
+        # uniform over the other k-1 classes
+        draw = int(self.rng.integers(0, k - 1))
+        return draw if draw < self._current_class else draw + 1
+
+    def next_labels(self, count: int) -> np.ndarray:
+        """The next ``count`` class ids of the correlated process."""
+        if count < 1:
+            raise ValueError(f"count must be >= 1, got {count}")
+        out = np.empty(count, dtype=np.int64)
+        filled = 0
+        while filled < count:
+            if self._remaining_in_run == 0:
+                self._current_class = self._next_class()
+                self._remaining_in_run = self.stc
+            take = min(self._remaining_in_run, count - filled)
+            out[filled : filled + take] = self._current_class
+            filled += take
+            self._remaining_in_run -= take
+        return out
+
+    def next_segment(self, segment_size: int) -> StreamSegment:
+        """Produce the next ``segment_size`` samples of the stream."""
+        labels = self.next_labels(segment_size)
+        images = self.dataset.sample(labels, self.rng)
+        segment = StreamSegment(images, labels, self._position)
+        self._position += segment_size
+        return segment
+
+    def segments(
+        self, segment_size: int, total_samples: int
+    ) -> Iterator[StreamSegment]:
+        """Iterate segments until ``total_samples`` inputs have streamed.
+
+        The final segment is truncated if ``total_samples`` is not a
+        multiple of ``segment_size``.
+        """
+        if segment_size < 1:
+            raise ValueError(f"segment_size must be >= 1, got {segment_size}")
+        if total_samples < 1:
+            raise ValueError(f"total_samples must be >= 1, got {total_samples}")
+        produced = 0
+        while produced < total_samples:
+            take = min(segment_size, total_samples - produced)
+            yield self.next_segment(take)
+            produced += take
+
+    @property
+    def position(self) -> int:
+        """Number of samples emitted so far."""
+        return self._position
+
+
+def measure_stc(labels: np.ndarray) -> float:
+    """Empirical STC of a label sequence: mean same-class run length."""
+    labels = np.asarray(labels)
+    if labels.ndim != 1 or labels.size == 0:
+        raise ValueError("labels must be a non-empty 1-D sequence")
+    changes = int((labels[1:] != labels[:-1]).sum())
+    return labels.size / (changes + 1)

@@ -1,0 +1,27 @@
+"""On-device cost modeling: FLOP counting for the nn substrate and the
+storage/energy/compute model behind the paper's §I motivation and the
+analytic companion to Table I.
+"""
+
+from repro.device.cost_model import (
+    JETSON_CLASS,
+    MCU_CLASS,
+    ComputeCostReport,
+    DeviceProfile,
+    StorageCostReport,
+    iteration_compute_cost,
+    storage_cost,
+)
+from repro.device.flops import count_forward_flops, training_step_flops
+
+__all__ = [
+    "DeviceProfile",
+    "JETSON_CLASS",
+    "MCU_CLASS",
+    "StorageCostReport",
+    "storage_cost",
+    "ComputeCostReport",
+    "iteration_compute_cost",
+    "count_forward_flops",
+    "training_step_flops",
+]

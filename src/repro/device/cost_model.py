@@ -1,0 +1,217 @@
+"""On-device storage / energy / compute cost model.
+
+The paper's motivation (§I) is quantitative: storing the whole input
+stream in Flash "can be prohibitive in practice", and contrast scoring
+adds compute that lazy scoring amortizes.  This module turns those
+claims into numbers for a configurable device profile:
+
+* **storage**: bytes written to Flash under (a) the store-everything
+  strategy conventional contrastive learning would need and (b) the
+  paper's buffer-only framework (RAM resident, nothing persisted);
+* **energy**: Flash write/read energy for (a) vs. (b);
+* **compute**: FLOPs per framework iteration for training, scoring, and
+  scoring-with-lazy-interval (the analytic Table I).
+
+Profiles for two representative platforms are included; all quantities
+are per-parameter so users can calibrate their own hardware.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+from repro.device.flops import count_forward_flops, training_step_flops
+from repro.nn.projection import ProjectionHead
+from repro.nn.resnet import ResNetEncoder
+
+__all__ = [
+    "DeviceProfile",
+    "JETSON_CLASS",
+    "MCU_CLASS",
+    "StorageCostReport",
+    "storage_cost",
+    "ComputeCostReport",
+    "iteration_compute_cost",
+]
+
+
+@dataclass(frozen=True)
+class DeviceProfile:
+    """Energy/bandwidth parameters of an edge platform.
+
+    Values are order-of-magnitude representative (see docstring of the
+    module); the *ratios* between strategies are the reproduction
+    target, not absolute joules.
+    """
+
+    name: str
+    flash_write_nj_per_byte: float  # energy to program Flash
+    flash_read_nj_per_byte: float
+    flash_capacity_bytes: float
+    compute_pj_per_flop: float  # marginal energy of arithmetic
+    ram_bytes: float
+
+    def __post_init__(self) -> None:
+        for field_name in (
+            "flash_write_nj_per_byte",
+            "flash_read_nj_per_byte",
+            "flash_capacity_bytes",
+            "compute_pj_per_flop",
+            "ram_bytes",
+        ):
+            if getattr(self, field_name) <= 0:
+                raise ValueError(f"{field_name} must be positive")
+
+
+#: Embedded-GPU class device (Jetson-like): ample Flash, efficient compute.
+JETSON_CLASS = DeviceProfile(
+    name="jetson-class",
+    flash_write_nj_per_byte=30.0,
+    flash_read_nj_per_byte=5.0,
+    flash_capacity_bytes=16e9,
+    compute_pj_per_flop=10.0,
+    ram_bytes=4e9,
+)
+
+#: Microcontroller class device: tiny Flash, expensive writes.
+MCU_CLASS = DeviceProfile(
+    name="mcu-class",
+    flash_write_nj_per_byte=100.0,
+    flash_read_nj_per_byte=15.0,
+    flash_capacity_bytes=8e6,
+    compute_pj_per_flop=50.0,
+    ram_bytes=512e3,
+)
+
+
+@dataclass
+class StorageCostReport:
+    """Store-everything vs. buffer-only storage/energy comparison."""
+
+    stream_samples: int
+    bytes_per_sample: int
+    store_all_bytes: float
+    buffer_bytes: float
+    store_all_energy_mj: float
+    buffer_energy_mj: float
+    exceeds_flash: bool
+
+    @property
+    def storage_ratio(self) -> float:
+        """How many times more storage the store-all strategy needs."""
+        return self.store_all_bytes / self.buffer_bytes
+
+
+def storage_cost(
+    profile: DeviceProfile,
+    stream_samples: int,
+    image_shape: tuple,
+    buffer_size: int,
+    epochs_over_store: int = 1,
+) -> StorageCostReport:
+    """Quantify the paper's §I storage argument for a given stream.
+
+    Store-everything writes every sample once and reads it back
+    ``epochs_over_store`` times (conventional training does many
+    epochs); the buffer framework keeps ``buffer_size`` samples in RAM
+    and persists nothing.
+    """
+    if stream_samples < 1 or buffer_size < 1:
+        raise ValueError("stream_samples and buffer_size must be positive")
+    if epochs_over_store < 1:
+        raise ValueError("epochs_over_store must be >= 1")
+    channels, height, width = image_shape
+    bytes_per_sample = int(channels * height * width * 4)  # float32
+
+    store_all_bytes = float(stream_samples) * bytes_per_sample
+    store_energy_nj = store_all_bytes * profile.flash_write_nj_per_byte
+    store_energy_nj += (
+        store_all_bytes * epochs_over_store * profile.flash_read_nj_per_byte
+    )
+
+    buffer_bytes = float(buffer_size) * bytes_per_sample
+    # buffer lives in RAM; Flash traffic is zero under the framework.
+    buffer_energy_nj = 0.0
+
+    return StorageCostReport(
+        stream_samples=stream_samples,
+        bytes_per_sample=bytes_per_sample,
+        store_all_bytes=store_all_bytes,
+        buffer_bytes=buffer_bytes,
+        store_all_energy_mj=store_energy_nj * 1e-6,
+        buffer_energy_mj=buffer_energy_nj * 1e-6,
+        exceeds_flash=store_all_bytes > profile.flash_capacity_bytes,
+    )
+
+
+@dataclass
+class ComputeCostReport:
+    """Per-iteration FLOPs/energy breakdown of the framework."""
+
+    train_flops: float
+    scoring_flops: float
+    scoring_flops_lazy: float
+    lazy_interval: Optional[int]
+    energy_train_mj: float
+    energy_scoring_mj: float
+    energy_scoring_lazy_mj: float
+
+    @property
+    def relative_batch_flops(self) -> float:
+        """Analytic analogue of Table I's relative batch time (eager)."""
+        return (self.train_flops + self.scoring_flops) / self.train_flops
+
+    @property
+    def relative_batch_flops_lazy(self) -> float:
+        """Analytic relative batch cost with lazy scoring enabled."""
+        return (self.train_flops + self.scoring_flops_lazy) / self.train_flops
+
+
+def iteration_compute_cost(
+    profile: DeviceProfile,
+    encoder: ResNetEncoder,
+    projector: ProjectionHead,
+    image_size: int,
+    buffer_size: int,
+    segment_size: Optional[int] = None,
+    lazy_interval: Optional[int] = None,
+) -> ComputeCostReport:
+    """FLOPs and energy of one framework iteration.
+
+    Scoring cost: each scored sample takes 2 inference forwards (the
+    sample and its flip view).  Eager scoring scores the whole pool
+    (buffer + segment); lazy scoring scores the segment plus ~1/T of
+    the buffer (the Eq. 7 steady state).
+    """
+    segment_size = buffer_size if segment_size is None else segment_size
+    if buffer_size < 1 or segment_size < 1:
+        raise ValueError("buffer_size and segment_size must be positive")
+    if lazy_interval is not None and lazy_interval < 1:
+        raise ValueError("lazy_interval must be >= 1 or None")
+
+    forward_one = count_forward_flops(
+        encoder, image_size, 1
+    ) + count_forward_flops(projector, image_size, 1)
+
+    train_flops = training_step_flops(encoder, projector, image_size, buffer_size)
+
+    eager_scored = buffer_size + segment_size
+    scoring_flops = 2.0 * forward_one * eager_scored
+
+    if lazy_interval is None or lazy_interval <= 1:
+        lazy_scored = float(eager_scored)
+    else:
+        lazy_scored = segment_size + buffer_size / lazy_interval
+    scoring_flops_lazy = 2.0 * forward_one * lazy_scored
+
+    to_mj = profile.compute_pj_per_flop * 1e-9
+    return ComputeCostReport(
+        train_flops=train_flops,
+        scoring_flops=scoring_flops,
+        scoring_flops_lazy=scoring_flops_lazy,
+        lazy_interval=lazy_interval,
+        energy_train_mj=train_flops * to_mj,
+        energy_scoring_mj=scoring_flops * to_mj,
+        energy_scoring_lazy_mj=scoring_flops_lazy * to_mj,
+    )

@@ -1,0 +1,119 @@
+"""Experiment configuration.
+
+One dataclass describes a full two-stage run (stream learning + probe
+evaluation); the benchmark harnesses derive per-figure/table variants
+from :func:`default_config` and scale them with the ``REPRO_BENCH_SCALE``
+environment knob (see DESIGN.md §5).
+
+All paper hyper-parameters that survive the CPU scaling are kept:
+Adam + weight decay 1e-4, NT-Xent τ=0.5 for CIFAR-family / 0.07-style
+low temperatures exposed as a knob, lr ∝ sqrt(buffer) for the buffer
+sweep, STC-controlled streams, and the 1% / 10% / 100% label protocol.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass, field, replace
+from typing import Optional, Tuple
+
+__all__ = [
+    "StreamExperimentConfig",
+    "default_config",
+    "bench_scale",
+    "bench_seed",
+    "scaled_config",
+]
+
+
+@dataclass(frozen=True)
+class StreamExperimentConfig:
+    """Everything needed to reproduce one stream-learning run."""
+
+    # data
+    dataset: str = "cifar10"
+    image_size: Optional[int] = None  # None = registry default
+    stc: int = 64
+    total_samples: int = 8192
+    # buffer / stage-1 training
+    buffer_size: int = 32
+    temperature: float = 0.5
+    lr: float = 1e-3
+    weight_decay: float = 1e-4
+    # model
+    encoder_widths: Tuple[int, ...] = (12, 24, 48)
+    encoder_blocks: int = 1
+    projection_dim: int = 32
+    # augmentation (strong, stage-1)
+    augment_min_crop: float = 0.6
+    augment_jitter: float = 0.2
+    augment_grayscale_p: float = 0.2
+    # stage-2 probe
+    probe_train_per_class: int = 40
+    probe_test_per_class: int = 20
+    probe_epochs: int = 40
+    probe_lr: float = 3e-3
+    # reproducibility
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.buffer_size < 2:
+            raise ValueError(f"buffer_size must be >= 2, got {self.buffer_size}")
+        if self.total_samples < self.buffer_size:
+            raise ValueError(
+                f"total_samples ({self.total_samples}) smaller than one "
+                f"segment ({self.buffer_size})"
+            )
+        if self.stc < 1:
+            raise ValueError(f"stc must be >= 1, got {self.stc}")
+
+    @property
+    def iterations(self) -> int:
+        """Number of replacement/training iterations the stream yields."""
+        return -(-self.total_samples // self.buffer_size)  # ceil division
+
+    def with_(self, **changes) -> "StreamExperimentConfig":
+        """A modified copy (dataclasses.replace convenience)."""
+        return replace(self, **changes)
+
+
+def default_config(dataset: str = "cifar10", seed: int = 0) -> StreamExperimentConfig:
+    """The calibrated default operating point (see DESIGN.md)."""
+    return StreamExperimentConfig(dataset=dataset, seed=seed)
+
+
+def bench_scale() -> float:
+    """Global benchmark scale factor from ``REPRO_BENCH_SCALE`` (>= 0.1)."""
+    raw = os.environ.get("REPRO_BENCH_SCALE", "1.0")
+    try:
+        value = float(raw)
+    except ValueError as exc:
+        raise ValueError(f"REPRO_BENCH_SCALE must be a float, got {raw!r}") from exc
+    if value < 0.1:
+        raise ValueError(f"REPRO_BENCH_SCALE must be >= 0.1, got {value}")
+    return value
+
+
+def bench_seed() -> int:
+    """Benchmark seed from ``REPRO_BENCH_SEED`` (default 0)."""
+    raw = os.environ.get("REPRO_BENCH_SEED", "0")
+    try:
+        return int(raw)
+    except ValueError as exc:
+        raise ValueError(f"REPRO_BENCH_SEED must be an int, got {raw!r}") from exc
+
+
+def scaled_config(
+    config: StreamExperimentConfig, scale: Optional[float] = None
+) -> StreamExperimentConfig:
+    """Stretch the stream length (and probe budget, mildly) by ``scale``.
+
+    ``scale=1`` is the CPU-minutes default; larger values approach the
+    paper's regime (longer streams = more replacement iterations).
+    """
+    scale = bench_scale() if scale is None else scale
+    if scale == 1.0:
+        return config
+    total = max(config.buffer_size, int(round(config.total_samples * scale)))
+    probe_epochs = max(10, int(round(config.probe_epochs * min(scale, 2.0))))
+    return config.with_(total_samples=total, probe_epochs=probe_epochs)

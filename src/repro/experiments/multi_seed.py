@@ -1,0 +1,100 @@
+"""Multi-seed experiment aggregation.
+
+The paper reports results "averaged over three runs ... with different
+random seeds"; this module runs any policy/config across seeds and
+aggregates final accuracies (mean ± std) plus the per-seed win rate of
+contrast scoring over a baseline.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from repro.experiments.config import StreamExperimentConfig, default_config
+from repro.experiments.runner import StreamRunResult, run_stream_experiment
+from repro.utils.tables import format_table
+
+__all__ = ["SeedAggregate", "MultiSeedResult", "run_multi_seed", "format_multi_seed"]
+
+
+@dataclass
+class SeedAggregate:
+    """Final-accuracy statistics of one policy across seeds."""
+
+    policy: str
+    accuracies: List[float] = field(default_factory=list)
+
+    @property
+    def mean(self) -> float:
+        return float(np.mean(self.accuracies))
+
+    @property
+    def std(self) -> float:
+        return float(np.std(self.accuracies))
+
+    @property
+    def count(self) -> int:
+        return len(self.accuracies)
+
+
+@dataclass
+class MultiSeedResult:
+    """Aggregates for every policy plus the underlying runs."""
+
+    config: StreamExperimentConfig
+    seeds: Sequence[int]
+    aggregates: Dict[str, SeedAggregate] = field(default_factory=dict)
+    runs: Dict[str, List[StreamRunResult]] = field(default_factory=dict)
+
+    def win_rate(self, policy: str, baseline: str) -> float:
+        """Fraction of seeds where ``policy`` beats ``baseline``."""
+        wins = 0
+        pairs = zip(
+            self.aggregates[policy].accuracies,
+            self.aggregates[baseline].accuracies,
+        )
+        total = 0
+        for a, b in pairs:
+            wins += int(a > b)
+            total += 1
+        if total == 0:
+            raise ValueError("no paired runs to compare")
+        return wins / total
+
+
+def run_multi_seed(
+    config: Optional[StreamExperimentConfig] = None,
+    policies: Sequence[str] = ("contrast-scoring", "random-replace", "fifo"),
+    seeds: Sequence[int] = (0, 1, 2),
+    eval_points: int = 1,
+) -> MultiSeedResult:
+    """Run every (policy, seed) pair and aggregate final accuracies."""
+    base = config if config is not None else default_config()
+    if not seeds:
+        raise ValueError("need at least one seed")
+    result = MultiSeedResult(config=base, seeds=tuple(seeds))
+    for policy in policies:
+        aggregate = SeedAggregate(policy=policy)
+        runs: List[StreamRunResult] = []
+        for seed in seeds:
+            run = run_stream_experiment(
+                base.with_(seed=seed), policy, eval_points=eval_points
+            )
+            aggregate.accuracies.append(run.final_accuracy)
+            runs.append(run)
+        result.aggregates[policy] = aggregate
+        result.runs[policy] = runs
+    return result
+
+
+def format_multi_seed(result: MultiSeedResult) -> str:
+    """Render mean ± std per policy (the paper's reporting style)."""
+    header = ["method", "accuracy (mean ± std)", "per-seed"]
+    rows = []
+    for policy, agg in result.aggregates.items():
+        per_seed = ", ".join(f"{a:.3f}" for a in agg.accuracies)
+        rows.append([policy, f"{agg.mean:.3f} ± {agg.std:.3f}", per_seed])
+    return format_table(header, rows)

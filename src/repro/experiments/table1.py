@@ -1,0 +1,86 @@
+"""Table I harness: the impacts of lazy scoring.
+
+Sweeps the lazy-scoring interval T over the paper's grid
+{disabled, 4, 20, 50, 100, 200} on the cifar10-like stream and reports,
+per interval: final probe accuracy, average re-scoring percentage of
+buffer data per iteration, and relative batch time (scoring + training
+over training alone).
+
+Paper reference row shapes: re-scoring % falls like ~1/T (100 → 21.78 →
+4.31 → 1.71 → 0.89 → 0.44), relative batch time falls from 1.478 toward
+1.17, and accuracy is flat-to-slightly-up for moderate T with a drop at
+T=200.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from repro.experiments.config import StreamExperimentConfig, default_config
+from repro.experiments.runner import StreamRunResult, run_stream_experiment
+from repro.utils.tables import format_table
+
+__all__ = ["LAZY_INTERVALS", "Table1Result", "run_table1", "format_table1"]
+
+#: The paper's interval grid; None = lazy scoring disabled.
+LAZY_INTERVALS = (None, 4, 20, 50, 100, 200)
+
+
+@dataclass
+class Table1Result:
+    """Per-interval outcomes of the lazy-scoring sweep."""
+
+    config: StreamExperimentConfig
+    runs: Dict[Optional[int], StreamRunResult] = field(default_factory=dict)
+
+    def accuracy_delta(self, interval: Optional[int]) -> float:
+        """Accuracy change relative to the disabled row (paper's (+x.xx))."""
+        return (
+            self.runs[interval].final_accuracy - self.runs[None].final_accuracy
+        )
+
+
+def run_table1(
+    config: Optional[StreamExperimentConfig] = None,
+    intervals: Sequence[Optional[int]] = LAZY_INTERVALS,
+) -> Table1Result:
+    """Run the full Table I sweep (contrast scoring at each interval)."""
+    config = config if config is not None else default_config()
+    result = Table1Result(config=config)
+    for interval in intervals:
+        result.runs[interval] = run_stream_experiment(
+            config,
+            "contrast-scoring",
+            eval_points=1,
+            label_fraction=1.0,
+            lazy_interval=interval,
+        )
+    return result
+
+
+def format_table1(result: Table1Result) -> str:
+    """Render the Table I rows."""
+    header = [
+        "lazy interval",
+        "accuracy",
+        "acc delta",
+        "re-scoring pct",
+        "relative batch time",
+    ]
+    rows: List[List[str]] = []
+    for interval, run in result.runs.items():
+        label = "disabled" if interval is None else str(interval)
+        rescoring = (
+            "n/a" if run.rescoring_fraction is None else f"{run.rescoring_fraction:.2%}"
+        )
+        rows.append(
+            [
+                label,
+                f"{run.final_accuracy:.3f}",
+                f"{result.accuracy_delta(interval):+.3f}",
+                rescoring,
+                f"{run.relative_batch_time:.3f}",
+            ]
+        )
+    return format_table(header, rows)

@@ -1,0 +1,92 @@
+"""Learning-curve containers and the paper's speedup statistic.
+
+The paper's Figs. 4-6 plot probe accuracy against the number of seen
+stream inputs, and report statements like "2.67× faster than random
+replacement at the same accuracy".  :func:`speedup_at_accuracy`
+computes exactly that: the ratio of seen-input counts at which two
+curves first reach a target accuracy.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+__all__ = ["LearningCurve", "speedup_at_accuracy"]
+
+
+@dataclass
+class LearningCurve:
+    """Accuracy as a function of seen stream inputs for one method."""
+
+    method: str
+    seen_inputs: List[int] = field(default_factory=list)
+    accuracies: List[float] = field(default_factory=list)
+
+    def add(self, seen: int, accuracy: float) -> None:
+        """Append a checkpoint; ``seen`` must be non-decreasing."""
+        if self.seen_inputs and seen < self.seen_inputs[-1]:
+            raise ValueError(
+                f"seen_inputs must be non-decreasing: {seen} after "
+                f"{self.seen_inputs[-1]}"
+            )
+        self.seen_inputs.append(int(seen))
+        self.accuracies.append(float(accuracy))
+
+    def __len__(self) -> int:
+        return len(self.seen_inputs)
+
+    @property
+    def final_accuracy(self) -> float:
+        """Accuracy at the last checkpoint."""
+        if not self.accuracies:
+            raise ValueError("curve is empty")
+        return self.accuracies[-1]
+
+    @property
+    def best_accuracy(self) -> float:
+        if not self.accuracies:
+            raise ValueError("curve is empty")
+        return max(self.accuracies)
+
+    def inputs_to_reach(self, target_accuracy: float) -> Optional[int]:
+        """Seen-input count at which the curve first reaches the target.
+
+        Linear interpolation between checkpoints; None if never reached.
+        """
+        if not self.accuracies:
+            raise ValueError("curve is empty")
+        xs = np.asarray(self.seen_inputs, dtype=np.float64)
+        ys = np.asarray(self.accuracies, dtype=np.float64)
+        if ys[0] >= target_accuracy:
+            return int(xs[0])
+        for i in range(1, len(ys)):
+            if ys[i] >= target_accuracy:
+                x0, x1 = xs[i - 1], xs[i]
+                y0, y1 = ys[i - 1], ys[i]
+                if y1 == y0:
+                    return int(x1)
+                frac = (target_accuracy - y0) / (y1 - y0)
+                return int(round(x0 + frac * (x1 - x0)))
+        return None
+
+    def as_rows(self) -> List[Tuple[int, float]]:
+        """(seen_inputs, accuracy) pairs for table output."""
+        return list(zip(self.seen_inputs, self.accuracies))
+
+
+def speedup_at_accuracy(
+    fast: LearningCurve, slow: LearningCurve, target_accuracy: float
+) -> Optional[float]:
+    """How many times fewer inputs ``fast`` needs than ``slow``.
+
+    Returns None if either curve never reaches the target (the paper
+    reports this case as "baseline cannot achieve this accuracy").
+    """
+    fast_inputs = fast.inputs_to_reach(target_accuracy)
+    slow_inputs = slow.inputs_to_reach(target_accuracy)
+    if fast_inputs is None or slow_inputs is None or fast_inputs <= 0:
+        return None
+    return slow_inputs / fast_inputs

@@ -1,0 +1,58 @@
+"""Timing aggregation for the lazy-scoring overhead study (Table I).
+
+The paper reports "relative batch time": the per-iteration wall time of
+scoring + training, normalized by the training-only time of a policy
+that does no scoring.  :class:`BatchTimeAccumulator` collects the two
+components; :func:`relative_batch_time` forms the ratio.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List
+
+import numpy as np
+
+__all__ = ["BatchTimeAccumulator", "relative_batch_time"]
+
+
+@dataclass
+class BatchTimeAccumulator:
+    """Accumulate per-iteration selection and training times."""
+
+    select_seconds: List[float] = field(default_factory=list)
+    train_seconds: List[float] = field(default_factory=list)
+
+    def record(self, select_s: float, train_s: float) -> None:
+        if select_s < 0 or train_s < 0:
+            raise ValueError("times must be non-negative")
+        self.select_seconds.append(select_s)
+        self.train_seconds.append(train_s)
+
+    @property
+    def steps(self) -> int:
+        return len(self.train_seconds)
+
+    def mean_select(self) -> float:
+        return float(np.mean(self.select_seconds)) if self.select_seconds else 0.0
+
+    def mean_train(self) -> float:
+        return float(np.mean(self.train_seconds)) if self.train_seconds else 0.0
+
+    def mean_total(self) -> float:
+        return self.mean_select() + self.mean_train()
+
+
+def relative_batch_time(
+    with_scoring: BatchTimeAccumulator, baseline_train_seconds: float
+) -> float:
+    """Per-iteration time relative to a no-scoring baseline.
+
+    ``baseline_train_seconds`` is the mean per-iteration time of a
+    policy with zero selection overhead (e.g. random replacement);
+    values > 1 quantify the scoring overhead the paper's Table I rows
+    report (1.478 without lazy scoring, down to ~1.17 with T=200).
+    """
+    if baseline_train_seconds <= 0:
+        raise ValueError("baseline time must be positive")
+    return with_scoring.mean_total() / baseline_train_seconds

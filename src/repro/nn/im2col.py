@@ -1,0 +1,96 @@
+"""im2col / col2im transforms used by convolution and pooling.
+
+``im2col`` unfolds sliding windows of an NCHW batch into a matrix so
+convolution becomes a single GEMM; ``col2im`` folds gradients back,
+accumulating where windows overlap.  Both are pure numpy functions with
+no autograd involvement — :mod:`repro.nn.functional` wires them into the
+graph.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+__all__ = ["conv_output_size", "im2col", "col2im"]
+
+
+def conv_output_size(size: int, kernel: int, stride: int, padding: int) -> int:
+    """Spatial output size of a convolution along one dimension."""
+    out = (size + 2 * padding - kernel) // stride + 1
+    if out <= 0:
+        raise ValueError(
+            f"convolution output size is {out} for input={size}, "
+            f"kernel={kernel}, stride={stride}, padding={padding}"
+        )
+    return out
+
+
+def im2col(
+    x: np.ndarray, kernel: Tuple[int, int], stride: int, padding: int
+) -> np.ndarray:
+    """Unfold ``x`` (N, C, H, W) into (N, out_h, out_w, C*kh*kw).
+
+    The last axis is ordered (C, kh, kw) — the same layout a weight
+    tensor ``(F, C, kh, kw)`` flattens to, so the convolution GEMM is
+    ``cols @ w.reshape(F, -1).T``.
+    """
+    if x.ndim != 4:
+        raise ValueError(f"expected NCHW input, got shape {x.shape}")
+    kh, kw = kernel
+    n, c, h, w = x.shape
+    out_h = conv_output_size(h, kh, stride, padding)
+    out_w = conv_output_size(w, kw, stride, padding)
+    if padding > 0:
+        x = np.pad(
+            x,
+            ((0, 0), (0, 0), (padding, padding), (padding, padding)),
+            mode="constant",
+        )
+    sn, sc, sh, sw = x.strides
+    windows = np.lib.stride_tricks.as_strided(
+        x,
+        shape=(n, c, out_h, out_w, kh, kw),
+        strides=(sn, sc, sh * stride, sw * stride, sh, sw),
+        writeable=False,
+    )
+    # (N, out_h, out_w, C, kh, kw) -> (N, out_h, out_w, C*kh*kw)
+    cols = np.ascontiguousarray(windows.transpose(0, 2, 3, 1, 4, 5))
+    return cols.reshape(n, out_h, out_w, c * kh * kw)
+
+
+def col2im(
+    cols: np.ndarray,
+    input_shape: Tuple[int, int, int, int],
+    kernel: Tuple[int, int],
+    stride: int,
+    padding: int,
+) -> np.ndarray:
+    """Fold (N, out_h, out_w, C*kh*kw) columns back to (N, C, H, W).
+
+    Overlapping windows accumulate, which is exactly the gradient of
+    :func:`im2col`.
+    """
+    kh, kw = kernel
+    n, c, h, w = input_shape
+    out_h = conv_output_size(h, kh, stride, padding)
+    out_w = conv_output_size(w, kw, stride, padding)
+    if cols.shape != (n, out_h, out_w, c * kh * kw):
+        raise ValueError(
+            f"cols shape {cols.shape} does not match expected "
+            f"{(n, out_h, out_w, c * kh * kw)}"
+        )
+    padded = np.zeros((n, c, h + 2 * padding, w + 2 * padding), dtype=cols.dtype)
+    cols6 = cols.reshape(n, out_h, out_w, c, kh, kw)
+    # Accumulate each kernel offset with one strided slice assignment.
+    for i in range(kh):
+        i_end = i + stride * out_h
+        for j in range(kw):
+            j_end = j + stride * out_w
+            padded[:, :, i:i_end:stride, j:j_end:stride] += cols6[
+                :, :, :, :, i, j
+            ].transpose(0, 3, 1, 2)
+    if padding > 0:
+        return padded[:, :, padding:-padding, padding:-padding]
+    return padded

@@ -1,0 +1,52 @@
+"""Projection head ``g(·)`` mapping representations to the contrast space.
+
+SimCLR-style 2-layer MLP.  The paper applies the contrastive loss (and
+the contrast score, Eq. 2-3) to ``z = g(h) / ||g(h)||``; the classifier
+of stage 2 sits on ``h`` directly.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.nn import functional as F
+from repro.nn.layers import Linear, Module
+from repro.nn.tensor import Tensor
+
+__all__ = ["ProjectionHead"]
+
+
+class ProjectionHead(Module):
+    """Two-layer MLP with ReLU, followed by l2 normalization.
+
+    Parameters
+    ----------
+    in_dim: encoder representation dimension.
+    hidden_dim: hidden width (defaults to ``in_dim``).
+    out_dim: dimension of the projected space where similarity is taken.
+    normalize: if True (default), outputs are l2-normalized per Eq. 3.
+    """
+
+    def __init__(
+        self,
+        in_dim: int,
+        hidden_dim: Optional[int] = None,
+        out_dim: int = 32,
+        normalize: bool = True,
+        rng: Optional[np.random.Generator] = None,
+    ) -> None:
+        super().__init__()
+        rng = rng if rng is not None else np.random.default_rng(0)
+        hidden_dim = hidden_dim if hidden_dim is not None else in_dim
+        self.fc1 = Linear(in_dim, hidden_dim, rng=rng)
+        self.fc2 = Linear(hidden_dim, out_dim, rng=rng)
+        self.normalize = normalize
+        self.out_dim = out_dim
+
+    def forward(self, h: Tensor) -> Tensor:
+        z = self.fc2(self.fc1(h).relu())
+        if self.normalize:
+            z = F.l2_normalize(z, axis=-1)
+        return z

@@ -1,0 +1,36 @@
+"""Checkpointing: save/load module state dicts as ``.npz`` archives."""
+
+from __future__ import annotations
+
+import os
+from typing import Dict
+
+import numpy as np
+
+from repro.nn.layers import Module
+
+__all__ = ["save_state", "load_state", "save_module", "load_module"]
+
+
+def save_state(state: Dict[str, np.ndarray], path: str) -> None:
+    """Write a state dict to ``path`` (npz)."""
+    directory = os.path.dirname(os.path.abspath(path))
+    os.makedirs(directory, exist_ok=True)
+    np.savez(path, **state)
+
+
+def load_state(path: str) -> Dict[str, np.ndarray]:
+    """Read a state dict written by :func:`save_state`."""
+    with np.load(path) as archive:
+        return {key: archive[key].copy() for key in archive.files}
+
+
+def save_module(module: Module, path: str) -> None:
+    """Save a module's parameters and buffers."""
+    save_state(module.state_dict(), path)
+
+
+def load_module(module: Module, path: str) -> Module:
+    """Load a checkpoint into ``module`` in place and return it."""
+    module.load_state_dict(load_state(path))
+    return module

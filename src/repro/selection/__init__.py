@@ -1,0 +1,20 @@
+"""Data-selection policies: the shared interface and the paper's four
+label-free baselines (the paper's own policy lives in
+:mod:`repro.core.replacement`).
+"""
+
+from repro.selection.base import ReplacementPolicy, SelectionResult
+from repro.selection.fifo import FIFOPolicy
+from repro.selection.kcenter import KCenterPolicy, greedy_k_center
+from repro.selection.random_replace import RandomReplacePolicy
+from repro.selection.selective_bp import SelectiveBPPolicy
+
+__all__ = [
+    "ReplacementPolicy",
+    "SelectionResult",
+    "RandomReplacePolicy",
+    "FIFOPolicy",
+    "SelectiveBPPolicy",
+    "KCenterPolicy",
+    "greedy_k_center",
+]

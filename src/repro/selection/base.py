@@ -1,0 +1,87 @@
+"""Replacement-policy interface shared by the paper's method and baselines.
+
+A policy sees the current :class:`~repro.core.buffer.DataBuffer` and the
+incoming unlabeled segment, and returns which entries of the pooled
+candidates ``[buffer ; incoming]`` form the next buffer.  Policies never
+see labels — the buffer stores none, and the framework applies the
+returned indices to its own label bookkeeping.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+import numpy as np
+
+from repro.core.buffer import DataBuffer
+
+__all__ = ["SelectionResult", "ReplacementPolicy"]
+
+
+@dataclass
+class SelectionResult:
+    """Outcome of one replacement decision.
+
+    Attributes
+    ----------
+    keep_indices:
+        Indices into the pool ``[buffer entries ; incoming segment]``
+        that form the next buffer (at most the buffer capacity).
+    pool_scores:
+        Per-pool-entry scores if the policy computed them (aligned with
+        the pool), else None.  Stored into the buffer so lazy scoring
+        can reuse them.
+    num_scored:
+        How many pool entries were pushed through the model this step
+        (drives the re-scoring statistics of Table I).
+    info:
+        Free-form diagnostics.
+    """
+
+    keep_indices: np.ndarray
+    pool_scores: Optional[np.ndarray] = None
+    num_scored: int = 0
+    info: Dict[str, float] = field(default_factory=dict)
+
+
+class ReplacementPolicy(ABC):
+    """Strategy deciding which data stays in the on-device buffer."""
+
+    #: Human-readable name used in benchmark tables.
+    name: str = "base"
+
+    @abstractmethod
+    def select(
+        self, buffer: DataBuffer, incoming: np.ndarray, iteration: int
+    ) -> SelectionResult:
+        """Choose the next buffer contents from ``[buffer ; incoming]``.
+
+        Parameters
+        ----------
+        buffer: current buffer (may be empty or not yet full).
+        incoming: ``(M, C, H, W)`` new unlabeled stream segment.
+        iteration: current replacement iteration (0-based).
+        """
+
+    def reset(self) -> None:
+        """Clear any internal state (default: stateless)."""
+
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _validate(buffer: DataBuffer, incoming: np.ndarray) -> int:
+        """Common input validation; returns the pool size."""
+        if incoming.ndim != 4:
+            raise ValueError(
+                f"incoming must be an NCHW batch, got shape {incoming.shape}"
+            )
+        if buffer.size and buffer.images.shape[1:] != incoming.shape[1:]:
+            raise ValueError(
+                f"incoming image shape {incoming.shape[1:]} does not match "
+                f"buffer {buffer.images.shape[1:]}"
+            )
+        return buffer.size + incoming.shape[0]
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}(name={self.name!r})"

@@ -1,0 +1,46 @@
+"""FIFO replacement baseline.
+
+Replaces the oldest buffered data with the newest stream data — the
+second label-free continual-learning baseline the paper compares
+against.  When the incoming segment is as large as the buffer (the
+paper's setting) the buffer simply becomes the latest segment.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.buffer import DataBuffer
+from repro.selection.base import ReplacementPolicy, SelectionResult
+
+__all__ = ["FIFOPolicy"]
+
+
+class FIFOPolicy(ReplacementPolicy):
+    """Keep the most recently inserted entries of the candidate pool."""
+
+    name = "fifo"
+
+    def __init__(self, capacity: int) -> None:
+        if capacity < 1:
+            raise ValueError(f"capacity must be >= 1, got {capacity}")
+        self.capacity = int(capacity)
+
+    def select(
+        self, buffer: DataBuffer, incoming: np.ndarray, iteration: int
+    ) -> SelectionResult:
+        pool_size = self._validate(buffer, incoming)
+        n_buf = buffer.size
+        n_new = incoming.shape[0]
+        keep_count = min(self.capacity, pool_size)
+
+        if n_new >= keep_count:
+            # The newest data alone fills the buffer: take its tail.
+            keep = np.arange(pool_size - keep_count, pool_size)
+        else:
+            # All new data plus the most recently inserted buffer entries.
+            slots_from_buffer = keep_count - n_new
+            order = np.argsort(buffer.inserted_at, kind="stable")
+            newest_buffer = order[n_buf - slots_from_buffer :]
+            keep = np.concatenate([newest_buffer, np.arange(n_buf, pool_size)])
+        return SelectionResult(keep_indices=np.sort(keep), num_scored=0)

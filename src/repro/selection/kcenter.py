@@ -1,0 +1,72 @@
+"""K-Center baseline (Sener & Savarese core-set active learning).
+
+Selects the N candidates that best *cover* the pool in encoder feature
+space, via the classic greedy 2-approximation for the k-center problem
+(farthest-first traversal): start from the point closest to the pool
+centroid, then repeatedly add the point farthest from the chosen
+centers.  The paper uses this as the representative-selection SOTA
+baseline; like Selective-BP, its objective is tuned to supervised
+training and does not track what benefits the contrastive loss.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.buffer import DataBuffer
+from repro.core.scoring import ContrastScorer
+from repro.selection.base import ReplacementPolicy, SelectionResult
+
+__all__ = ["KCenterPolicy", "greedy_k_center"]
+
+
+def greedy_k_center(features: np.ndarray, k: int) -> np.ndarray:
+    """Greedy farthest-first traversal: ``k`` center indices.
+
+    Deterministic: the first center is the point nearest the centroid
+    (robust, seed-free choice); each subsequent center maximizes the
+    distance to its nearest already-chosen center.
+    """
+    features = np.asarray(features, dtype=np.float64)
+    if features.ndim != 2:
+        raise ValueError(f"features must be (N, d), got {features.shape}")
+    n = features.shape[0]
+    if k < 1:
+        raise ValueError(f"k must be >= 1, got {k}")
+    k = min(k, n)
+
+    centroid = features.mean(axis=0)
+    first = int(np.linalg.norm(features - centroid, axis=1).argmin())
+    centers = [first]
+    min_dist = np.linalg.norm(features - features[first], axis=1)
+    for _ in range(k - 1):
+        nxt = int(min_dist.argmax())
+        centers.append(nxt)
+        dist = np.linalg.norm(features - features[nxt], axis=1)
+        min_dist = np.minimum(min_dist, dist)
+    return np.array(sorted(centers), dtype=np.int64)
+
+
+class KCenterPolicy(ReplacementPolicy):
+    """Keep a k-center cover of the candidate pool in feature space."""
+
+    name = "k-center"
+
+    def __init__(self, scorer: ContrastScorer, capacity: int) -> None:
+        if capacity < 1:
+            raise ValueError(f"capacity must be >= 1, got {capacity}")
+        self.scorer = scorer
+        self.capacity = int(capacity)
+
+    def select(
+        self, buffer: DataBuffer, incoming: np.ndarray, iteration: int
+    ) -> SelectionResult:
+        pool_size = self._validate(buffer, incoming)
+        pool = (
+            np.concatenate([buffer.images, incoming], axis=0)
+            if buffer.size
+            else incoming
+        )
+        features = self.scorer.features(pool)
+        keep = greedy_k_center(features, min(self.capacity, pool_size))
+        return SelectionResult(keep_indices=keep, num_scored=pool_size)

@@ -1,0 +1,37 @@
+"""Random replacement baseline (reservoir-sampling variant).
+
+The paper's strongest baseline: the next buffer is a uniform random
+subset of ``B_t ∪ I_t``.  Over a long stream this behaves like reservoir
+sampling [Vitter 1985] — every seen sample has equal probability of
+residing in the buffer — which is why it approximates iid mini-batches
+and performs surprisingly well in continual learning.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.buffer import DataBuffer
+from repro.selection.base import ReplacementPolicy, SelectionResult
+
+__all__ = ["RandomReplacePolicy"]
+
+
+class RandomReplacePolicy(ReplacementPolicy):
+    """Uniformly sample the next buffer from the candidate pool."""
+
+    name = "random-replace"
+
+    def __init__(self, capacity: int, rng: np.random.Generator) -> None:
+        if capacity < 1:
+            raise ValueError(f"capacity must be >= 1, got {capacity}")
+        self.capacity = int(capacity)
+        self.rng = rng
+
+    def select(
+        self, buffer: DataBuffer, incoming: np.ndarray, iteration: int
+    ) -> SelectionResult:
+        pool_size = self._validate(buffer, incoming)
+        keep_count = min(self.capacity, pool_size)
+        keep = self.rng.choice(pool_size, size=keep_count, replace=False)
+        return SelectionResult(keep_indices=np.sort(keep), num_scored=0)

@@ -1,0 +1,73 @@
+"""Selective-Backprop baseline (Jiang et al., "biggest losers").
+
+The original method keeps the training examples with the largest
+*supervised* loss.  The paper applies it as a buffer-replacement
+baseline in the unlabeled streaming setting, so the natural adaptation
+(documented in DESIGN.md) ranks the candidate pool by *per-sample
+contrastive loss*: each candidate is paired with its deterministic flip
+view, the NT-Xent loss of every pair is computed within the pooled
+candidate batch, and the top-N losers are kept.
+
+Note the contrast with the paper's contrast score: the per-sample loss
+additionally depends on the *negatives* — the other pool members — so a
+sample's rank varies with the company it keeps, one of the reasons the
+paper argues loss-based selection underperforms for contrastive
+learning.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.buffer import DataBuffer
+from repro.core.scoring import ContrastScorer
+from repro.nn.losses import NTXentLoss
+from repro.selection.base import ReplacementPolicy, SelectionResult
+
+__all__ = ["SelectiveBPPolicy"]
+
+
+class SelectiveBPPolicy(ReplacementPolicy):
+    """Keep the candidates with the largest per-sample contrastive loss."""
+
+    name = "selective-bp"
+
+    def __init__(
+        self, scorer: ContrastScorer, capacity: int, temperature: float = 0.5
+    ) -> None:
+        if capacity < 1:
+            raise ValueError(f"capacity must be >= 1, got {capacity}")
+        self.scorer = scorer
+        self.capacity = int(capacity)
+        self.loss = NTXentLoss(temperature)
+
+    def select(
+        self, buffer: DataBuffer, incoming: np.ndarray, iteration: int
+    ) -> SelectionResult:
+        pool_size = self._validate(buffer, incoming)
+        pool = (
+            np.concatenate([buffer.images, incoming], axis=0)
+            if buffer.size
+            else incoming
+        )
+        if pool_size < 2:
+            return SelectionResult(
+                keep_indices=np.arange(pool_size), num_scored=pool_size
+            )
+
+        from repro.data.augment import horizontal_flip
+        from repro.nn.tensor import Tensor
+
+        z = self.scorer.project(pool)
+        z_flip = self.scorer.project(horizontal_flip(pool))
+        losses = self.loss.per_sample(Tensor(z), Tensor(z_flip))
+
+        keep_count = min(self.capacity, pool_size)
+        order = np.argsort(-losses, kind="stable")
+        keep = np.sort(order[:keep_count])
+        return SelectionResult(
+            keep_indices=keep,
+            pool_scores=losses,
+            num_scored=pool_size,
+            info={"mean_pool_loss": float(losses.mean())},
+        )

@@ -1,0 +1,100 @@
+"""Supervised baseline: train encoder + classifier directly on the few
+labeled samples (no contrastive pre-training).
+
+The paper's §IV-B compares against this to motivate the framework: with
+1% labels, direct supervised training reaches 32.11% on CIFAR-10 versus
+60.47% for the proposed pipeline.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.metrics.accuracy import top1_accuracy
+from repro.nn.layers import Linear, Module
+from repro.nn.losses import cross_entropy
+from repro.nn.optim import Adam
+from repro.nn.tensor import Tensor, no_grad
+
+__all__ = ["SupervisedBaseline", "SupervisedResult"]
+
+
+@dataclass
+class SupervisedResult:
+    """Outcome of direct supervised training."""
+
+    accuracy: float
+    train_accuracy: float
+    num_labeled: int
+    epochs: int
+
+
+class SupervisedBaseline:
+    """End-to-end cross-entropy training of encoder + linear head."""
+
+    def __init__(
+        self,
+        encoder: Module,
+        num_classes: int,
+        rng: np.random.Generator,
+        lr: float = 1e-3,
+        weight_decay: float = 1e-4,
+        epochs: int = 30,
+        batch_size: int = 32,
+    ) -> None:
+        if num_classes < 2:
+            raise ValueError(f"need >= 2 classes, got {num_classes}")
+        feature_dim = getattr(encoder, "feature_dim", None)
+        if feature_dim is None:
+            raise ValueError("encoder must expose feature_dim")
+        self.encoder = encoder
+        self.head = Linear(feature_dim, num_classes, rng=rng)
+        self.rng = rng
+        self.epochs = epochs
+        self.batch_size = batch_size
+        self.optimizer = Adam(
+            [*encoder.parameters(), *self.head.parameters()],
+            lr=lr,
+            weight_decay=weight_decay,
+        )
+
+    # ------------------------------------------------------------------
+    def fit(self, images: np.ndarray, labels: np.ndarray) -> float:
+        """Train on the labeled set; returns final training accuracy."""
+        n = images.shape[0]
+        if n != labels.shape[0]:
+            raise ValueError(f"images/labels mismatch: {n} vs {labels.shape[0]}")
+        if n < 2:
+            raise ValueError("need at least 2 labeled samples")
+        batch = min(self.batch_size, n)
+        for _ in range(self.epochs):
+            order = self.rng.permutation(n)
+            for start in range(0, n, batch):
+                idx = order[start : start + batch]
+                if idx.size < 2:
+                    continue  # BatchNorm needs more than one sample
+                self.encoder.train()
+                logits = self.head(self.encoder(Tensor(images[idx])))
+                loss = cross_entropy(logits, labels[idx])
+                self.optimizer.zero_grad()
+                loss.backward()
+                self.optimizer.step()
+        return self.score(images, labels)
+
+    def predict(self, images: np.ndarray, max_batch: int = 512) -> np.ndarray:
+        """Predicted class ids (eval mode)."""
+        self.encoder.eval()
+        outputs = []
+        with no_grad():
+            for start in range(0, images.shape[0], max_batch):
+                chunk = Tensor(images[start : start + max_batch])
+                logits = self.head(self.encoder(chunk)).data
+                outputs.append(logits.argmax(axis=1))
+        self.encoder.train()
+        return np.concatenate(outputs)
+
+    def score(self, images: np.ndarray, labels: np.ndarray) -> float:
+        """Top-1 accuracy."""
+        return top1_accuracy(self.predict(images), labels)

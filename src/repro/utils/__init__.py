@@ -1,0 +1,14 @@
+"""Shared utilities: seeded RNG management, configs, logging, tables."""
+
+from repro.utils.rng import RngRegistry, new_rng, spawn_rngs
+from repro.utils.tables import format_table, format_markdown_table
+from repro.utils.logging import get_logger
+
+__all__ = [
+    "RngRegistry",
+    "new_rng",
+    "spawn_rngs",
+    "format_table",
+    "format_markdown_table",
+    "get_logger",
+]

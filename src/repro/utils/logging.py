@@ -1,0 +1,27 @@
+"""Minimal logging helpers.
+
+The library logs through the standard :mod:`logging` module under the
+``repro`` namespace; nothing configures the root logger, so applications
+keep full control of handlers and levels.
+"""
+
+from __future__ import annotations
+
+import logging
+
+__all__ = ["get_logger"]
+
+_BASE = "repro"
+
+
+def get_logger(name: str | None = None) -> logging.Logger:
+    """Return a logger under the ``repro`` namespace.
+
+    ``get_logger("train")`` returns the ``repro.train`` logger;
+    ``get_logger()`` returns the package root logger.
+    """
+    if name is None:
+        return logging.getLogger(_BASE)
+    if name.startswith(_BASE):
+        return logging.getLogger(name)
+    return logging.getLogger(f"{_BASE}.{name}")

@@ -1,0 +1,119 @@
+"""Tests for the on-device data buffer."""
+
+import numpy as np
+import pytest
+
+from repro.core.buffer import DataBuffer
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(55)
+
+
+def images(rng, n):
+    return rng.uniform(0, 1, size=(n, 1, 2, 2)).astype(np.float32)
+
+
+class TestConstruction:
+    def test_invalid_capacity(self):
+        with pytest.raises(ValueError):
+            DataBuffer(0)
+
+    def test_starts_empty(self):
+        buf = DataBuffer(4)
+        assert buf.size == 0
+        assert len(buf) == 0
+        assert not buf.is_full
+
+    def test_as_batch_empty_raises(self):
+        with pytest.raises(ValueError):
+            DataBuffer(4).as_batch()
+
+
+class TestReplace:
+    def test_initial_fill(self, rng):
+        buf = DataBuffer(3)
+        pool = images(rng, 3)
+        kept_old, new_uids = buf.replace(pool, np.arange(3), None, iteration=0)
+        assert buf.size == 3
+        assert buf.is_full
+        assert kept_old.size == 0
+        assert new_uids.tolist() == [0, 1, 2]
+        np.testing.assert_array_equal(buf.ages, [0, 0, 0])
+        np.testing.assert_array_equal(buf.inserted_at, [0, 0, 0])
+
+    def test_survivors_age_and_keep_uid(self, rng):
+        buf = DataBuffer(2)
+        buf.replace(images(rng, 2), np.arange(2), None, iteration=0)
+        pool = np.concatenate([buf.images, images(rng, 2)], axis=0)
+        # keep buffer entry 1 and new entry at pool index 2
+        buf.replace(pool, np.array([1, 2]), None, iteration=1)
+        assert buf.uids[0] == 1  # survivor kept uid
+        assert buf.ages[0] == 1  # survivor aged
+        assert buf.ages[1] == 0  # fresh entry
+        assert buf.inserted_at[1] == 1
+
+    def test_scores_stored_from_pool(self, rng):
+        buf = DataBuffer(2)
+        pool = images(rng, 4)
+        scores = np.array([0.1, 0.9, 0.5, 0.7])
+        buf.replace(pool, np.array([1, 3]), scores, iteration=0)
+        np.testing.assert_allclose(buf.scores, [0.9, 0.7])
+
+    def test_scores_nan_when_not_provided(self, rng):
+        buf = DataBuffer(2)
+        buf.replace(images(rng, 2), np.arange(2), None, iteration=0)
+        assert np.isnan(buf.scores).all()
+
+    def test_duplicate_indices_raise(self, rng):
+        buf = DataBuffer(3)
+        with pytest.raises(ValueError):
+            buf.replace(images(rng, 3), np.array([0, 0, 1]), None, 0)
+
+    def test_out_of_range_indices_raise(self, rng):
+        buf = DataBuffer(3)
+        with pytest.raises(ValueError):
+            buf.replace(images(rng, 2), np.array([0, 5]), None, 0)
+
+    def test_over_capacity_raises(self, rng):
+        buf = DataBuffer(2)
+        with pytest.raises(ValueError):
+            buf.replace(images(rng, 4), np.arange(3), None, 0)
+
+    def test_score_length_mismatch_raises(self, rng):
+        buf = DataBuffer(2)
+        with pytest.raises(ValueError):
+            buf.replace(images(rng, 2), np.arange(2), np.zeros(3), 0)
+
+    def test_images_are_copies(self, rng):
+        buf = DataBuffer(2)
+        pool = images(rng, 2)
+        buf.replace(pool, np.arange(2), None, 0)
+        pool[:] = 0.0
+        assert buf.images.any()
+
+    def test_uids_unique_over_time(self, rng):
+        buf = DataBuffer(2)
+        seen = set()
+        buf.replace(images(rng, 2), np.arange(2), None, 0)
+        seen.update(buf.uids.tolist())
+        for it in range(1, 6):
+            pool = np.concatenate([buf.images, images(rng, 2)], axis=0)
+            buf.replace(pool, np.array([2, 3]), None, it)  # all fresh
+            assert not seen.intersection(buf.uids.tolist())
+            seen.update(buf.uids.tolist())
+
+
+class TestSetScores:
+    def test_set_scores(self, rng):
+        buf = DataBuffer(3)
+        buf.replace(images(rng, 3), np.arange(3), np.zeros(3), 0)
+        buf.set_scores(np.array([1]), np.array([0.5]))
+        np.testing.assert_allclose(buf.scores, [0.0, 0.5, 0.0])
+
+    def test_set_scores_out_of_range(self, rng):
+        buf = DataBuffer(2)
+        buf.replace(images(rng, 2), np.arange(2), None, 0)
+        with pytest.raises(ValueError):
+            buf.set_scores(np.array([5]), np.array([0.5]))

@@ -1,0 +1,117 @@
+"""Tests for the §III-C gradient analysis (Eq. 5-6)."""
+
+import numpy as np
+import pytest
+
+from repro.core.gradient_analysis import (
+    autograd_grad_wrt_anchor,
+    contrast_scores_from_projections,
+    ntxent_grad_wrt_anchor,
+    pair_probabilities,
+    per_anchor_gradient_norms,
+    score_gradient_relation,
+)
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(41)
+
+
+def normalized(rng, n, d):
+    z = rng.normal(size=(n, d))
+    return z / np.linalg.norm(z, axis=1, keepdims=True)
+
+
+class TestPairProbabilities:
+    def test_sums_to_one_excluding_self(self, rng):
+        z = normalized(rng, 8, 4)
+        p = pair_probabilities(z, anchor=2, tau=0.5)
+        assert p[2] == pytest.approx(0.0, abs=1e-12)
+        assert p.sum() == pytest.approx(1.0, rel=1e-9)
+
+    def test_aligned_positive_dominates(self, rng):
+        z = normalized(rng, 6, 4)
+        z[3] = z[0]  # z_3 identical to anchor 0
+        p = pair_probabilities(z, anchor=0, tau=0.1)
+        assert p.argmax() == 3
+
+
+class TestClosedFormGradient:
+    def test_matches_autograd(self, rng):
+        z = normalized(rng, 8, 5)
+        for anchor, positive in [(0, 4), (2, 6), (3, 7)]:
+            closed = ntxent_grad_wrt_anchor(z, anchor, positive, tau=0.5)
+            auto = autograd_grad_wrt_anchor(z, anchor, positive, tau=0.5)
+            np.testing.assert_allclose(closed, auto, atol=1e-8)
+
+    def test_matches_autograd_low_temperature(self, rng):
+        z = normalized(rng, 6, 4)
+        closed = ntxent_grad_wrt_anchor(z, 1, 4, tau=0.07)
+        auto = autograd_grad_wrt_anchor(z, 1, 4, tau=0.07)
+        np.testing.assert_allclose(closed, auto, atol=1e-7)
+
+    def test_anchor_equals_positive_raises(self, rng):
+        z = normalized(rng, 4, 3)
+        with pytest.raises(ValueError):
+            ntxent_grad_wrt_anchor(z, 1, 1, tau=0.5)
+
+    def test_case1_aligned_pair_near_zero_gradient(self, rng):
+        """Paper Case 1: small score => near-zero gradient."""
+        z1 = normalized(rng, 6, 8)
+        z2 = z1.copy()  # perfectly aligned views, scores = 0
+        norms = per_anchor_gradient_norms(z1, z2, tau=0.1)
+        assert norms.max() < 0.5  # tiny compared to the misaligned case
+
+    def test_case2_misaligned_pair_large_gradient(self, rng):
+        """Paper Case 2: high score => large gradient."""
+        z1 = normalized(rng, 6, 8)
+        aligned = per_anchor_gradient_norms(z1, z1.copy(), tau=0.1).mean()
+        z2 = -z1  # maximally dissimilar views, scores = 2
+        misaligned = per_anchor_gradient_norms(z1, z2, tau=0.1).mean()
+        assert misaligned > 10 * aligned
+
+
+class TestScores:
+    def test_scores_match_eq2(self, rng):
+        z1 = normalized(rng, 5, 4)
+        z2 = normalized(rng, 5, 4)
+        scores = contrast_scores_from_projections(z1, z2)
+        np.testing.assert_allclose(scores, 1 - (z1 * z2).sum(axis=1), atol=1e-12)
+
+    def test_validation(self, rng):
+        with pytest.raises(ValueError):
+            contrast_scores_from_projections(
+                normalized(rng, 4, 3), normalized(rng, 5, 3)
+            )
+        with pytest.raises(ValueError):
+            contrast_scores_from_projections(
+                normalized(rng, 1, 3), normalized(rng, 1, 3)
+            )
+
+
+class TestScoreGradientRelation:
+    def test_positive_rank_correlation(self, rng):
+        """The paper's core claim: score and gradient magnitude co-vary."""
+        n = 32
+        z1 = normalized(rng, n, 8)
+        # construct views with varying alignment: blend z1 with noise
+        alphas = np.linspace(0.0, 1.0, n)[:, None]
+        noise = normalized(rng, n, 8)
+        z2 = alphas * z1 + (1 - alphas) * noise
+        z2 /= np.linalg.norm(z2, axis=1, keepdims=True)
+        relation = score_gradient_relation(z1, z2, tau=0.5)
+        assert relation.spearman_correlation() > 0.8
+
+    def test_constant_scores_zero_correlation(self, rng):
+        z1 = normalized(rng, 8, 4)
+        relation = score_gradient_relation(z1, z1.copy(), tau=0.5)
+        # identical scores -> correlation defined as finite (ranks tie)
+        assert np.isfinite(relation.spearman_correlation())
+
+    def test_relation_shapes(self, rng):
+        z1 = normalized(rng, 7, 4)
+        z2 = normalized(rng, 7, 4)
+        relation = score_gradient_relation(z1, z2, tau=0.5)
+        assert relation.scores.shape == (7,)
+        assert relation.grad_norms.shape == (7,)

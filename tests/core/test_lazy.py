@@ -1,0 +1,72 @@
+"""Tests for the lazy-scoring schedule (paper Eq. 7-8)."""
+
+import numpy as np
+import pytest
+
+from repro.core.lazy import LazyScoringSchedule
+
+
+class TestSchedule:
+    def test_disabled_scores_everything(self):
+        lazy = LazyScoringSchedule(None)
+        assert not lazy.enabled
+        mask = lazy.needs_scoring(np.array([0, 1, 2, 3]))
+        assert mask.all()
+
+    def test_interval_one_scores_everything(self):
+        lazy = LazyScoringSchedule(1)
+        assert not lazy.enabled
+        assert lazy.needs_scoring(np.array([0, 1, 2])).all()
+
+    def test_invalid_interval(self):
+        with pytest.raises(ValueError):
+            LazyScoringSchedule(0)
+
+    def test_eq7_age_modulo(self):
+        lazy = LazyScoringSchedule(4)
+        ages = np.array([0, 1, 2, 3, 4, 5, 8, 12])
+        expected = np.array([False, False, False, False, True, False, True, True])
+        np.testing.assert_array_equal(lazy.needs_scoring(ages), expected)
+
+    def test_age_zero_reuses_insertion_score(self):
+        """Fresh entries were scored as incoming data; no redundant
+        re-scoring at the first iteration after insertion."""
+        lazy = LazyScoringSchedule(50)
+        assert not lazy.needs_scoring(np.array([0]))[0]
+
+    def test_fraction_of_rescoring_approx_one_over_t(self):
+        """Over uniformly distributed ages, the mask rate is ~1/T."""
+        lazy = LazyScoringSchedule(10)
+        ages = np.arange(1, 1001)  # exclude 0 (insert-time scoring)
+        rate = lazy.needs_scoring(ages).mean()
+        assert rate == pytest.approx(0.1, abs=0.01)
+
+
+class TestStatistics:
+    def test_record_and_fraction(self):
+        lazy = LazyScoringSchedule(4)
+        lazy.record(2, 8)
+        lazy.record(0, 8)
+        assert lazy.rescoring_fraction == pytest.approx(2 / 16)
+        assert lazy.steps == 2
+
+    def test_empty_stats(self):
+        assert LazyScoringSchedule(4).rescoring_fraction == 0.0
+
+    def test_invalid_record_raises(self):
+        lazy = LazyScoringSchedule(4)
+        with pytest.raises(ValueError):
+            lazy.record(5, 4)
+        with pytest.raises(ValueError):
+            lazy.record(-1, 4)
+
+    def test_reset_stats(self):
+        lazy = LazyScoringSchedule(4)
+        lazy.record(4, 8)
+        lazy.reset_stats()
+        assert lazy.rescoring_fraction == 0.0
+        assert lazy.steps == 0
+
+    def test_repr_mentions_interval(self):
+        assert "4" in repr(LazyScoringSchedule(4))
+        assert "disabled" in repr(LazyScoringSchedule(None))

@@ -1,0 +1,221 @@
+"""Tests for the contrast-scoring replacement policy (paper Eq. 4)."""
+
+import numpy as np
+import pytest
+
+from repro.core.buffer import DataBuffer
+from repro.core.lazy import LazyScoringSchedule
+from repro.core.replacement import ContrastScoringPolicy
+from repro.core.scoring import ContrastScorer
+from repro.nn.projection import ProjectionHead
+from repro.nn.resnet import resnet_micro
+
+
+class StubScorer:
+    """Deterministic scorer substitute: score = mean pixel value."""
+
+    def __init__(self):
+        self.calls = []
+
+    def score(self, images):
+        self.calls.append(images.shape[0])
+        return images.mean(axis=(1, 2, 3)).astype(np.float64)
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(12)
+
+
+def const_images(values):
+    """Batch where image i is constant value values[i] (score = value)."""
+    values = np.asarray(values, dtype=np.float32)
+    return np.broadcast_to(
+        values[:, None, None, None], (len(values), 1, 2, 2)
+    ).copy()
+
+
+class TestTopN:
+    def test_selects_highest(self):
+        scores = np.array([0.1, 0.9, 0.5, 0.7])
+        keep = ContrastScoringPolicy._top_n(scores, 2)
+        assert sorted(keep.tolist()) == [1, 3]
+
+    def test_ties_prefer_lower_index(self):
+        scores = np.array([0.5, 0.5, 0.5, 0.5])
+        keep = ContrastScoringPolicy._top_n(scores, 2)
+        assert keep.tolist() == [0, 1]
+
+    def test_n_larger_than_pool(self):
+        keep = ContrastScoringPolicy._top_n(np.array([0.3, 0.1]), 5)
+        assert sorted(keep.tolist()) == [0, 1]
+
+
+class TestSelection:
+    def test_keeps_top_scorers_eq4(self):
+        policy = ContrastScoringPolicy(StubScorer(), capacity=2)
+        buf = DataBuffer(2)
+        # fill buffer with low-value images
+        incoming0 = const_images([0.1, 0.2])
+        result = policy.select(buf, incoming0, 0)
+        buf.replace(incoming0, result.keep_indices, result.pool_scores, 0)
+
+        # incoming with one high and one low score
+        incoming1 = const_images([0.9, 0.05])
+        result = policy.select(buf, incoming1, 1)
+        # pool scores: [0.1, 0.2, 0.9, 0.05] -> keep {2, 1}
+        assert sorted(result.keep_indices.tolist()) == [1, 2]
+
+    def test_pool_scores_complete(self):
+        policy = ContrastScoringPolicy(StubScorer(), capacity=2)
+        buf = DataBuffer(2)
+        incoming = const_images([0.3, 0.6])
+        result = policy.select(buf, incoming, 0)
+        np.testing.assert_allclose(result.pool_scores, [0.3, 0.6], atol=1e-6)
+
+    def test_num_scored_counts_buffer_and_incoming(self):
+        scorer = StubScorer()
+        policy = ContrastScoringPolicy(scorer, capacity=2)
+        buf = DataBuffer(2)
+        inc = const_images([0.5, 0.6])
+        r = policy.select(buf, inc, 0)
+        buf.replace(inc, r.keep_indices, r.pool_scores, 0)
+        r2 = policy.select(buf, const_images([0.7, 0.1]), 1)
+        assert r2.num_scored == 4  # 2 buffered + 2 incoming
+
+    def test_invalid_capacity(self):
+        with pytest.raises(ValueError):
+            ContrastScoringPolicy(StubScorer(), capacity=0)
+
+    def test_invalid_momentum(self):
+        with pytest.raises(ValueError):
+            ContrastScoringPolicy(StubScorer(), capacity=2, score_momentum=1.0)
+
+
+class TestLazyIntegration:
+    def test_lazy_skips_fresh_buffer_entries(self):
+        scorer = StubScorer()
+        lazy = LazyScoringSchedule(10)
+        policy = ContrastScoringPolicy(scorer, capacity=2, lazy=lazy)
+        buf = DataBuffer(2)
+        inc0 = const_images([0.8, 0.9])
+        r = policy.select(buf, inc0, 0)
+        buf.replace(inc0, r.keep_indices, r.pool_scores, 0)
+        scorer.calls.clear()
+
+        # ages 0: insertion scores are fresh, no re-scoring; only the
+        # incoming segment is scored.
+        inc1 = const_images([0.01, 0.02])
+        r1 = policy.select(buf, inc1, 1)
+        assert scorer.calls == [2]
+        assert r1.num_scored == 2
+        buf.replace(
+            np.concatenate([buf.images, inc1]), r1.keep_indices, r1.pool_scores, 1
+        )
+        scorer.calls.clear()
+        inc2 = const_images([0.03, 0.04])
+        r2 = policy.select(buf, inc2, 2)
+        # buffer entries now age 1: still skipped under T=10
+        assert scorer.calls == [2]
+        assert r2.num_scored == 2
+
+    def test_lazy_rescores_at_exact_interval(self):
+        """Survivors are re-scored exactly when age hits T (Eq. 7)."""
+        scorer = StubScorer()
+        lazy = LazyScoringSchedule(3)
+        policy = ContrastScoringPolicy(scorer, capacity=2, lazy=lazy)
+        buf = DataBuffer(2)
+        strong = const_images([0.8, 0.9])
+        r = policy.select(buf, strong, 0)
+        buf.replace(strong, r.keep_indices, r.pool_scores, 0)
+        # iterations 1..3: weak newcomers always lose; survivors age 1,2,3
+        rescored_at = []
+        for it in range(1, 5):
+            weak = const_images([0.01, 0.02])
+            scorer.calls.clear()
+            r = policy.select(buf, weak, it)
+            if scorer.calls and scorer.calls[0] == 2 and len(scorer.calls) == 2:
+                rescored_at.append(it)
+            pool = np.concatenate([buf.images, weak])
+            buf.replace(pool, r.keep_indices, r.pool_scores, it)
+        # ages at select time: it=1 -> 0, it=2 -> 1, it=3 -> 2, it=4 -> 3
+        assert rescored_at == [4]
+
+    def test_lazy_reuses_stale_scores_eq8(self):
+        """Stored scores drive selection when entries are not re-scored."""
+        scorer = StubScorer()
+        lazy = LazyScoringSchedule(100)
+        policy = ContrastScoringPolicy(scorer, capacity=1, lazy=lazy)
+        buf = DataBuffer(1)
+        inc0 = const_images([0.5])
+        r = policy.select(buf, inc0, 0)
+        buf.replace(inc0, r.keep_indices, r.pool_scores, 0)
+        # survivor has stored score 0.5; never re-scored under T=100.
+        # bump age to 1 via a losing newcomer
+        r1 = policy.select(buf, const_images([0.1]), 1)
+        pool = np.concatenate([buf.images, const_images([0.1])])
+        buf.replace(pool, r1.keep_indices, r1.pool_scores, 1)
+        assert buf.ages[0] == 1
+        # now a newcomer with score between stale (0.5) and nothing else
+        r2 = policy.select(buf, const_images([0.4]), 2)
+        assert r2.keep_indices.tolist() == [0]  # stale 0.5 beats fresh 0.4
+        r3 = policy.select(buf, const_images([0.6]), 2)
+        assert r3.keep_indices.tolist() == [1]  # fresh 0.6 beats stale 0.5
+
+    def test_rescoring_fraction_tracked(self):
+        scorer = StubScorer()
+        lazy = LazyScoringSchedule(2)
+        policy = ContrastScoringPolicy(scorer, capacity=2, lazy=lazy)
+        buf = DataBuffer(2)
+        inc = const_images([0.9, 0.8])
+        r = policy.select(buf, inc, 0)
+        buf.replace(inc, r.keep_indices, r.pool_scores, 0)
+        for it in range(1, 5):
+            weak = const_images([0.01, 0.02])
+            r = policy.select(buf, weak, it)
+            pool = np.concatenate([buf.images, weak])
+            buf.replace(pool, r.keep_indices, r.pool_scores, it)
+        assert 0.0 < policy.lazy.rescoring_fraction < 1.0
+
+    def test_nan_scores_always_rescored(self):
+        """Entries inserted by a non-scoring path must be scored."""
+        scorer = StubScorer()
+        policy = ContrastScoringPolicy(scorer, capacity=2, lazy=LazyScoringSchedule(100))
+        buf = DataBuffer(2)
+        inc = const_images([0.5, 0.6])
+        buf.replace(inc, np.arange(2), None, 0)  # scores = NaN
+        r = policy.select(buf, const_images([0.1]), 1)
+        assert not np.isnan(r.pool_scores[:2]).any()
+
+
+class TestMomentumScores:
+    def test_momentum_blends_old_and_new(self):
+        scorer = StubScorer()
+        policy = ContrastScoringPolicy(
+            scorer, capacity=1, score_momentum=0.5
+        )
+        buf = DataBuffer(1)
+        inc = const_images([0.8])
+        r = policy.select(buf, inc, 0)
+        buf.replace(inc, r.keep_indices, r.pool_scores, 0)
+        assert buf.scores[0] == pytest.approx(0.8, abs=1e-6)
+        # survivor is re-scored: fresh score still 0.8 (image unchanged),
+        # so blend stays 0.8; now mutate the stored score and re-select.
+        buf.set_scores(np.array([0]), np.array([0.4]))
+        r2 = policy.select(buf, const_images([0.0]), 1)
+        # blended survivor score = 0.5*0.4 + 0.5*0.8 = 0.6
+        assert r2.pool_scores[0] == pytest.approx(0.6, abs=1e-6)
+
+
+class TestWithRealScorer:
+    def test_end_to_end_with_real_model(self, rng):
+        encoder = resnet_micro(rng=rng)
+        projector = ProjectionHead(encoder.feature_dim, out_dim=8, rng=rng)
+        scorer = ContrastScorer(encoder, projector)
+        policy = ContrastScoringPolicy(scorer, capacity=4)
+        buf = DataBuffer(4)
+        incoming = rng.uniform(0, 1, size=(4, 3, 8, 8)).astype(np.float32)
+        result = policy.select(buf, incoming, 0)
+        assert result.keep_indices.shape == (4,)
+        assert result.pool_scores.shape == (4,)
+        assert (result.pool_scores >= 0).all()

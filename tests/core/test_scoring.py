@@ -1,0 +1,162 @@
+"""Tests for the contrast scorer (paper Eq. 2-3)."""
+
+import numpy as np
+import pytest
+
+from repro.core.scoring import ContrastScorer
+from repro.data.augment import horizontal_flip
+from repro.nn.projection import ProjectionHead
+from repro.nn.resnet import resnet_micro
+from repro.nn.tensor import Tensor
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(77)
+
+
+@pytest.fixture
+def scorer(rng):
+    encoder = resnet_micro(rng=rng)
+    projector = ProjectionHead(encoder.feature_dim, out_dim=8, rng=rng)
+    # establish non-trivial BN running stats
+    encoder(Tensor(rng.normal(0.5, 0.2, size=(16, 3, 8, 8)).astype(np.float32)))
+    return ContrastScorer(encoder, projector)
+
+
+@pytest.fixture
+def images(rng):
+    return rng.uniform(0, 1, size=(10, 3, 8, 8)).astype(np.float32)
+
+
+class TestScoreProperties:
+    def test_scores_in_range(self, scorer, images):
+        scores = scorer.score(images)
+        assert scores.shape == (10,)
+        assert (scores >= 0).all() and (scores <= 2).all()
+
+    def test_deterministic_across_calls(self, scorer, images):
+        """The paper's design principle: S(x) must be reproducible."""
+        np.testing.assert_array_equal(scorer.score(images), scorer.score(images))
+
+    def test_score_independent_of_batch_composition(self, scorer, images):
+        """Eval-mode BN: a sample's score must not depend on batch-mates."""
+        full = scorer.score(images)
+        alone = scorer.score(images[:1])
+        assert full[0] == pytest.approx(alone[0], abs=1e-6)
+
+    def test_symmetric_image_scores_near_zero(self, scorer, rng):
+        """A horizontally symmetric image equals its flip view: S ~ 0."""
+        half = rng.uniform(0, 1, size=(3, 3, 8, 4)).astype(np.float32)
+        symmetric = np.concatenate([half, half[:, :, :, ::-1]], axis=3)
+        scores = scorer.score(symmetric)
+        np.testing.assert_allclose(scores, 0.0, atol=1e-5)
+
+    def test_empty_batch(self, scorer):
+        scores = scorer.score(np.zeros((0, 3, 8, 8), dtype=np.float32))
+        assert scores.shape == (0,)
+
+    def test_rejects_non_nchw(self, scorer, rng):
+        with pytest.raises(ValueError):
+            scorer.score(rng.uniform(size=(3, 8, 8)).astype(np.float32))
+
+    def test_respects_max_batch(self, rng, images):
+        encoder = resnet_micro(rng=np.random.default_rng(7))
+        projector = ProjectionHead(encoder.feature_dim, out_dim=8, rng=rng)
+        small = ContrastScorer(encoder, projector, max_batch=3)
+        large = ContrastScorer(encoder, projector, max_batch=100)
+        np.testing.assert_allclose(small.score(images), large.score(images), atol=1e-6)
+
+    def test_invalid_max_batch_raises(self, rng):
+        encoder = resnet_micro(rng=rng)
+        projector = ProjectionHead(encoder.feature_dim, out_dim=8, rng=rng)
+        with pytest.raises(ValueError):
+            ContrastScorer(encoder, projector, max_batch=0)
+
+
+class TestModelStateHandling:
+    def test_restores_training_mode(self, scorer, images):
+        scorer.encoder.train()
+        scorer.projector.train()
+        scorer.score(images)
+        assert scorer.encoder.training
+        assert scorer.projector.training
+
+    def test_restores_eval_mode(self, scorer, images):
+        scorer.encoder.eval()
+        scorer.score(images)
+        assert not scorer.encoder.training
+
+    def test_no_gradients_created(self, scorer, images):
+        scorer.score(images)
+        for p in scorer.encoder.parameters():
+            assert p.grad is None
+
+    def test_running_stats_not_perturbed(self, scorer, images):
+        bn = scorer.encoder.stem_bn
+        before = bn.get_buffer("running_mean").copy()
+        scorer.score(images)
+        np.testing.assert_array_equal(bn.get_buffer("running_mean"), before)
+
+
+class TestProjectAndFeatures:
+    def test_projections_unit_norm(self, scorer, images):
+        z = scorer.project(images)
+        np.testing.assert_allclose(
+            np.linalg.norm(z, axis=1), np.ones(len(images)), rtol=1e-5
+        )
+
+    def test_features_shape(self, scorer, images):
+        h = scorer.features(images)
+        assert h.shape == (10, scorer.encoder.feature_dim)
+
+    def test_features_rejects_non_nchw(self, scorer, rng):
+        with pytest.raises(ValueError):
+            scorer.features(rng.uniform(size=(8, 8)).astype(np.float32))
+
+    def test_score_matches_manual_computation(self, scorer, images):
+        z = scorer.project(images)
+        zf = scorer.project(horizontal_flip(images))
+        manual = 1.0 - (z * zf).sum(axis=1)
+        np.testing.assert_allclose(scorer.score(images), manual, atol=1e-7)
+
+
+class TestScoreTracksLearning:
+    def test_unlearned_data_scores_higher_than_learned(self):
+        """The selection mechanism: after contrastive training on class-A
+        data, unseen classes score markedly higher than the trained class
+        (so the policy retains them)."""
+        from repro.data.augment import SimCLRAugment
+        from repro.data.synthetic import SyntheticConfig, SyntheticImageDataset
+        from repro.nn.losses import nt_xent_loss
+        from repro.nn.optim import Adam
+
+        data_rng = np.random.default_rng(7)
+        dataset = SyntheticImageDataset(SyntheticConfig("s", 4, 8))
+        encoder = resnet_micro(rng=np.random.default_rng(3))
+        projector = ProjectionHead(
+            encoder.feature_dim, out_dim=8, rng=np.random.default_rng(3)
+        )
+        scorer = ContrastScorer(encoder, projector)
+        trained = dataset.sample(np.zeros(8, dtype=int), data_rng)
+        unseen = dataset.sample(np.array([1] * 8 + [2] * 8), data_rng)
+
+        augment = SimCLRAugment(jitter_strength=0.2)
+        optimizer = Adam(
+            [*encoder.parameters(), *projector.parameters()], lr=2e-3
+        )
+        aug_rng = np.random.default_rng(5)
+        encoder.train()
+        projector.train()
+        for _ in range(60):
+            v1, v2 = augment(trained, aug_rng)
+            z1 = projector(encoder(Tensor(v1)))
+            z2 = projector(encoder(Tensor(v2)))
+            loss = nt_xent_loss(z1, z2, 0.5)
+            optimizer.zero_grad()
+            loss.backward()
+            optimizer.step()
+
+        trained_score = scorer.score(trained).mean()
+        unseen_score = scorer.score(unseen).mean()
+        assert unseen_score > 3 * trained_score

@@ -1,0 +1,143 @@
+"""Tests for the augmentation pipelines."""
+
+import numpy as np
+import pytest
+
+from repro.data.augment import (
+    SimCLRAugment,
+    color_jitter,
+    horizontal_flip,
+    random_crop_resize,
+    random_grayscale,
+    random_horizontal_flip,
+)
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(31)
+
+
+@pytest.fixture
+def batch(rng):
+    return rng.uniform(0, 1, size=(6, 3, 8, 8)).astype(np.float32)
+
+
+class TestHorizontalFlip:
+    def test_flip_reverses_columns(self, batch):
+        out = horizontal_flip(batch)
+        np.testing.assert_array_equal(out, batch[:, :, :, ::-1])
+
+    def test_involution(self, batch):
+        np.testing.assert_array_equal(horizontal_flip(horizontal_flip(batch)), batch)
+
+    def test_deterministic(self, batch):
+        np.testing.assert_array_equal(horizontal_flip(batch), horizontal_flip(batch))
+
+    def test_contiguous_output(self, batch):
+        assert horizontal_flip(batch).flags["C_CONTIGUOUS"]
+
+    def test_rejects_non_batch(self, rng):
+        with pytest.raises(ValueError):
+            horizontal_flip(rng.uniform(size=(3, 8, 8)))
+
+
+class TestRandomFlip:
+    def test_p_zero_identity(self, batch, rng):
+        np.testing.assert_array_equal(random_horizontal_flip(batch, rng, 0.0), batch)
+
+    def test_p_one_flips_all(self, batch, rng):
+        out = random_horizontal_flip(batch, rng, 1.0)
+        np.testing.assert_array_equal(out, batch[:, :, :, ::-1])
+
+    def test_does_not_mutate_input(self, batch, rng):
+        original = batch.copy()
+        random_horizontal_flip(batch, rng, 1.0)
+        np.testing.assert_array_equal(batch, original)
+
+
+class TestRandomCropResize:
+    def test_shape_preserved(self, batch, rng):
+        out = random_crop_resize(batch, rng, 0.5)
+        assert out.shape == batch.shape
+
+    def test_scale_one_near_identity(self, batch, rng):
+        out = random_crop_resize(batch, rng, 1.0, 1.0)
+        np.testing.assert_allclose(out, batch, atol=1e-5)
+
+    def test_invalid_scale_raises(self, batch, rng):
+        with pytest.raises(ValueError):
+            random_crop_resize(batch, rng, 0.0)
+        with pytest.raises(ValueError):
+            random_crop_resize(batch, rng, 0.9, 0.5)
+
+    def test_output_within_range(self, batch, rng):
+        out = random_crop_resize(batch, rng, 0.3)
+        assert out.min() >= 0.0 - 1e-6 and out.max() <= 1.0 + 1e-6
+
+    def test_crops_differ_across_samples(self, rng):
+        img = rng.uniform(0, 1, size=(1, 3, 8, 8)).astype(np.float32)
+        batch = np.repeat(img, 8, axis=0)
+        out = random_crop_resize(batch, rng, 0.4, 0.6)
+        diffs = [np.abs(out[i] - out[0]).max() for i in range(1, 8)]
+        assert max(diffs) > 1e-3
+
+
+class TestColorJitter:
+    def test_shape_and_range(self, batch, rng):
+        out = color_jitter(batch, rng, 0.5)
+        assert out.shape == batch.shape
+        assert out.min() >= 0.0 and out.max() <= 1.0
+
+    def test_zero_strength_identity(self, batch, rng):
+        np.testing.assert_allclose(color_jitter(batch, rng, 0.0), batch, atol=1e-6)
+
+    def test_negative_strength_raises(self, batch, rng):
+        with pytest.raises(ValueError):
+            color_jitter(batch, rng, -0.1)
+
+    def test_changes_pixels(self, batch, rng):
+        out = color_jitter(batch, rng, 0.5)
+        assert np.abs(out - batch).max() > 0.01
+
+
+class TestRandomGrayscale:
+    def test_p_one_grays_everything(self, batch, rng):
+        out = random_grayscale(batch, rng, 1.0)
+        channel_spread = np.abs(out - out.mean(axis=1, keepdims=True)).max()
+        assert channel_spread < 1e-6
+
+    def test_p_zero_returns_input(self, batch, rng):
+        assert random_grayscale(batch, rng, 0.0) is batch
+
+    def test_does_not_mutate_input(self, batch, rng):
+        original = batch.copy()
+        random_grayscale(batch, rng, 1.0)
+        np.testing.assert_array_equal(batch, original)
+
+
+class TestSimCLRAugment:
+    def test_two_views_differ(self, batch, rng):
+        augment = SimCLRAugment()
+        v1, v2 = augment(batch, rng)
+        assert v1.shape == batch.shape
+        assert v2.shape == batch.shape
+        assert np.abs(v1 - v2).max() > 1e-3
+
+    def test_views_are_stochastic_across_calls(self, batch):
+        augment = SimCLRAugment()
+        v1a, _ = augment(batch, np.random.default_rng(1))
+        v1b, _ = augment(batch, np.random.default_rng(2))
+        assert np.abs(v1a - v1b).max() > 1e-3
+
+    def test_reproducible_with_same_rng_state(self, batch):
+        augment = SimCLRAugment()
+        a = augment(batch, np.random.default_rng(4))
+        b = augment(batch, np.random.default_rng(4))
+        np.testing.assert_array_equal(a[0], b[0])
+        np.testing.assert_array_equal(a[1], b[1])
+
+    def test_output_range(self, batch, rng):
+        v1, v2 = SimCLRAugment()(batch, rng)
+        for v in (v1, v2):
+            assert v.min() >= -1e-6 and v.max() <= 1.0 + 1e-6

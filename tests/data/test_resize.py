@@ -1,0 +1,99 @@
+"""Tests for bilinear resampling primitives."""
+
+import numpy as np
+import pytest
+
+from repro.data.resize import bilinear_resize, crop_resize_batch, grid_sample_bilinear
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(21)
+
+
+class TestGridSample:
+    def test_integer_grid_is_identity(self, rng):
+        x = rng.normal(size=(2, 3, 5, 5)).astype(np.float32)
+        ys = np.broadcast_to(np.arange(5.0)[:, None], (5, 5))
+        xs = np.broadcast_to(np.arange(5.0)[None, :], (5, 5))
+        ys = np.broadcast_to(ys[None], (2, 5, 5))
+        xs = np.broadcast_to(xs[None], (2, 5, 5))
+        out = grid_sample_bilinear(x, ys, xs)
+        np.testing.assert_allclose(out, x, rtol=1e-6)
+
+    def test_midpoint_interpolation(self):
+        x = np.zeros((1, 1, 1, 2), dtype=np.float32)
+        x[0, 0, 0] = [0.0, 1.0]
+        ys = np.zeros((1, 1, 1))
+        xs = np.full((1, 1, 1), 0.5)
+        out = grid_sample_bilinear(x, ys, xs)
+        assert out[0, 0, 0, 0] == pytest.approx(0.5)
+
+    def test_out_of_range_clamped(self, rng):
+        x = rng.normal(size=(1, 1, 4, 4)).astype(np.float32)
+        ys = np.full((1, 1, 1), 10.0)
+        xs = np.full((1, 1, 1), -5.0)
+        out = grid_sample_bilinear(x, ys, xs)
+        assert out[0, 0, 0, 0] == pytest.approx(x[0, 0, 3, 0])
+
+    def test_bad_batch_raises(self, rng):
+        with pytest.raises(ValueError):
+            grid_sample_bilinear(rng.normal(size=(3, 4, 4)), np.zeros((1, 2, 2)), np.zeros((1, 2, 2)))
+
+    def test_coord_shape_mismatch_raises(self, rng):
+        x = rng.normal(size=(2, 1, 4, 4))
+        with pytest.raises(ValueError):
+            grid_sample_bilinear(x, np.zeros((1, 2, 2)), np.zeros((1, 2, 2)))
+
+
+class TestBilinearResize:
+    def test_same_size_identity(self, rng):
+        x = rng.normal(size=(2, 3, 6, 6)).astype(np.float32)
+        np.testing.assert_allclose(bilinear_resize(x, 6, 6), x, rtol=1e-5)
+
+    def test_upsample_shape(self, rng):
+        x = rng.normal(size=(1, 2, 4, 4)).astype(np.float32)
+        assert bilinear_resize(x, 8, 10).shape == (1, 2, 8, 10)
+
+    def test_constant_image_preserved(self):
+        x = np.full((1, 1, 3, 3), 0.7, dtype=np.float32)
+        out = bilinear_resize(x, 9, 9)
+        np.testing.assert_allclose(out, 0.7, rtol=1e-6)
+
+    def test_downsample_range_bounded(self, rng):
+        x = rng.uniform(0, 1, size=(2, 3, 8, 8)).astype(np.float32)
+        out = bilinear_resize(x, 4, 4)
+        assert out.min() >= 0.0 and out.max() <= 1.0
+
+    def test_corners_preserved(self, rng):
+        x = rng.normal(size=(1, 1, 4, 4)).astype(np.float32)
+        out = bilinear_resize(x, 7, 7)
+        assert out[0, 0, 0, 0] == pytest.approx(x[0, 0, 0, 0], rel=1e-5)
+        assert out[0, 0, -1, -1] == pytest.approx(x[0, 0, -1, -1], rel=1e-5)
+
+
+class TestCropResize:
+    def test_full_crop_is_identity(self, rng):
+        x = rng.normal(size=(2, 3, 6, 6)).astype(np.float32)
+        n = 2
+        out = crop_resize_batch(
+            x,
+            tops=np.zeros(n),
+            lefts=np.zeros(n),
+            heights=np.full(n, 6.0),
+            widths=np.full(n, 6.0),
+        )
+        np.testing.assert_allclose(out, x, rtol=1e-5)
+
+    def test_quadrant_crop(self):
+        x = np.zeros((1, 1, 4, 4), dtype=np.float32)
+        x[0, 0, :2, :2] = 1.0  # top-left quadrant all ones
+        out = crop_resize_batch(
+            x, np.zeros(1), np.zeros(1), np.full(1, 2.0), np.full(1, 2.0)
+        )
+        np.testing.assert_allclose(out, 1.0, rtol=1e-6)
+
+    def test_wrong_param_shape_raises(self, rng):
+        x = rng.normal(size=(2, 1, 4, 4))
+        with pytest.raises(ValueError):
+            crop_resize_batch(x, np.zeros(3), np.zeros(2), np.ones(2), np.ones(2))

@@ -1,0 +1,119 @@
+"""Tests for the temporally correlated stream and STC measurement."""
+
+import numpy as np
+import pytest
+
+from repro.data.stream import StreamSegment, TemporalStream, measure_stc
+from repro.data.synthetic import SyntheticConfig, SyntheticImageDataset
+
+
+@pytest.fixture
+def dataset():
+    return SyntheticImageDataset(SyntheticConfig("test", num_classes=6, image_size=8))
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(17)
+
+
+class TestTemporalStream:
+    def test_invalid_stc_raises(self, dataset, rng):
+        with pytest.raises(ValueError):
+            TemporalStream(dataset, stc=0, rng=rng)
+
+    def test_runs_have_exact_length(self, dataset, rng):
+        stream = TemporalStream(dataset, stc=5, rng=rng)
+        labels = stream.next_labels(200)
+        # every run except possibly the last has length exactly 5
+        change_points = np.flatnonzero(labels[1:] != labels[:-1]) + 1
+        runs = np.diff(np.concatenate([[0], change_points, [200]]))
+        assert (runs[:-1] == 5).all()
+
+    def test_consecutive_runs_differ_in_class(self, dataset, rng):
+        stream = TemporalStream(dataset, stc=4, rng=rng)
+        labels = stream.next_labels(400)
+        change_points = np.flatnonzero(labels[1:] != labels[:-1]) + 1
+        boundaries = np.concatenate([[0], change_points])
+        run_classes = labels[boundaries]
+        assert (run_classes[1:] != run_classes[:-1]).all()
+
+    def test_stc_one_is_iid_like(self, dataset, rng):
+        stream = TemporalStream(dataset, stc=1, rng=rng)
+        labels = stream.next_labels(3000)
+        counts = np.bincount(labels, minlength=6)
+        # roughly uniform across classes
+        assert counts.min() > 300
+
+    def test_runs_span_segment_boundaries(self, dataset, rng):
+        stream = TemporalStream(dataset, stc=10, rng=rng)
+        first = stream.next_labels(15)
+        second = stream.next_labels(15)
+        combined = np.concatenate([first, second])
+        assert measure_stc(combined) == pytest.approx(10.0, rel=0.01)
+
+    def test_all_classes_eventually_seen(self, dataset, rng):
+        stream = TemporalStream(dataset, stc=8, rng=rng)
+        labels = stream.next_labels(2000)
+        assert set(np.unique(labels)) == set(range(6))
+
+    def test_next_segment_contents(self, dataset, rng):
+        stream = TemporalStream(dataset, stc=4, rng=rng)
+        seg = stream.next_segment(12)
+        assert isinstance(seg, StreamSegment)
+        assert seg.images.shape == (12, 3, 8, 8)
+        assert seg.labels.shape == (12,)
+        assert seg.start_index == 0
+        assert seg.end_index == 12
+        assert len(seg) == 12
+        seg2 = stream.next_segment(12)
+        assert seg2.start_index == 12
+
+    def test_segments_iterator_total(self, dataset, rng):
+        stream = TemporalStream(dataset, stc=4, rng=rng)
+        segments = list(stream.segments(8, 30))
+        assert [len(s) for s in segments] == [8, 8, 8, 6]
+        assert stream.position == 30
+
+    def test_segments_invalid_args(self, dataset, rng):
+        stream = TemporalStream(dataset, stc=4, rng=rng)
+        with pytest.raises(ValueError):
+            list(stream.segments(0, 10))
+        with pytest.raises(ValueError):
+            list(stream.segments(4, 0))
+
+    def test_reproducible_with_seed(self, dataset):
+        s1 = TemporalStream(dataset, stc=3, rng=np.random.default_rng(9))
+        s2 = TemporalStream(dataset, stc=3, rng=np.random.default_rng(9))
+        a = s1.next_segment(20)
+        b = s2.next_segment(20)
+        np.testing.assert_array_equal(a.labels, b.labels)
+        np.testing.assert_array_equal(a.images, b.images)
+
+    def test_allow_repeat_mode(self, dataset, rng):
+        stream = TemporalStream(dataset, stc=3, rng=rng, forbid_repeat=False)
+        labels = stream.next_labels(900)
+        # With repeats allowed, measured STC can exceed nominal.
+        assert measure_stc(labels) >= 3.0 - 0.2
+
+
+class TestMeasureStc:
+    def test_constant_sequence(self):
+        assert measure_stc(np.zeros(10, dtype=int)) == 10.0
+
+    def test_alternating_sequence(self):
+        assert measure_stc(np.array([0, 1, 0, 1])) == 1.0
+
+    def test_known_runs(self):
+        labels = np.array([0, 0, 0, 1, 1, 1, 2, 2, 2])
+        assert measure_stc(labels) == 3.0
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            measure_stc(np.array([]))
+
+    def test_matches_stream_nominal_stc(self):
+        dataset = SyntheticImageDataset(SyntheticConfig("t", 4, 8))
+        stream = TemporalStream(dataset, stc=25, rng=np.random.default_rng(0))
+        labels = stream.next_labels(1000)
+        assert measure_stc(labels) == pytest.approx(25.0, rel=0.01)

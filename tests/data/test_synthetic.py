@@ -1,0 +1,159 @@
+"""Tests for the procedural dataset generator."""
+
+import numpy as np
+import pytest
+
+from repro.data.synthetic import SyntheticConfig, SyntheticImageDataset
+
+
+@pytest.fixture
+def config():
+    return SyntheticConfig(name="test", num_classes=5, image_size=12)
+
+
+@pytest.fixture
+def dataset(config):
+    return SyntheticImageDataset(config)
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(3)
+
+
+class TestConfigValidation:
+    def test_too_few_classes(self):
+        with pytest.raises(ValueError):
+            SyntheticConfig(name="x", num_classes=1, image_size=12)
+
+    def test_too_small_image(self):
+        with pytest.raises(ValueError):
+            SyntheticConfig(name="x", num_classes=2, image_size=2)
+
+    def test_bad_shift_fraction(self):
+        with pytest.raises(ValueError):
+            SyntheticConfig(name="x", num_classes=2, image_size=8, shift_fraction=0.9)
+
+    def test_negative_noise(self):
+        with pytest.raises(ValueError):
+            SyntheticConfig(name="x", num_classes=2, image_size=8, noise_std=-0.1)
+
+    def test_with_image_size(self, config):
+        resized = config.with_image_size(24)
+        assert resized.image_size == 24
+        assert resized.num_classes == config.num_classes
+
+
+class TestPrototypes:
+    def test_shape(self, dataset, config):
+        assert dataset.prototypes.shape == (5, 3, 12, 12)
+
+    def test_range(self, dataset):
+        assert dataset.prototypes.min() >= 0.0
+        assert dataset.prototypes.max() <= 1.0
+
+    def test_classes_are_distinct(self, dataset):
+        protos = dataset.prototypes.reshape(5, -1)
+        for i in range(5):
+            for j in range(i + 1, 5):
+                dist = np.abs(protos[i] - protos[j]).mean()
+                assert dist > 0.01, f"classes {i} and {j} are nearly identical"
+
+    def test_channel_means_near_half(self, dataset):
+        """Zero-centered prototypes remove the mean-color shortcut."""
+        means = dataset.prototypes.mean(axis=(2, 3))
+        np.testing.assert_allclose(means, 0.5, atol=0.06)
+
+    def test_content_depends_only_on_name_and_seed(self):
+        a = SyntheticImageDataset(SyntheticConfig("x", 3, 8, content_seed=7))
+        b = SyntheticImageDataset(SyntheticConfig("x", 3, 8, content_seed=7))
+        c = SyntheticImageDataset(SyntheticConfig("y", 3, 8, content_seed=7))
+        np.testing.assert_array_equal(a.prototypes, b.prototypes)
+        assert np.abs(a.prototypes - c.prototypes).max() > 0.01
+
+
+class TestSampling:
+    def test_shape_dtype_range(self, dataset, rng):
+        imgs = dataset.sample(np.array([0, 1, 2, 0]), rng)
+        assert imgs.shape == (4, 3, 12, 12)
+        assert imgs.dtype == np.float32
+        assert imgs.min() >= 0.0 and imgs.max() <= 1.0
+
+    def test_out_of_range_class_raises(self, dataset, rng):
+        with pytest.raises(ValueError):
+            dataset.sample(np.array([5]), rng)
+
+    def test_non_1d_raises(self, dataset, rng):
+        with pytest.raises(ValueError):
+            dataset.sample(np.zeros((2, 2), dtype=int), rng)
+
+    def test_same_class_samples_differ(self, dataset, rng):
+        imgs = dataset.sample(np.array([1, 1]), rng)
+        assert np.abs(imgs[0] - imgs[1]).max() > 1e-3
+
+    def test_samples_closer_to_own_prototype_without_shift(self, rng):
+        """With geometric shift off, samples sit nearest their own prototype."""
+        cfg = SyntheticConfig(
+            "noshift", num_classes=5, image_size=12, shift_fraction=0.0
+        )
+        ds = SyntheticImageDataset(cfg)
+        n = 40
+        labels = np.repeat(np.arange(5), n // 5)
+        imgs = ds.sample(labels, rng)
+        correct = 0
+        for img, label in zip(imgs, labels):
+            dists = [np.abs(img - p).mean() for p in ds.prototypes]
+            correct += int(np.argmin(dists) == label)
+        assert correct / n > 0.9
+
+    def test_shifted_samples_match_prototype_under_alignment(self, dataset, rng):
+        """Shifted samples match their prototype under the best circular shift."""
+        labels = np.repeat(np.arange(5), 4)
+        imgs = dataset.sample(labels, rng)
+
+        def aligned_dist(img, proto):
+            best = np.inf
+            for dy in range(proto.shape[1]):
+                for dx in range(proto.shape[2]):
+                    rolled = np.roll(proto, (dy, dx), axis=(1, 2))
+                    best = min(best, float(np.abs(img - rolled).mean()))
+            return best
+
+        correct = 0
+        for img, label in zip(imgs, labels):
+            dists = [aligned_dist(img, p) for p in dataset.prototypes]
+            correct += int(np.argmin(dists) == label)
+        assert correct / len(labels) > 0.8
+
+    def test_reproducible_given_rng(self, dataset):
+        a = dataset.sample(np.array([0, 1]), np.random.default_rng(5))
+        b = dataset.sample(np.array([0, 1]), np.random.default_rng(5))
+        np.testing.assert_array_equal(a, b)
+
+    def test_empty_request(self, dataset, rng):
+        imgs = dataset.sample(np.array([], dtype=int), rng)
+        assert imgs.shape == (0, 3, 12, 12)
+
+
+class TestSplit:
+    def test_balanced_split(self, dataset, rng):
+        images, labels = dataset.make_split(4, rng)
+        assert images.shape == (20, 3, 12, 12)
+        counts = np.bincount(labels, minlength=5)
+        np.testing.assert_array_equal(counts, [4] * 5)
+
+    def test_shuffled_by_default(self, dataset, rng):
+        _, labels = dataset.make_split(10, rng)
+        assert not (labels == np.repeat(np.arange(5), 10)).all()
+
+    def test_unshuffled_order(self, dataset, rng):
+        _, labels = dataset.make_split(2, rng, shuffle=False)
+        np.testing.assert_array_equal(labels, np.repeat(np.arange(5), 2))
+
+    def test_invalid_count_raises(self, dataset, rng):
+        with pytest.raises(ValueError):
+            dataset.make_split(0, rng)
+
+    def test_properties(self, dataset):
+        assert dataset.num_classes == 5
+        assert dataset.image_shape == (3, 12, 12)

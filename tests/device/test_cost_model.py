@@ -1,0 +1,132 @@
+"""Tests for the on-device storage/energy/compute cost model."""
+
+import numpy as np
+import pytest
+
+from repro.device.cost_model import (
+    JETSON_CLASS,
+    MCU_CLASS,
+    DeviceProfile,
+    iteration_compute_cost,
+    storage_cost,
+)
+from repro.nn.projection import ProjectionHead
+from repro.nn.resnet import resnet_micro
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(9)
+
+
+@pytest.fixture
+def model(rng):
+    encoder = resnet_micro(rng=rng)
+    projector = ProjectionHead(encoder.feature_dim, out_dim=8, rng=rng)
+    return encoder, projector
+
+
+class TestDeviceProfile:
+    def test_presets_valid(self):
+        assert JETSON_CLASS.flash_capacity_bytes > MCU_CLASS.flash_capacity_bytes
+        assert MCU_CLASS.flash_write_nj_per_byte > JETSON_CLASS.flash_write_nj_per_byte
+
+    def test_invalid_profile_rejected(self):
+        with pytest.raises(ValueError):
+            DeviceProfile("bad", 0.0, 1.0, 1.0, 1.0, 1.0)
+
+
+class TestStorageCost:
+    def test_store_all_scales_with_stream(self):
+        small = storage_cost(JETSON_CLASS, 1_000, (3, 12, 12), 32)
+        large = storage_cost(JETSON_CLASS, 100_000, (3, 12, 12), 32)
+        assert large.store_all_bytes == 100 * small.store_all_bytes
+        assert large.buffer_bytes == small.buffer_bytes
+
+    def test_bytes_per_sample(self):
+        report = storage_cost(JETSON_CLASS, 10, (3, 12, 12), 4)
+        assert report.bytes_per_sample == 3 * 12 * 12 * 4
+
+    def test_buffer_needs_no_flash_energy(self):
+        report = storage_cost(JETSON_CLASS, 10_000, (3, 12, 12), 32)
+        assert report.buffer_energy_mj == 0.0
+        assert report.store_all_energy_mj > 0.0
+
+    def test_mcu_flash_exceeded_quickly(self):
+        """The paper's 'prohibitive in practice' claim: an MCU's Flash
+        cannot hold a day of streaming images."""
+        report = storage_cost(MCU_CLASS, 100_000, (3, 12, 12), 32)
+        assert report.exceeds_flash
+
+    def test_jetson_holds_short_streams(self):
+        report = storage_cost(JETSON_CLASS, 10_000, (3, 12, 12), 32)
+        assert not report.exceeds_flash
+
+    def test_storage_ratio(self):
+        report = storage_cost(JETSON_CLASS, 6400, (3, 12, 12), 32)
+        assert report.storage_ratio == pytest.approx(200.0)
+
+    def test_epochs_increase_read_energy(self):
+        once = storage_cost(JETSON_CLASS, 1000, (3, 12, 12), 32, epochs_over_store=1)
+        many = storage_cost(JETSON_CLASS, 1000, (3, 12, 12), 32, epochs_over_store=100)
+        assert many.store_all_energy_mj > once.store_all_energy_mj
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            storage_cost(JETSON_CLASS, 0, (3, 12, 12), 32)
+        with pytest.raises(ValueError):
+            storage_cost(JETSON_CLASS, 10, (3, 12, 12), 32, epochs_over_store=0)
+
+
+class TestComputeCost:
+    def test_eager_scoring_overhead_positive(self, model):
+        encoder, projector = model
+        report = iteration_compute_cost(JETSON_CLASS, encoder, projector, 8, 16)
+        assert report.scoring_flops > 0
+        assert report.relative_batch_flops > 1.0
+
+    def test_lazy_reduces_scoring_flops(self, model):
+        encoder, projector = model
+        eager = iteration_compute_cost(JETSON_CLASS, encoder, projector, 8, 16)
+        lazy = iteration_compute_cost(
+            JETSON_CLASS, encoder, projector, 8, 16, lazy_interval=10
+        )
+        assert lazy.scoring_flops_lazy < eager.scoring_flops
+        assert lazy.relative_batch_flops_lazy < eager.relative_batch_flops
+
+    def test_lazy_limit_is_segment_only(self, model):
+        """As T -> inf, scoring cost approaches segment-only scoring."""
+        encoder, projector = model
+        report = iteration_compute_cost(
+            JETSON_CLASS, encoder, projector, 8, 16, lazy_interval=10_000
+        )
+        # segment has 16 samples of the 32-candidate pool
+        assert report.scoring_flops_lazy == pytest.approx(
+            report.scoring_flops / 2, rel=0.01
+        )
+
+    def test_table1_shape_monotone_in_interval(self, model):
+        """Analytic Table I: relative cost decreases with the interval."""
+        encoder, projector = model
+        costs = [
+            iteration_compute_cost(
+                JETSON_CLASS, encoder, projector, 8, 16, lazy_interval=t
+            ).relative_batch_flops_lazy
+            for t in (4, 20, 50, 100, 200)
+        ]
+        assert all(a >= b for a, b in zip(costs, costs[1:]))
+
+    def test_energy_proportional_to_flops(self, model):
+        encoder, projector = model
+        report = iteration_compute_cost(MCU_CLASS, encoder, projector, 8, 16)
+        ratio = report.energy_scoring_mj / report.energy_train_mj
+        assert ratio == pytest.approx(report.scoring_flops / report.train_flops)
+
+    def test_validation(self, model):
+        encoder, projector = model
+        with pytest.raises(ValueError):
+            iteration_compute_cost(JETSON_CLASS, encoder, projector, 8, 0)
+        with pytest.raises(ValueError):
+            iteration_compute_cost(
+                JETSON_CLASS, encoder, projector, 8, 16, lazy_interval=0
+            )

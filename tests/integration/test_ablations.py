@@ -1,0 +1,98 @@
+"""Integration tests for the ablation harnesses at tiny scale."""
+
+import numpy as np
+import pytest
+
+from repro.experiments import (
+    format_gradient_ablation,
+    format_momentum_ablation,
+    format_scoring_view_ablation,
+    format_stc_sweep,
+    run_gradient_ablation,
+    run_momentum_ablation,
+    run_scoring_view_ablation,
+    run_stc_sweep,
+)
+from repro.experiments.config import StreamExperimentConfig
+
+
+@pytest.fixture
+def tiny_config():
+    return StreamExperimentConfig(
+        dataset="cifar10",
+        image_size=8,
+        stc=8,
+        total_samples=128,
+        buffer_size=8,
+        encoder_widths=(8, 16),
+        encoder_blocks=1,
+        projection_dim=8,
+        probe_train_per_class=4,
+        probe_test_per_class=2,
+        probe_epochs=5,
+        seed=0,
+    )
+
+
+class TestGradientAblation:
+    def test_structure(self, tiny_config):
+        result = run_gradient_ablation(tiny_config, probes=2, batch=16)
+        # probes + the pre-training measurement
+        assert len(result.checkpoints) == 3
+        assert len(result.correlations) == 3
+        assert all(np.isfinite(c) for c in result.correlations)
+
+    def test_high_score_quartile_dominates(self, tiny_config):
+        result = run_gradient_ablation(tiny_config, probes=2, batch=16)
+        for low, high in zip(result.low_score_grad, result.high_score_grad):
+            assert high >= low * 0.5  # loose at tiny scale; shape holds
+
+    def test_format(self, tiny_config):
+        result = run_gradient_ablation(tiny_config, probes=1, batch=16)
+        text = format_gradient_ablation(result)
+        assert "spearman" in text
+
+
+class TestScoringViewAblation:
+    def test_deterministic_has_zero_std(self, tiny_config):
+        result = run_scoring_view_ablation(tiny_config, repeats=3)
+        assert result.deterministic_score_std == 0.0
+        assert result.randomized_score_std > 0.0
+
+    def test_format(self, tiny_config):
+        result = run_scoring_view_ablation(tiny_config, repeats=2)
+        text = format_scoring_view_ablation(result)
+        assert "deterministic flip" in text
+
+
+class TestStcSweep:
+    def test_structure(self, tiny_config):
+        result = run_stc_sweep(tiny_config, stc_values=(1, 16))
+        assert result.stc_values == (1, 16)
+        for stc in (1, 16):
+            assert set(result.accuracy[stc]) == {
+                "contrast-scoring",
+                "random-replace",
+            }
+        assert np.isfinite(result.margin(16))
+
+    def test_format(self, tiny_config):
+        result = run_stc_sweep(tiny_config, stc_values=(1,))
+        assert "STC" in format_stc_sweep(result)
+
+
+class TestMomentumAblation:
+    def test_structure(self, tiny_config):
+        result = run_momentum_ablation(
+            tiny_config, momenta=(0.0, 0.9), lazy_interval=4
+        )
+        assert len(result.settings) == 3
+        assert result.settings[0] == "eager (paper)"
+        assert "lazy" in result.settings[-1]
+        assert result.rescoring[0] == 1.0
+        assert result.rescoring[-1] < 1.0
+
+    def test_format(self, tiny_config):
+        result = run_momentum_ablation(tiny_config, momenta=(0.0,), lazy_interval=4)
+        text = format_momentum_ablation(result)
+        assert "score update rule" in text

@@ -1,0 +1,66 @@
+"""Tests for the CLI entry point."""
+
+import pytest
+
+from repro.cli import EXPERIMENTS, main
+
+
+class TestCliRegistry:
+    def test_all_design_md_experiments_present(self):
+        expected = {
+            "fig3",
+            "fig4a",
+            "fig4b",
+            "fig5a",
+            "fig5b",
+            "fig6a",
+            "fig6b",
+            "table1",
+            "table2",
+            "ablation-grad",
+            "ablation-views",
+            "ablation-stc",
+            "ablation-momentum",
+            "ablation-drift",
+        }
+        assert set(EXPERIMENTS) == expected
+
+    def test_unknown_experiment_rejected(self, capsys):
+        with pytest.raises(SystemExit):
+            main(["not-an-experiment"])
+
+    def test_help_lists_experiments(self, capsys):
+        with pytest.raises(SystemExit):
+            main(["--help"])
+        out = capsys.readouterr().out
+        assert "fig3" in out
+        assert "table1" in out
+
+    def test_runs_tiny_experiment(self, capsys, monkeypatch):
+        """Exercise the dispatch path end-to-end at minimum scale."""
+        monkeypatch.setenv("REPRO_BENCH_SCALE", "0.1")
+        # shrink further by monkeypatching the default config used by CLI
+        import repro.cli as cli_mod
+        from repro.experiments.config import StreamExperimentConfig
+
+        tiny = StreamExperimentConfig(
+            dataset="cifar10",
+            image_size=8,
+            stc=4,
+            total_samples=64,
+            buffer_size=8,
+            encoder_widths=(8, 16),
+            projection_dim=8,
+            probe_train_per_class=2,
+            probe_test_per_class=2,
+            probe_epochs=2,
+        )
+        monkeypatch.setattr(
+            cli_mod, "default_config", lambda *a, **k: tiny
+        )
+        monkeypatch.setattr(cli_mod, "scaled_config", lambda cfg: cfg)
+        code = main(["ablation-stc", "--seed", "0"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "ablation-stc" in out
+        assert "STC" in out

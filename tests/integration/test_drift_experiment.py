@@ -1,0 +1,56 @@
+"""Integration tests for the drift experiment harness."""
+
+import pytest
+
+from repro.experiments.config import StreamExperimentConfig
+from repro.experiments.drift import format_drift, run_drift_experiment
+
+
+@pytest.fixture
+def tiny_config():
+    return StreamExperimentConfig(
+        dataset="cifar10",
+        image_size=8,
+        stc=8,
+        total_samples=128,
+        buffer_size=8,
+        encoder_widths=(8, 16),
+        projection_dim=8,
+        probe_train_per_class=4,
+        probe_test_per_class=2,
+        probe_epochs=5,
+        seed=0,
+    )
+
+
+class TestDriftExperiment:
+    def test_structure(self, tiny_config):
+        result = run_drift_experiment(
+            tiny_config, policies=("contrast-scoring", "fifo"), num_phases=2
+        )
+        assert set(result.overall) == {"contrast-scoring", "fifo"}
+        assert result.num_phases == 2
+        # growing phases over 10 classes: second phase introduces 5
+        assert result.new_classes == [5, 6, 7, 8, 9]
+        for policy in result.overall:
+            assert 0.0 <= result.overall[policy] <= 1.0
+            assert 0.0 <= result.old_class_acc[policy] <= 1.0
+            assert 0.0 <= result.new_class_acc[policy] <= 1.0
+
+    def test_single_phase_no_new_classes_split(self, tiny_config):
+        result = run_drift_experiment(
+            tiny_config, policies=("fifo",), num_phases=1
+        )
+        # with one phase every class counts as "new" (none were pre-drift)
+        assert result.new_classes == list(range(10))
+
+    def test_format(self, tiny_config):
+        result = run_drift_experiment(tiny_config, policies=("fifo",), num_phases=2)
+        text = format_drift(result)
+        assert "new-class acc" in text
+        assert "fifo" in text
+
+    def test_reproducible(self, tiny_config):
+        a = run_drift_experiment(tiny_config, policies=("fifo",), num_phases=2)
+        b = run_drift_experiment(tiny_config, policies=("fifo",), num_phases=2)
+        assert a.overall == b.overall

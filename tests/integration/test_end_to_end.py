@@ -1,0 +1,112 @@
+"""End-to-end reproduction-shape tests.
+
+These run the actual two-stage pipeline at a reduced (but not trivial)
+budget and assert the *shape* of the paper's findings — the same checks
+EXPERIMENTS.md records at full bench scale.  They are the slowest tests
+in the suite (tens of seconds each).
+"""
+
+import numpy as np
+import pytest
+
+from repro.experiments import run_stream_experiment
+from repro.experiments.config import StreamExperimentConfig
+
+
+@pytest.fixture(scope="module")
+def repro_config():
+    """Reduced-budget config that still separates the policies.
+
+    2048 stream samples (64 replacement iterations) is the calibrated
+    minimum at which contrast scoring's margin over random replacement
+    is unambiguous on the cifar10-like stream (seed 0: CS 0.635,
+    Random 0.565, FIFO 0.41)."""
+    return StreamExperimentConfig(
+        dataset="cifar10",
+        stc=64,
+        total_samples=2048,
+        buffer_size=32,
+        probe_train_per_class=40,
+        probe_test_per_class=20,
+        probe_epochs=40,
+        seed=0,
+    )
+
+
+@pytest.fixture(scope="module")
+def policy_results(repro_config):
+    """One stage-1 run per policy (shared across the shape tests)."""
+    return {
+        name: run_stream_experiment(repro_config, name, eval_points=2)
+        for name in ("contrast-scoring", "random-replace", "fifo")
+    }
+
+
+class TestPaperShape:
+    def test_contrast_scoring_beats_baselines(self, policy_results):
+        """Figs. 3-6 headline: CS > Random and CS > FIFO."""
+        cs = policy_results["contrast-scoring"].final_accuracy
+        random_acc = policy_results["random-replace"].final_accuracy
+        fifo = policy_results["fifo"].final_accuracy
+        assert cs > random_acc
+        assert cs > fifo
+
+    def test_all_policies_above_chance(self, policy_results):
+        for name, result in policy_results.items():
+            assert result.final_accuracy > 0.15, f"{name} failed to learn"
+
+    def test_buffer_diversity_ordering(self, policy_results):
+        """The mechanism: CS maintains a more class-diverse buffer than
+        FIFO under temporal correlation (paper §I / §III motivation)."""
+        cs = policy_results["contrast-scoring"].buffer_class_diversity
+        fifo = policy_results["fifo"].buffer_class_diversity
+        assert cs > fifo
+
+    def test_fifo_buffer_single_class_under_high_stc(self, policy_results):
+        """STC >= 2x buffer: FIFO's buffer is one class almost always."""
+        fifo = policy_results["fifo"].buffer_class_diversity
+        assert fifo < 2.0
+
+    def test_scoring_overhead_present_without_lazy(self, policy_results):
+        """Table I premise: contrast scoring costs extra batch time."""
+        cs = policy_results["contrast-scoring"]
+        assert cs.relative_batch_time > 1.1
+        assert policy_results["fifo"].relative_batch_time < cs.relative_batch_time
+
+    def test_rescoring_is_full_without_lazy(self, policy_results):
+        assert policy_results["contrast-scoring"].rescoring_fraction == pytest.approx(
+            1.0
+        )
+
+
+class TestLazyScoringShape:
+    def test_lazy_cuts_overhead_keeps_accuracy(self, repro_config):
+        """Table I shape at reduced scale: interval T cuts re-scoring to
+        ~1/T and shrinks relative batch time without large accuracy loss."""
+        eager = run_stream_experiment(
+            repro_config, "contrast-scoring", eval_points=1, lazy_interval=None
+        )
+        lazy = run_stream_experiment(
+            repro_config, "contrast-scoring", eval_points=1, lazy_interval=8
+        )
+        assert lazy.rescoring_fraction < 0.5 * eager.rescoring_fraction
+        assert lazy.relative_batch_time < eager.relative_batch_time
+        assert lazy.final_accuracy > eager.final_accuracy - 0.15
+
+
+class TestStcEffect:
+    def test_margin_grows_with_temporal_correlation(self, repro_config):
+        """Ablation C: at STC=1 (iid) CS and Random are close; at high STC
+        the CS margin is large (the paper's problem setting)."""
+        iid_cfg = repro_config.with_(stc=1)
+        cs_iid = run_stream_experiment(iid_cfg, "contrast-scoring", eval_points=1)
+        rnd_iid = run_stream_experiment(iid_cfg, "random-replace", eval_points=1)
+        margin_iid = cs_iid.final_accuracy - rnd_iid.final_accuracy
+
+        corr_cfg = repro_config.with_(stc=128)
+        cs_corr = run_stream_experiment(corr_cfg, "contrast-scoring", eval_points=1)
+        rnd_corr = run_stream_experiment(corr_cfg, "random-replace", eval_points=1)
+        margin_corr = cs_corr.final_accuracy - rnd_corr.final_accuracy
+
+        assert margin_corr > margin_iid - 0.05
+        assert cs_corr.final_accuracy > rnd_corr.final_accuracy

@@ -1,0 +1,55 @@
+"""Tests for buffer-diversity metrics."""
+
+import numpy as np
+import pytest
+
+from repro.metrics.diversity import (
+    class_entropy,
+    distinct_classes,
+    effective_num_classes,
+)
+
+
+class TestClassEntropy:
+    def test_single_class_zero(self):
+        assert class_entropy(np.array([10, 0, 0])) == 0.0
+
+    def test_uniform_log_k(self):
+        assert class_entropy(np.array([5, 5, 5, 5])) == pytest.approx(np.log(4))
+
+    def test_scale_invariant(self):
+        a = class_entropy(np.array([1, 2, 3]))
+        b = class_entropy(np.array([10, 20, 30]))
+        assert a == pytest.approx(b)
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            class_entropy(np.array([0, 0]))
+
+    def test_negative_raises(self):
+        with pytest.raises(ValueError):
+            class_entropy(np.array([1, -1]))
+
+    def test_non_1d_raises(self):
+        with pytest.raises(ValueError):
+            class_entropy(np.zeros((2, 2)))
+
+
+class TestEffectiveClasses:
+    def test_single_class_one(self):
+        assert effective_num_classes(np.array([7, 0])) == pytest.approx(1.0)
+
+    def test_uniform_equals_k(self):
+        assert effective_num_classes(np.array([3, 3, 3])) == pytest.approx(3.0)
+
+    def test_skewed_between_one_and_k(self):
+        value = effective_num_classes(np.array([100, 1, 1]))
+        assert 1.0 < value < 3.0
+
+
+class TestDistinctClasses:
+    def test_counts_nonzero(self):
+        assert distinct_classes(np.array([0, 3, 0, 1])) == 2
+
+    def test_all_zero(self):
+        assert distinct_classes(np.array([0, 0])) == 0

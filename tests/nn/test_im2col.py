@@ -1,0 +1,108 @@
+"""Tests for im2col/col2im against naive sliding-window references."""
+
+import numpy as np
+import pytest
+
+from repro.nn.im2col import col2im, conv_output_size, im2col
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(7)
+
+
+def naive_im2col(x, kernel, stride, padding):
+    kh, kw = kernel
+    n, c, h, w = x.shape
+    if padding:
+        x = np.pad(x, ((0, 0), (0, 0), (padding, padding), (padding, padding)))
+    out_h = (x.shape[2] - kh) // stride + 1
+    out_w = (x.shape[3] - kw) // stride + 1
+    cols = np.zeros((n, out_h, out_w, c * kh * kw), dtype=x.dtype)
+    for b in range(n):
+        for i in range(out_h):
+            for j in range(out_w):
+                patch = x[b, :, i * stride : i * stride + kh, j * stride : j * stride + kw]
+                cols[b, i, j] = patch.reshape(-1)
+    return cols
+
+
+class TestConvOutputSize:
+    def test_basic(self):
+        assert conv_output_size(8, 3, 1, 1) == 8
+        assert conv_output_size(8, 3, 2, 1) == 4
+        assert conv_output_size(5, 5, 1, 0) == 1
+
+    def test_invalid_raises(self):
+        with pytest.raises(ValueError):
+            conv_output_size(2, 5, 1, 0)
+
+
+class TestIm2col:
+    @pytest.mark.parametrize(
+        "shape,kernel,stride,padding",
+        [
+            ((2, 3, 8, 8), (3, 3), 1, 1),
+            ((1, 1, 5, 5), (3, 3), 2, 0),
+            ((2, 4, 6, 6), (1, 1), 1, 0),
+            ((1, 2, 7, 9), (3, 3), 2, 1),
+            ((3, 2, 4, 4), (2, 2), 2, 0),
+        ],
+    )
+    def test_matches_naive(self, rng, shape, kernel, stride, padding):
+        x = rng.normal(size=shape).astype(np.float32)
+        fast = im2col(x, kernel, stride, padding)
+        slow = naive_im2col(x, kernel, stride, padding)
+        np.testing.assert_allclose(fast, slow, rtol=1e-6)
+
+    def test_rejects_non_4d(self, rng):
+        with pytest.raises(ValueError):
+            im2col(rng.normal(size=(3, 8, 8)), (3, 3), 1, 1)
+
+    def test_column_layout_matches_weight_flatten(self, rng):
+        """cols @ w.reshape(F,-1).T must equal direct convolution."""
+        x = rng.normal(size=(1, 2, 5, 5)).astype(np.float64)
+        w = rng.normal(size=(3, 2, 3, 3)).astype(np.float64)
+        cols = im2col(x, (3, 3), 1, 1)
+        out = cols @ w.reshape(3, -1).T  # (1, 5, 5, 3)
+        # naive convolution
+        xp = np.pad(x, ((0, 0), (0, 0), (1, 1), (1, 1)))
+        ref = np.zeros((1, 5, 5, 3))
+        for f in range(3):
+            for i in range(5):
+                for j in range(5):
+                    ref[0, i, j, f] = (xp[0, :, i : i + 3, j : j + 3] * w[f]).sum()
+        np.testing.assert_allclose(out, ref, rtol=1e-9)
+
+
+class TestCol2im:
+    @pytest.mark.parametrize(
+        "shape,kernel,stride,padding",
+        [
+            ((2, 3, 8, 8), (3, 3), 1, 1),
+            ((1, 1, 5, 5), (3, 3), 2, 0),
+            ((2, 2, 6, 6), (2, 2), 2, 0),
+            ((1, 2, 7, 9), (3, 3), 2, 1),
+        ],
+    )
+    def test_adjoint_of_im2col(self, rng, shape, kernel, stride, padding):
+        """col2im is the transpose of im2col: <im2col(x), c> == <x, col2im(c)>."""
+        x = rng.normal(size=shape).astype(np.float64)
+        cols_shape = naive_im2col(x, kernel, stride, padding).shape
+        c = rng.normal(size=cols_shape).astype(np.float64)
+        lhs = (im2col(x, kernel, stride, padding) * c).sum()
+        rhs = (x * col2im(c, shape, kernel, stride, padding)).sum()
+        assert lhs == pytest.approx(rhs, rel=1e-10)
+
+    def test_shape_mismatch_raises(self, rng):
+        c = rng.normal(size=(1, 4, 4, 9))
+        with pytest.raises(ValueError):
+            col2im(c, (1, 1, 5, 5), (3, 3), 1, 1)
+
+    def test_overlap_accumulates(self):
+        """Stride 1 with a 2x2 kernel: interior pixels belong to 4 windows."""
+        x_shape = (1, 1, 3, 3)
+        cols = np.ones((1, 2, 2, 4))
+        out = col2im(cols, x_shape, (2, 2), 1, 0)
+        expected = np.array([[1, 2, 1], [2, 4, 2], [1, 2, 1]], dtype=float)
+        np.testing.assert_allclose(out[0, 0], expected)

@@ -1,0 +1,98 @@
+"""Tests for learning-rate schedulers."""
+
+import numpy as np
+import pytest
+
+from repro.nn.layers import Parameter
+from repro.nn.optim import SGD
+from repro.nn.schedulers import (
+    ConstantLR,
+    CosineDecayLR,
+    StepDecayLR,
+    WarmupCosineLR,
+)
+
+
+@pytest.fixture
+def optimizer():
+    return SGD([Parameter(np.zeros(2))], lr=0.1)
+
+
+class TestConstant:
+    def test_lr_never_changes(self, optimizer):
+        sched = ConstantLR(optimizer)
+        for _ in range(10):
+            assert sched.step() == pytest.approx(0.1)
+        assert optimizer.lr == pytest.approx(0.1)
+
+
+class TestStepDecay:
+    def test_decays_at_period(self, optimizer):
+        sched = StepDecayLR(optimizer, period=3, gamma=0.5)
+        lrs = [sched.step() for _ in range(7)]
+        assert lrs[0] == pytest.approx(0.1)
+        assert lrs[2] == pytest.approx(0.1)
+        assert lrs[3] == pytest.approx(0.05)
+        assert lrs[6] == pytest.approx(0.025)
+
+    def test_validation(self, optimizer):
+        with pytest.raises(ValueError):
+            StepDecayLR(optimizer, period=0)
+        with pytest.raises(ValueError):
+            StepDecayLR(optimizer, period=2, gamma=0.0)
+
+
+class TestCosine:
+    def test_starts_at_base_ends_at_min(self, optimizer):
+        sched = CosineDecayLR(optimizer, total_steps=10, min_lr=1e-4)
+        first = sched.step()
+        assert first == pytest.approx(0.1)
+        for _ in range(10):
+            last = sched.step()
+        assert last == pytest.approx(1e-4, rel=1e-6)
+
+    def test_monotone_decreasing(self, optimizer):
+        sched = CosineDecayLR(optimizer, total_steps=20, min_lr=1e-5)
+        lrs = [sched.step() for _ in range(20)]
+        assert all(a >= b for a, b in zip(lrs, lrs[1:]))
+
+    def test_clamps_beyond_total(self, optimizer):
+        sched = CosineDecayLR(optimizer, total_steps=5, min_lr=1e-4)
+        for _ in range(10):
+            lr = sched.step()
+        assert lr == pytest.approx(1e-4, rel=1e-6)
+
+    def test_validation(self, optimizer):
+        with pytest.raises(ValueError):
+            CosineDecayLR(optimizer, total_steps=0)
+        with pytest.raises(ValueError):
+            CosineDecayLR(optimizer, total_steps=5, min_lr=1.0)
+
+
+class TestWarmupCosine:
+    def test_warmup_ramps_linearly(self, optimizer):
+        sched = WarmupCosineLR(optimizer, total_steps=20, warmup_steps=4)
+        lrs = [sched.step() for _ in range(4)]
+        np.testing.assert_allclose(lrs, [0.025, 0.05, 0.075, 0.1], rtol=1e-6)
+
+    def test_peak_at_end_of_warmup(self, optimizer):
+        sched = WarmupCosineLR(optimizer, total_steps=20, warmup_steps=5)
+        lrs = [sched.step() for _ in range(20)]
+        assert max(lrs) == pytest.approx(0.1)
+        assert lrs.index(max(lrs)) == 4
+
+    def test_zero_warmup_is_pure_cosine(self, optimizer):
+        a = WarmupCosineLR(optimizer, total_steps=10, warmup_steps=0, min_lr=1e-4)
+        first = a.step()
+        assert first == pytest.approx(0.1)
+
+    def test_validation(self, optimizer):
+        with pytest.raises(ValueError):
+            WarmupCosineLR(optimizer, total_steps=5, warmup_steps=5)
+        with pytest.raises(ValueError):
+            WarmupCosineLR(optimizer, total_steps=0, warmup_steps=0)
+
+    def test_scheduler_actually_drives_optimizer(self, optimizer):
+        sched = WarmupCosineLR(optimizer, total_steps=10, warmup_steps=2)
+        sched.step()
+        assert optimizer.lr == pytest.approx(0.05)

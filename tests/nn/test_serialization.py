@@ -1,0 +1,58 @@
+"""Tests for checkpoint save/load."""
+
+import numpy as np
+import pytest
+
+from repro.nn.resnet import resnet_micro
+from repro.nn.serialization import load_module, load_state, save_module, save_state
+from repro.nn.tensor import Tensor
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(13)
+
+
+class TestStateRoundtrip:
+    def test_save_load_state(self, tmp_path, rng):
+        state = {"a": rng.normal(size=(3, 3)), "b.c": rng.normal(size=(2,))}
+        path = str(tmp_path / "ckpt.npz")
+        save_state(state, path)
+        loaded = load_state(path)
+        assert set(loaded) == {"a", "b.c"}
+        np.testing.assert_array_equal(loaded["a"], state["a"])
+
+    def test_creates_parent_dirs(self, tmp_path, rng):
+        path = str(tmp_path / "deep" / "nested" / "ckpt.npz")
+        save_state({"x": np.ones(2)}, path)
+        assert load_state(path)["x"].shape == (2,)
+
+
+class TestModuleRoundtrip:
+    def test_module_roundtrip_preserves_forward(self, tmp_path, rng):
+        enc = resnet_micro(rng=rng)
+        x = Tensor(rng.normal(size=(2, 3, 8, 8)).astype(np.float32))
+        enc(x)  # touch running stats so buffers are non-trivial
+        enc.eval()
+        expected = enc(x).data.copy()
+
+        path = str(tmp_path / "enc.npz")
+        save_module(enc, path)
+
+        enc2 = resnet_micro(rng=np.random.default_rng(999))
+        load_module(enc2, path)
+        enc2.eval()
+        np.testing.assert_allclose(enc2(x).data, expected, rtol=1e-6)
+
+    def test_buffers_roundtrip(self, tmp_path, rng):
+        enc = resnet_micro(rng=rng)
+        enc(Tensor(rng.normal(size=(4, 3, 8, 8)).astype(np.float32)))
+        path = str(tmp_path / "enc.npz")
+        save_module(enc, path)
+        enc2 = resnet_micro(rng=np.random.default_rng(1))
+        load_module(enc2, path)
+        for (name_a, buf_a), (name_b, buf_b) in zip(
+            enc.named_buffers(), enc2.named_buffers()
+        ):
+            assert name_a == name_b
+            np.testing.assert_array_equal(buf_a, buf_b)

@@ -1,0 +1,204 @@
+"""Property-based tests for the paper's core data structures."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.buffer import DataBuffer
+from repro.core.lazy import LazyScoringSchedule
+from repro.core.replacement import ContrastScoringPolicy
+from repro.data.stream import measure_stc
+from repro.metrics.curves import LearningCurve
+from repro.selection.fifo import FIFOPolicy
+from repro.selection.kcenter import greedy_k_center
+from repro.selection.random_replace import RandomReplacePolicy
+
+SETTINGS = dict(max_examples=50, deadline=None)
+
+
+class StubScorer:
+    """score(x) = mean pixel value — deterministic, label-free."""
+
+    def score(self, images):
+        return images.mean(axis=(1, 2, 3)).astype(np.float64)
+
+
+def const_images(values):
+    values = np.asarray(values, dtype=np.float32)
+    return np.broadcast_to(values[:, None, None, None], (len(values), 1, 2, 2)).copy()
+
+
+class TestTopNProperties:
+    @settings(**SETTINGS)
+    @given(
+        st.lists(st.floats(0, 2, allow_nan=False, width=32), min_size=1, max_size=40),
+        st.integers(1, 40),
+    )
+    def test_topn_selects_maximal_subset(self, scores, n):
+        scores = np.asarray(scores, dtype=np.float64)
+        keep = ContrastScoringPolicy._top_n(scores, n)
+        k = min(n, scores.size)
+        assert keep.size == k
+        assert len(set(keep.tolist())) == k
+        # every kept score >= every dropped score
+        dropped = np.setdiff1d(np.arange(scores.size), keep)
+        if dropped.size and keep.size:
+            assert scores[keep].min() >= scores[dropped].max() - 1e-12
+
+    @settings(**SETTINGS)
+    @given(
+        st.lists(st.floats(0, 2, allow_nan=False, width=32), min_size=2, max_size=30)
+    )
+    def test_topn_full_selection_is_identity(self, scores):
+        scores = np.asarray(scores, dtype=np.float64)
+        keep = ContrastScoringPolicy._top_n(scores, scores.size)
+        np.testing.assert_array_equal(np.sort(keep), np.arange(scores.size))
+
+
+class TestReplacementInvariants:
+    @settings(**SETTINGS)
+    @given(
+        st.lists(
+            st.lists(st.floats(0.0, 1.0, allow_nan=False, width=32), min_size=4, max_size=4),
+            min_size=1,
+            max_size=12,
+        )
+    )
+    def test_buffer_always_holds_top_scores_seen_recently(self, segments):
+        """Invariant (Eq. 4): after each step, buffer scores equal the top-N
+        of (previous buffer scores ∪ segment scores)."""
+        capacity = 4
+        policy = ContrastScoringPolicy(StubScorer(), capacity)
+        buf = DataBuffer(capacity)
+        prev_scores = np.zeros(0)
+        for it, seg_values in enumerate(segments):
+            incoming = const_images(seg_values)
+            result = policy.select(buf, incoming, it)
+            pool = (
+                np.concatenate([buf.images, incoming]) if buf.size else incoming
+            )
+            buf.replace(pool, result.keep_indices, result.pool_scores, it)
+            pool_scores = np.concatenate(
+                [prev_scores, np.asarray(seg_values, dtype=np.float64)]
+            )
+            expected_top = np.sort(pool_scores)[::-1][: buf.size]
+            np.testing.assert_allclose(
+                np.sort(buf.scores)[::-1], expected_top, atol=1e-6
+            )
+            prev_scores = buf.scores.copy()
+
+    @settings(**SETTINGS)
+    @given(st.integers(1, 6), st.integers(1, 30))
+    def test_buffer_never_exceeds_capacity(self, capacity, steps):
+        rng = np.random.default_rng(0)
+        policy = RandomReplacePolicy(capacity, rng)
+        buf = DataBuffer(capacity)
+        for it in range(steps):
+            incoming = const_images(rng.uniform(0, 1, size=3))
+            result = policy.select(buf, incoming, it)
+            pool = np.concatenate([buf.images, incoming]) if buf.size else incoming
+            buf.replace(pool, result.keep_indices, None, it)
+            assert buf.size <= capacity
+
+    @settings(**SETTINGS)
+    @given(st.integers(2, 8))
+    def test_fifo_buffer_is_suffix_of_stream(self, capacity):
+        """FIFO invariant: buffer contents = most recent stream values."""
+        policy = FIFOPolicy(capacity)
+        buf = DataBuffer(capacity)
+        stream_values = []
+        rng = np.random.default_rng(1)
+        for it in range(6):
+            seg_values = rng.uniform(0, 1, size=capacity)
+            stream_values.extend(seg_values.tolist())
+            incoming = const_images(seg_values)
+            result = policy.select(buf, incoming, it)
+            pool = np.concatenate([buf.images, incoming]) if buf.size else incoming
+            buf.replace(pool, result.keep_indices, None, it)
+        expected = np.asarray(stream_values[-capacity:], dtype=np.float32)
+        np.testing.assert_allclose(
+            np.sort(buf.images[:, 0, 0, 0]), np.sort(expected), atol=1e-6
+        )
+
+
+class TestLazyProperties:
+    @settings(**SETTINGS)
+    @given(st.integers(2, 50), st.lists(st.integers(0, 500), min_size=1, max_size=64))
+    def test_mask_matches_eq7(self, interval, ages):
+        lazy = LazyScoringSchedule(interval)
+        ages = np.asarray(ages)
+        mask = lazy.needs_scoring(ages)
+        np.testing.assert_array_equal(mask, (ages > 0) & (ages % interval == 0))
+
+    @settings(**SETTINGS)
+    @given(st.integers(2, 50))
+    def test_rescoring_fraction_bounded(self, interval):
+        lazy = LazyScoringSchedule(interval)
+        rng = np.random.default_rng(interval)
+        for _ in range(10):
+            candidates = int(rng.integers(1, 20))
+            rescored = int(rng.integers(0, candidates + 1))
+            lazy.record(rescored, candidates)
+        assert 0.0 <= lazy.rescoring_fraction <= 1.0
+
+
+class TestKCenterProperties:
+    @settings(**SETTINGS)
+    @given(
+        st.integers(2, 20),
+        st.integers(1, 10),
+        st.integers(0, 10_000),
+    )
+    def test_greedy_cover_radius_shrinks_with_k(self, n, d, seed):
+        rng = np.random.default_rng(seed)
+        feats = rng.normal(size=(n, d))
+
+        def cover_radius(k):
+            centers = greedy_k_center(feats, k)
+            dists = np.linalg.norm(
+                feats[:, None, :] - feats[centers][None], axis=2
+            ).min(axis=1)
+            return dists.max()
+
+        k_small = max(1, n // 4)
+        k_large = min(n, k_small + 2)
+        assert cover_radius(k_large) <= cover_radius(k_small) + 1e-9
+
+
+class TestStreamProperties:
+    @settings(**SETTINGS)
+    @given(st.integers(1, 40), st.integers(50, 400))
+    def test_measured_stc_matches_nominal(self, stc, length):
+        from repro.data.stream import TemporalStream
+        from repro.data.synthetic import SyntheticConfig, SyntheticImageDataset
+
+        dataset = SyntheticImageDataset(SyntheticConfig("prop", 5, 8))
+        stream = TemporalStream(dataset, stc, np.random.default_rng(0))
+        labels = stream.next_labels(length * stc if stc < 10 else length)
+        measured = measure_stc(labels)
+        # runs are exact; only the final truncated run biases downward
+        assert measured <= stc + 1e-9
+        if labels.size >= 5 * stc:
+            assert measured >= 0.7 * stc
+
+
+class TestCurveProperties:
+    @settings(**SETTINGS)
+    @given(
+        st.lists(
+            st.tuples(st.integers(0, 10_000), st.floats(0, 1, allow_nan=False)),
+            min_size=1,
+            max_size=20,
+        )
+    )
+    def test_inputs_to_reach_consistent(self, points):
+        points = sorted(points, key=lambda p: p[0])
+        curve = LearningCurve("m")
+        for seen, acc in points:
+            curve.add(seen, acc)
+        target = curve.best_accuracy
+        reach = curve.inputs_to_reach(target)
+        assert reach is not None
+        assert reach <= curve.seen_inputs[-1]
+        # never reached above best
+        assert curve.inputs_to_reach(target + 0.01) is None

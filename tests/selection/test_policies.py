@@ -1,0 +1,207 @@
+"""Tests for the baseline replacement policies."""
+
+import numpy as np
+import pytest
+
+from repro.core.buffer import DataBuffer
+from repro.core.scoring import ContrastScorer
+from repro.nn.projection import ProjectionHead
+from repro.nn.resnet import resnet_micro
+from repro.selection import (
+    FIFOPolicy,
+    KCenterPolicy,
+    RandomReplacePolicy,
+    SelectiveBPPolicy,
+    greedy_k_center,
+)
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(61)
+
+
+def images(rng, n, channels=3, size=8):
+    return rng.uniform(0, 1, size=(n, channels, size, size)).astype(np.float32)
+
+
+def filled_buffer(rng, capacity, iteration=0):
+    buf = DataBuffer(capacity)
+    buf.replace(images(rng, capacity), np.arange(capacity), None, iteration)
+    return buf
+
+
+@pytest.fixture
+def scorer():
+    model_rng = np.random.default_rng(9)
+    encoder = resnet_micro(rng=model_rng)
+    projector = ProjectionHead(encoder.feature_dim, out_dim=8, rng=model_rng)
+    return ContrastScorer(encoder, projector)
+
+
+class TestRandomReplace:
+    def test_keeps_capacity_entries(self, rng):
+        policy = RandomReplacePolicy(4, rng)
+        buf = filled_buffer(rng, 4)
+        result = policy.select(buf, images(rng, 4), 1)
+        assert result.keep_indices.shape == (4,)
+        assert len(set(result.keep_indices.tolist())) == 4
+        assert result.num_scored == 0
+
+    def test_uniform_over_pool(self, rng):
+        """Across many draws, buffer and incoming are kept equally often."""
+        policy = RandomReplacePolicy(4, rng)
+        buf = filled_buffer(rng, 4)
+        new = images(rng, 4)
+        from_new = 0
+        trials = 400
+        for it in range(trials):
+            keep = policy.select(buf, new, it).keep_indices
+            from_new += (keep >= 4).sum()
+        rate = from_new / (4 * trials)
+        assert rate == pytest.approx(0.5, abs=0.05)
+
+    def test_partial_pool(self, rng):
+        policy = RandomReplacePolicy(4, rng)
+        buf = DataBuffer(4)  # empty
+        result = policy.select(buf, images(rng, 2), 0)
+        assert sorted(result.keep_indices.tolist()) == [0, 1]
+
+    def test_invalid_capacity(self, rng):
+        with pytest.raises(ValueError):
+            RandomReplacePolicy(0, rng)
+
+    def test_seeded_determinism(self):
+        rng_data = np.random.default_rng(0)
+        buf = filled_buffer(rng_data, 4)
+        new = images(rng_data, 4)
+        a = RandomReplacePolicy(4, np.random.default_rng(3)).select(buf, new, 0)
+        b = RandomReplacePolicy(4, np.random.default_rng(3)).select(buf, new, 0)
+        np.testing.assert_array_equal(a.keep_indices, b.keep_indices)
+
+
+class TestFIFO:
+    def test_full_segment_replaces_buffer(self, rng):
+        """size(I) == size(B): the buffer becomes the newest segment."""
+        policy = FIFOPolicy(4)
+        buf = filled_buffer(rng, 4)
+        result = policy.select(buf, images(rng, 4), 1)
+        np.testing.assert_array_equal(result.keep_indices, [4, 5, 6, 7])
+
+    def test_small_segment_evicts_oldest(self, rng):
+        policy = FIFOPolicy(4)
+        buf = DataBuffer(4)
+        first = images(rng, 2)
+        r = policy.select(buf, first, 0)
+        buf.replace(first, r.keep_indices, None, 0)
+        second = images(rng, 2)
+        pool = np.concatenate([buf.images, second])
+        r = policy.select(buf, second, 1)
+        buf.replace(pool, r.keep_indices, None, 1)
+        assert buf.size == 4
+        # now a 2-entry segment should evict the 2 oldest (inserted_at == 0)
+        third = images(rng, 2)
+        r = policy.select(buf, third, 2)
+        kept_buffer = [i for i in r.keep_indices if i < 4]
+        assert all(buf.inserted_at[i] == 1 for i in kept_buffer)
+        assert {i for i in r.keep_indices if i >= 4} == {4, 5}
+
+    def test_invalid_capacity(self):
+        with pytest.raises(ValueError):
+            FIFOPolicy(0)
+
+    def test_no_scoring_work(self, rng):
+        policy = FIFOPolicy(4)
+        buf = filled_buffer(rng, 4)
+        assert policy.select(buf, images(rng, 4), 0).num_scored == 0
+
+
+class TestSelectiveBP:
+    def test_keeps_capacity(self, rng, scorer):
+        policy = SelectiveBPPolicy(scorer, 4)
+        buf = filled_buffer(rng, 4)
+        result = policy.select(buf, images(rng, 4), 0)
+        assert result.keep_indices.shape == (4,)
+        assert result.num_scored == 8
+        assert result.pool_scores.shape == (8,)
+
+    def test_selects_largest_losses(self, rng, scorer):
+        policy = SelectiveBPPolicy(scorer, 2)
+        buf = filled_buffer(rng, 2)
+        result = policy.select(buf, images(rng, 2), 0)
+        losses = result.pool_scores
+        kept = set(result.keep_indices.tolist())
+        top2 = set(np.argsort(-losses)[:2].tolist())
+        assert kept == top2
+
+    def test_single_candidate_pool(self, rng, scorer):
+        policy = SelectiveBPPolicy(scorer, 4)
+        buf = DataBuffer(4)
+        result = policy.select(buf, images(rng, 1), 0)
+        assert result.keep_indices.tolist() == [0]
+
+    def test_invalid_capacity(self, scorer):
+        with pytest.raises(ValueError):
+            SelectiveBPPolicy(scorer, 0)
+
+
+class TestGreedyKCenter:
+    def test_selects_k_unique(self, rng):
+        feats = rng.normal(size=(20, 4))
+        centers = greedy_k_center(feats, 5)
+        assert centers.shape == (5,)
+        assert len(set(centers.tolist())) == 5
+
+    def test_k_larger_than_n(self, rng):
+        feats = rng.normal(size=(3, 2))
+        assert greedy_k_center(feats, 10).shape == (3,)
+
+    def test_invalid_inputs(self, rng):
+        with pytest.raises(ValueError):
+            greedy_k_center(rng.normal(size=(4,)), 2)
+        with pytest.raises(ValueError):
+            greedy_k_center(rng.normal(size=(4, 2)), 0)
+
+    def test_covers_clusters(self, rng):
+        """With well-separated clusters and k = #clusters, k-center picks
+        one point per cluster."""
+        centers = np.array([[0.0, 0.0], [100.0, 0.0], [0.0, 100.0], [100.0, 100.0]])
+        points = np.concatenate(
+            [c + rng.normal(0, 0.5, size=(10, 2)) for c in centers]
+        )
+        chosen = greedy_k_center(points, 4)
+        clusters = {int(idx) // 10 for idx in chosen}
+        assert clusters == {0, 1, 2, 3}
+
+    def test_deterministic(self, rng):
+        feats = rng.normal(size=(15, 3))
+        np.testing.assert_array_equal(
+            greedy_k_center(feats, 5), greedy_k_center(feats, 5)
+        )
+
+
+class TestKCenterPolicy:
+    def test_keeps_capacity(self, rng, scorer):
+        policy = KCenterPolicy(scorer, 4)
+        buf = filled_buffer(rng, 4)
+        result = policy.select(buf, images(rng, 4), 0)
+        assert result.keep_indices.shape == (4,)
+        assert result.num_scored == 8
+
+    def test_invalid_capacity(self, scorer):
+        with pytest.raises(ValueError):
+            KCenterPolicy(scorer, 0)
+
+
+class TestSharedValidation:
+    def test_shape_mismatch_raises(self, rng):
+        policy = FIFOPolicy(4)
+        buf = filled_buffer(rng, 4)
+        with pytest.raises(ValueError):
+            policy.select(buf, images(rng, 4, size=6), 0)
+
+    def test_non_nchw_raises(self, rng):
+        policy = FIFOPolicy(4)
+        buf = DataBuffer(4)
+        with pytest.raises(ValueError):
+            policy.select(buf, rng.uniform(size=(4, 8, 8)).astype(np.float32), 0)
