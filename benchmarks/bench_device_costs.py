@@ -22,7 +22,7 @@ from repro.device import (
 )
 from repro.experiments import default_config, scaled_config
 from repro.experiments.config import bench_seed
-from repro.experiments.runner import build_components
+from repro.session import build_components
 from repro.utils.tables import format_table
 
 

@@ -11,9 +11,10 @@ intuition about Eq. 2-4 before running the larger experiments.
 
 import numpy as np
 
-from repro.core import ContrastScorer, ContrastScoringPolicy, DataBuffer
+from repro.core import ContrastScorer, DataBuffer
 from repro.data import TemporalStream, make_dataset
 from repro.nn import ProjectionHead, resnet_micro
+from repro.registry import create_policy
 from repro.utils.rng import RngRegistry
 
 BUFFER = 8
@@ -27,7 +28,7 @@ def main() -> None:
     encoder = resnet_micro(rng=rngs.get("model"))
     projector = ProjectionHead(encoder.feature_dim, out_dim=8, rng=rngs.get("model"))
     scorer = ContrastScorer(encoder, projector)
-    policy = ContrastScoringPolicy(scorer, BUFFER)
+    policy = create_policy("contrast-scoring", scorer=scorer, capacity=BUFFER)
     buffer = DataBuffer(BUFFER)
     stream = TemporalStream(dataset, STC, rngs.get("stream"))
 

@@ -2,7 +2,8 @@
 """Quickstart: on-device contrastive learning with selective data contrast.
 
 Runs the full two-stage pipeline from the paper on a temporally
-correlated unlabeled stream:
+correlated unlabeled stream, through the unified :class:`repro.Session`
+surface:
 
   Stage 1 — the encoder learns representations from the stream, with the
             contrast-scoring replacement policy maintaining a 32-image
@@ -14,9 +15,9 @@ Takes about a minute on a laptop CPU.  Run:
     python examples/quickstart.py
 """
 
-import numpy as np
-
-from repro import quickstart_components
+from repro import Session
+from repro.experiments.config import default_config
+from repro.session import build_components
 from repro.train import evaluate_encoder
 from repro.utils.rng import new_rng
 
@@ -27,18 +28,17 @@ LABEL_FRACTION = 0.1
 
 
 def main() -> None:
-    learner, stream, dataset = quickstart_components(
-        dataset="cifar10", buffer_size=BUFFER_SIZE, stc=STC, seed=0
+    config = default_config("cifar10", seed=0).with_(
+        buffer_size=BUFFER_SIZE, stc=STC, total_samples=TOTAL_STREAM
     )
+    components = build_components(config)
+    dataset = components.dataset
     print(f"dataset: {dataset}")
-    print(f"encoder parameters: {learner.encoder.num_parameters():,}")
+    print(f"encoder parameters: {components.encoder.num_parameters():,}")
     print(f"buffer: {BUFFER_SIZE} images, stream STC: {STC}")
     print()
 
-    # ---- Stage 1: self-supervised learning from the unlabeled stream ----
-    print("stage 1: learning from the unlabeled stream...")
-    for segment in stream.segments(BUFFER_SIZE, TOTAL_STREAM):
-        stats = learner.process_segment(segment)
+    def report_step(learner, stats):
         if stats.iteration % 16 == 0:
             hist = learner.buffer_class_histogram(dataset.num_classes)
             print(
@@ -47,32 +47,45 @@ def main() -> None:
                 f"{dataset.num_classes}"
             )
 
+    # ---- Stage 1: self-supervised learning from the unlabeled stream ----
+    print("stage 1: learning from the unlabeled stream...")
+    session = (
+        Session.from_config(config)
+        .with_policy("contrast-scoring")
+        .with_components(components)
+        .with_eval_points(1)
+        .on_step(report_step)
+    )
+    result = session.run()
+    learner = session.learner
+    print(f"final probe accuracy (100% labels): {result.final_accuracy:.1%}")
+
     # ---- Stage 2: classifier with few labels ----
+    # (the 100%-label number is already covered by the session's probe)
     rng = new_rng(1)
     train_x, train_y = dataset.make_split(40, rng)
     test_x, test_y = dataset.make_split(20, rng)
-    print("\nstage 2: training classifiers on the learned encoder...")
-    for fraction in (LABEL_FRACTION, 1.0):
-        result = evaluate_encoder(
-            learner.encoder,
-            train_x,
-            train_y,
-            test_x,
-            test_y,
-            dataset.num_classes,
-            rng,
-            label_fraction=fraction,
-            epochs=40,
-        )
-        print(
-            f"  {fraction:4.0%} labels ({result.num_labeled:3d} samples): "
-            f"test accuracy {result.accuracy:.1%}"
-        )
+    print("\nstage 2: training a classifier on the learned encoder...")
+    probe = evaluate_encoder(
+        learner.encoder,
+        train_x,
+        train_y,
+        test_x,
+        test_y,
+        dataset.num_classes,
+        rng,
+        label_fraction=LABEL_FRACTION,
+        epochs=40,
+    )
+    print(
+        f"  {LABEL_FRACTION:4.0%} labels ({probe.num_labeled:3d} samples): "
+        f"test accuracy {probe.accuracy:.1%}"
+    )
 
     # Contrast with an untrained encoder to show what stage 1 bought us.
-    from repro.nn.resnet import ResNetEncoder
+    from repro.registry import ENCODERS
 
-    untrained = ResNetEncoder(rng=new_rng(2), widths=(12, 24, 48), blocks_per_stage=1)
+    untrained = ENCODERS.create("resnet-small", rng=new_rng(2))
     baseline = evaluate_encoder(
         untrained,
         train_x,

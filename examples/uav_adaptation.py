@@ -21,12 +21,12 @@ import tempfile
 from repro.core import (
     ContrastScorer,
     ContrastScoringPolicy,
-    LazyScoringSchedule,
     OnDeviceContrastiveLearner,
 )
 from repro.data import SimCLRAugment, TemporalStream, make_dataset
+from repro.experiments.config import default_config
 from repro.nn import ProjectionHead, load_module, resnet_small, save_module
-from repro.train import evaluate_encoder
+from repro.session import Session, build_components
 from repro.utils.rng import RngRegistry
 
 BUFFER = 32
@@ -59,42 +59,28 @@ def pretrain(checkpoint_path: str) -> None:
 
 
 def adapt(checkpoint_path: str, lazy_interval):
-    """Phase 2: deploy to the new environment and adapt from its stream."""
-    rngs = RngRegistry(1)
-    new_env = make_dataset("cifar10")
-    encoder = resnet_small(rng=rngs.get("model"))
-    load_module(encoder, checkpoint_path)  # resume from the pre-trained weights
-    projector = ProjectionHead(encoder.feature_dim, out_dim=32, rng=rngs.get("model"))
-    scorer = ContrastScorer(encoder, projector)
-    policy = ContrastScoringPolicy(
-        scorer, BUFFER, lazy=LazyScoringSchedule(lazy_interval)
-    )
-    learner = OnDeviceContrastiveLearner(
-        encoder,
-        projector,
-        policy,
-        BUFFER,
-        rngs.get("augment"),
-        lr=1e-3,
-        augment=SimCLRAugment(jitter_strength=0.2),
-    )
-    stream = TemporalStream(new_env, 64, rngs.get("stream"))
-    for segment in stream.segments(BUFFER, ADAPT_STREAM):
-        learner.process_segment(segment)
+    """Phase 2: deploy to the new environment and adapt from its stream.
 
-    rng = rngs.get("eval")
-    train_x, train_y = new_env.make_split(40, rng)
-    test_x, test_y = new_env.make_split(20, rng)
-    probe = evaluate_encoder(
-        encoder, train_x, train_y, test_x, test_y, new_env.num_classes, rng, epochs=40
+    Uses the :class:`~repro.session.Session` surface: components are
+    built from the config, the pre-trained encoder weights are loaded
+    into them, and the session runs on the injected components.
+    """
+    config = default_config("cifar10", seed=1).with_(
+        buffer_size=BUFFER, total_samples=ADAPT_STREAM
     )
-    overhead = (
-        learner.mean_select_seconds() + learner.mean_train_seconds()
-    ) / learner.mean_train_seconds()
+    comp = build_components(config)
+    load_module(comp.encoder, checkpoint_path)  # resume pre-trained weights
+    result = (
+        Session.from_config(config)
+        .with_components(comp)
+        .with_lazy_interval(lazy_interval)
+        .with_eval_points(1)
+        .run()
+    )
     return {
-        "accuracy": probe.accuracy,
-        "relative_batch_time": overhead,
-        "rescoring_pct": policy.lazy.rescoring_fraction,
+        "accuracy": result.final_accuracy,
+        "relative_batch_time": result.relative_batch_time,
+        "rescoring_pct": result.rescoring_fraction,
     }
 
 

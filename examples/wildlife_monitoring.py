@@ -16,14 +16,10 @@ scoring keeps the species the model hasn't learned yet.
 
 import numpy as np
 
-from repro.core import (
-    ContrastScorer,
-    ContrastScoringPolicy,
-    OnDeviceContrastiveLearner,
-)
+from repro.core import ContrastScorer, OnDeviceContrastiveLearner
 from repro.data import SimCLRAugment, TemporalStream, make_dataset, measure_stc
 from repro.nn import ProjectionHead, resnet_small
-from repro.selection import FIFOPolicy, RandomReplacePolicy
+from repro.registry import create_policy
 from repro.train import evaluate_encoder
 from repro.utils.rng import RngRegistry
 
@@ -42,12 +38,10 @@ def run_policy(policy_name: str, seed: int = 0):
     projector = ProjectionHead(encoder.feature_dim, out_dim=32, rng=rngs.get("model"))
     scorer = ContrastScorer(encoder, projector)
 
-    if policy_name == "contrast-scoring":
-        policy = ContrastScoringPolicy(scorer, BUFFER)
-    elif policy_name == "random-replace":
-        policy = RandomReplacePolicy(BUFFER, rngs.get("policy"))
-    else:
-        policy = FIFOPolicy(BUFFER)
+    # Any name registered via @register_policy works here — no if/elif.
+    policy = create_policy(
+        policy_name, scorer=scorer, capacity=BUFFER, rng=rngs.get("policy")
+    )
 
     learner = OnDeviceContrastiveLearner(
         encoder,

@@ -18,12 +18,20 @@ Public API tour
 * :mod:`repro.experiments` — harnesses regenerating every paper table
   and figure.
 
+* :mod:`repro.registry` — the extension surface: ``@register_policy``,
+  ``@register_dataset``, ``@register_encoder``, ``@register_augment``.
+* :mod:`repro.session` — the unified experiment surface:
+  :class:`~repro.session.Session`.
+
 Quickstart
 ----------
->>> from repro import quickstart_components
->>> learner, stream, dataset = quickstart_components(seed=0)
->>> for segment in stream.segments(32, 640):
-...     stats = learner.process_segment(segment)
+>>> from repro import Session
+>>> result = (
+...     Session.from_config(seed=0, total_samples=640)
+...     .with_policy("contrast-scoring")
+...     .run()
+... )  # doctest: +SKIP
+>>> result.final_accuracy  # doctest: +SKIP
 """
 
 from repro.core import (
@@ -33,6 +41,14 @@ from repro.core import (
     LazyScoringSchedule,
     OnDeviceContrastiveLearner,
 )
+from repro.registry import (
+    create_policy,
+    register_augment,
+    register_dataset,
+    register_encoder,
+    register_policy,
+)
+from repro.session import Session, StreamRunResult
 from repro.version import __version__
 
 __all__ = [
@@ -42,6 +58,13 @@ __all__ = [
     "DataBuffer",
     "LazyScoringSchedule",
     "OnDeviceContrastiveLearner",
+    "Session",
+    "StreamRunResult",
+    "create_policy",
+    "register_augment",
+    "register_dataset",
+    "register_encoder",
+    "register_policy",
     "quickstart_components",
 ]
 
@@ -52,20 +75,31 @@ def quickstart_components(
     stc: int = 64,
     seed: int = 0,
 ):
-    """Build a ready-to-run (learner, stream, dataset) triple.
+    """Deprecated: build a ready-to-run (learner, stream, dataset) triple.
 
-    A convenience wrapper over :mod:`repro.experiments` wiring for the
-    README quickstart and the examples.
+    Use :class:`repro.session.Session` instead — it owns the same wiring
+    plus probes, callbacks, and checkpointing.  Kept as a shim for the
+    README quickstart and older examples.
     """
-    from repro.data.augment import SimCLRAugment
+    import warnings
+
+    warnings.warn(
+        "repro.quickstart_components is deprecated; use repro.Session "
+        "(e.g. Session.from_config(...).run())",
+        DeprecationWarning,
+        stacklevel=2,
+    )
     from repro.data.stream import TemporalStream
     from repro.experiments.config import default_config
-    from repro.experiments.runner import build_components, make_policy
+    from repro.session import build_augment, build_components
 
     config = default_config(dataset, seed=seed).with_(buffer_size=buffer_size, stc=stc)
     comp = build_components(config)
-    policy = make_policy(
-        "contrast-scoring", comp.scorer, buffer_size, comp.rngs.get("policy")
+    policy = create_policy(
+        "contrast-scoring",
+        scorer=comp.scorer,
+        capacity=buffer_size,
+        rng=comp.rngs.get("policy"),
     )
     learner = OnDeviceContrastiveLearner(
         comp.encoder,
@@ -76,10 +110,7 @@ def quickstart_components(
         temperature=config.temperature,
         lr=config.lr,
         weight_decay=config.weight_decay,
-        augment=SimCLRAugment(
-            min_crop_scale=config.augment_min_crop,
-            jitter_strength=config.augment_jitter,
-        ),
+        augment=build_augment(config),
     )
     stream = TemporalStream(comp.dataset, stc, comp.rngs.get("stream"))
     return learner, stream, comp.dataset

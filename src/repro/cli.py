@@ -1,7 +1,8 @@
 """Command-line entry point: ``python -m repro.cli <experiment>``.
 
 Runs any of the paper's experiments at the current ``REPRO_BENCH_SCALE``
-and prints the corresponding table.  Experiment ids mirror DESIGN.md:
+and prints the corresponding table.  Experiment ids mirror the
+per-experiment index in DESIGN.md:
 
     fig3            label-ratio comparison (+ supervised reference)
     fig4a .. fig6b  learning curves per dataset
@@ -11,13 +12,21 @@ and prints the corresponding table.  Experiment ids mirror DESIGN.md:
     ablation-views    deterministic vs randomized scoring views
     ablation-stc      temporal-correlation sweep
     ablation-momentum explicit EMA scores vs lazy scoring
+    ablation-drift    class-incremental drift comparison
+    stream            one Session run of a single policy
+
+``--list`` enumerates the experiment ids together with every policy,
+dataset, encoder, and augment registered in :mod:`repro.registry`
+(plugins included).  ``--policy`` overrides the policy selection of
+experiments that compare or run policies; any registered policy name
+or alias is accepted.
 """
 
 from __future__ import annotations
 
 import argparse
 import sys
-from typing import Callable, Dict
+from typing import Callable, Dict, Optional
 
 from repro.experiments import (
     default_config,
@@ -39,6 +48,10 @@ from repro.experiments import (
     run_table2,
     scaled_config,
 )
+from repro.experiments.runner import POLICY_NAMES
+from repro.registry import AUGMENTS, DATASETS, ENCODERS, POLICIES
+from repro.session import Session
+from repro.utils.tables import format_table
 
 __all__ = ["main", "EXPERIMENTS"]
 
@@ -52,57 +65,88 @@ _CURVE_DATASETS = {
 }
 
 
-def _run_fig3(seed: int) -> str:
+def _fixed_roster(fn):
+    """Mark a runner whose policy roster is fixed by the paper's
+    protocol; ``main`` rejects ``--policy`` for it before running."""
+    fn.supports_policy = False
+    return fn
+
+
+def _run_fig3(seed: int, policy: Optional[str] = None) -> str:
     config = scaled_config(default_config(seed=seed))
-    return format_fig3(run_fig3(config))
+    policies = POLICY_NAMES if policy is None else (policy,)
+    return format_fig3(run_fig3(config, policies=policies))
 
 
-def _curve_runner(dataset: str) -> Callable[[int], str]:
-    def run(seed: int) -> str:
+def _curve_runner(dataset: str) -> Callable[[int, Optional[str]], str]:
+    def run(seed: int, policy: Optional[str] = None) -> str:
         config = scaled_config(default_config(dataset, seed=seed))
-        return format_learning_curves(run_learning_curves(dataset, config))
+        kwargs = {} if policy is None else {"policies": (policy,)}
+        return format_learning_curves(run_learning_curves(dataset, config, **kwargs))
 
     return run
 
 
-def _run_table1(seed: int) -> str:
+@_fixed_roster
+def _run_table1(seed: int, policy: Optional[str] = None) -> str:
     config = scaled_config(default_config(seed=seed))
     return format_table1(run_table1(config))
 
 
-def _run_table2(seed: int) -> str:
+def _run_table2(seed: int, policy: Optional[str] = None) -> str:
     config = scaled_config(default_config(seed=seed))
-    return format_table2(run_table2(config))
+    kwargs = {} if policy is None else {"policies": (policy,)}
+    return format_table2(run_table2(config, **kwargs))
 
 
-def _run_ablation_grad(seed: int) -> str:
+@_fixed_roster
+def _run_ablation_grad(seed: int, policy: Optional[str] = None) -> str:
     config = scaled_config(default_config(seed=seed))
     return format_gradient_ablation(run_gradient_ablation(config))
 
 
-def _run_ablation_views(seed: int) -> str:
+@_fixed_roster
+def _run_ablation_views(seed: int, policy: Optional[str] = None) -> str:
     config = scaled_config(default_config(seed=seed))
     return format_scoring_view_ablation(run_scoring_view_ablation(config))
 
 
-def _run_ablation_stc(seed: int) -> str:
+@_fixed_roster
+def _run_ablation_stc(seed: int, policy: Optional[str] = None) -> str:
     config = scaled_config(default_config(seed=seed))
     return format_stc_sweep(run_stc_sweep(config))
 
 
-def _run_ablation_momentum(seed: int) -> str:
+@_fixed_roster
+def _run_ablation_momentum(seed: int, policy: Optional[str] = None) -> str:
     config = scaled_config(default_config(seed=seed))
     return format_momentum_ablation(run_momentum_ablation(config))
 
 
-def _run_ablation_drift(seed: int) -> str:
+def _run_ablation_drift(seed: int, policy: Optional[str] = None) -> str:
     from repro.experiments.drift import format_drift, run_drift_experiment
 
     config = scaled_config(default_config(seed=seed))
-    return format_drift(run_drift_experiment(config))
+    kwargs = {} if policy is None else {"policies": (policy,)}
+    return format_drift(run_drift_experiment(config, **kwargs))
 
 
-EXPERIMENTS: Dict[str, Callable[[int], str]] = {
+def _run_stream(seed: int, policy: Optional[str] = None) -> str:
+    """One Session run of a single policy; prints the learning curve."""
+    config = scaled_config(default_config(seed=seed))
+    policy = policy if policy is not None else "contrast-scoring"
+    result = Session.from_config(config, policy=policy).with_eval_points(4).run()
+    header = ["seen inputs", "probe accuracy"]
+    rows = [[str(s), f"{a:.3f}"] for s, a in result.curve.as_rows()]
+    summary = (
+        f"policy={result.policy} final={result.final_accuracy:.3f} "
+        f"loss={result.final_loss:.3f} "
+        f"rel-batch-time={result.relative_batch_time:.3f}"
+    )
+    return "\n".join([format_table(header, rows), summary])
+
+
+EXPERIMENTS: Dict[str, Callable[..., str]] = {
     "fig3": _run_fig3,
     **{name: _curve_runner(ds) for name, ds in _CURVE_DATASETS.items()},
     "table1": _run_table1,
@@ -112,7 +156,24 @@ EXPERIMENTS: Dict[str, Callable[[int], str]] = {
     "ablation-stc": _run_ablation_stc,
     "ablation-momentum": _run_ablation_momentum,
     "ablation-drift": _run_ablation_drift,
+    "stream": _run_stream,
 }
+
+
+def _format_listing() -> str:
+    """The --list report: experiment ids and every registry's contents."""
+    lines = ["experiments:"]
+    lines += [f"  {name}" for name in sorted(EXPERIMENTS)]
+    plurals = {"policy": "policies"}
+    for registry in (POLICIES, DATASETS, ENCODERS, AUGMENTS):
+        lines.append(f"{plurals.get(registry.kind, registry.kind + 's')}:")
+        for entry in registry.entries():
+            alias_note = (
+                f" (aliases: {', '.join(entry.aliases)})" if entry.aliases else ""
+            )
+            label = "" if entry.display_label == entry.name else entry.display_label
+            lines.append(f"  {entry.name:<18} {label}{alias_note}".rstrip())
+    return "\n".join(lines)
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -122,14 +183,45 @@ def main(argv: list[str] | None = None) -> int:
     )
     parser.add_argument(
         "experiment",
+        nargs="?",
         choices=sorted(EXPERIMENTS),
         help="experiment id (see DESIGN.md per-experiment index)",
     )
     parser.add_argument("--seed", type=int, default=0, help="experiment seed")
+    parser.add_argument(
+        "--policy",
+        default=None,
+        help="override the policy roster with one registered policy name",
+    )
+    parser.add_argument(
+        "--list",
+        action="store_true",
+        help="list experiment ids and registered policies/datasets/"
+        "encoders/augments, then exit",
+    )
     args = parser.parse_args(argv)
 
+    if args.list:
+        print(_format_listing())
+        return 0
+    if args.experiment is None:
+        parser.error("an experiment id is required (or use --list)")
+
+    runner = EXPERIMENTS[args.experiment]
+    policy = args.policy
+    if policy is not None:
+        if not getattr(runner, "supports_policy", True):
+            parser.error(
+                f"experiment {args.experiment!r} does not take --policy "
+                "(its policy roster is fixed by the paper's protocol)"
+            )
+        try:
+            policy = POLICIES.get(policy).name  # resolve aliases, validate
+        except KeyError as exc:
+            parser.error(str(exc))
+
     print(f"== {args.experiment} (seed {args.seed}) ==")
-    print(EXPERIMENTS[args.experiment](args.seed))
+    print(runner(args.seed, policy))
     return 0
 
 

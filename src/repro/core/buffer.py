@@ -145,5 +145,38 @@ class DataBuffer:
             raise ValueError("indices out of range")
         self.scores[indices] = np.asarray(values, dtype=np.float64)
 
+    # ------------------------------------------------------------------
+    def state_dict(self) -> dict:
+        """Full buffer state as name -> array (checkpointing)."""
+        images = (
+            np.zeros((0, 0, 0, 0), dtype=np.float32)
+            if self.images is None
+            else self.images.copy()
+        )
+        return {
+            "images": images,
+            "uids": self.uids.copy(),
+            "ages": self.ages.copy(),
+            "scores": self.scores.copy(),
+            "inserted_at": self.inserted_at.copy(),
+            "next_uid": np.array(self._next_uid, dtype=np.int64),
+            "capacity": np.array(self.capacity, dtype=np.int64),
+        }
+
+    def load_state_dict(self, state: dict) -> None:
+        """Restore the exact state written by :meth:`state_dict`."""
+        capacity = int(state["capacity"])
+        if capacity != self.capacity:
+            raise ValueError(
+                f"checkpoint capacity {capacity} != buffer capacity {self.capacity}"
+            )
+        images = np.asarray(state["images"])
+        self.images = None if images.size == 0 else images.astype(np.float32)
+        self.uids = np.asarray(state["uids"], dtype=np.int64).copy()
+        self.ages = np.asarray(state["ages"], dtype=np.int64).copy()
+        self.scores = np.asarray(state["scores"], dtype=np.float64).copy()
+        self.inserted_at = np.asarray(state["inserted_at"], dtype=np.int64).copy()
+        self._next_uid = int(state["next_uid"])
+
     def __repr__(self) -> str:
         return f"DataBuffer(size={self.size}/{self.capacity})"

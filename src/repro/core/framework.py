@@ -113,7 +113,10 @@ class OnDeviceContrastiveLearner:
         """One framework iteration: replace buffer data, then train once."""
         incoming = segment.images
         if incoming.ndim != 4 or incoming.shape[0] == 0:
-            raise ValueError(f"segment must be a non-empty NCHW batch")
+            raise ValueError(
+                f"segment must be a non-empty NCHW batch, got shape "
+                f"{segment.images.shape}"
+            )
 
         # --- 1. data replacement (labels hidden from the policy) -------
         t0 = time.perf_counter()
@@ -186,6 +189,82 @@ class OnDeviceContrastiveLearner:
             if callback is not None:
                 callback(self, stats)
         return collected
+
+    # ------------------------------------------------------------------
+    # Checkpointing
+    # ------------------------------------------------------------------
+    #: Per-step scalars serialized into the ``history`` array, in column
+    #: order.  ``StepStats.info`` is diagnostic-only and not persisted.
+    _HISTORY_FIELDS = (
+        "iteration",
+        "seen_inputs",
+        "loss",
+        "buffer_size",
+        "num_scored",
+        "select_seconds",
+        "train_seconds",
+    )
+
+    def state_dict(self) -> Dict[str, np.ndarray]:
+        """Everything needed to resume training bitwise-identically.
+
+        Covers model weights, optimizer moments, buffer contents and
+        bookkeeping, hidden label tracking, iteration counters, and the
+        scalar step history.  Randomness (augment RNG) is *not* included
+        — the generators are injected and belong to the caller's
+        :class:`~repro.utils.rng.RngRegistry`, which snapshots them via
+        ``RngRegistry.state()``.
+        """
+        out: Dict[str, np.ndarray] = {}
+        for key, value in self.encoder.state_dict().items():
+            out[f"encoder/{key}"] = value
+        for key, value in self.projector.state_dict().items():
+            out[f"projector/{key}"] = value
+        for key, value in self.optimizer.state_dict().items():
+            out[f"optimizer/{key}"] = value
+        for key, value in self.buffer.state_dict().items():
+            out[f"buffer/{key}"] = value
+        out["buffer_labels"] = self._buffer_labels.copy()
+        out["iteration"] = np.array(self.iteration, dtype=np.int64)
+        out["seen_inputs"] = np.array(self.seen_inputs, dtype=np.int64)
+        out["history"] = np.array(
+            [
+                [getattr(s, name) for name in self._HISTORY_FIELDS]
+                for s in self.history
+            ],
+            dtype=np.float64,
+        ).reshape(len(self.history), len(self._HISTORY_FIELDS))
+        return out
+
+    def load_state_dict(self, state: Dict[str, np.ndarray]) -> None:
+        """Restore the exact state written by :meth:`state_dict`."""
+
+        def sub(prefix: str) -> Dict[str, np.ndarray]:
+            return {
+                key[len(prefix) :]: value
+                for key, value in state.items()
+                if key.startswith(prefix)
+            }
+
+        self.encoder.load_state_dict(sub("encoder/"))
+        self.projector.load_state_dict(sub("projector/"))
+        self.optimizer.load_state_dict(sub("optimizer/"))
+        self.buffer.load_state_dict(sub("buffer/"))
+        self._buffer_labels = np.asarray(state["buffer_labels"], dtype=np.int64).copy()
+        self.iteration = int(state["iteration"])
+        self.seen_inputs = int(state["seen_inputs"])
+        self.history = [
+            StepStats(
+                iteration=int(row[0]),
+                seen_inputs=int(row[1]),
+                loss=float(row[2]),
+                buffer_size=int(row[3]),
+                num_scored=int(row[4]),
+                select_seconds=float(row[5]),
+                train_seconds=float(row[6]),
+            )
+            for row in np.asarray(state["history"], dtype=np.float64)
+        ]
 
     # ------------------------------------------------------------------
     # Evaluation-only introspection (never available to the policy).

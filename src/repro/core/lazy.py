@@ -90,6 +90,26 @@ class LazyScoringSchedule:
         self._candidates_total = 0
         self._steps = 0
 
+    def state_dict(self) -> dict:
+        """Accounting state (JSON-serializable) for checkpointing."""
+        return {
+            "interval": self.interval,
+            "rescored_total": self._rescored_total,
+            "candidates_total": self._candidates_total,
+            "steps": self._steps,
+        }
+
+    def load_state_dict(self, state: dict) -> None:
+        """Restore accounting written by :meth:`state_dict`."""
+        if state.get("interval") != self.interval:
+            raise ValueError(
+                f"checkpoint interval {state.get('interval')} != "
+                f"schedule interval {self.interval}"
+            )
+        self._rescored_total = int(state["rescored_total"])
+        self._candidates_total = int(state["candidates_total"])
+        self._steps = int(state["steps"])
+
     def __repr__(self) -> str:
         label = self.interval if self.enabled else "disabled"
         return f"LazyScoringSchedule(interval={label})"

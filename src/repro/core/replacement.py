@@ -20,6 +20,7 @@ import numpy as np
 from repro.core.buffer import DataBuffer
 from repro.core.lazy import LazyScoringSchedule
 from repro.core.scoring import ContrastScorer
+from repro.registry import register_policy
 from repro.selection.base import ReplacementPolicy, SelectionResult
 
 __all__ = ["ContrastScoringPolicy"]
@@ -126,3 +127,19 @@ class ContrastScoringPolicy(ReplacementPolicy):
 
     def reset(self) -> None:
         self.lazy.reset_stats()
+
+
+@register_policy("contrast-scoring", label="Contrast Scoring", aliases=("cs", "contrast"))
+def _contrast_scoring_factory(
+    scorer: ContrastScorer,
+    capacity: int,
+    lazy_interval: Optional[int] = None,
+    score_momentum: float = 0.0,
+) -> ContrastScoringPolicy:
+    """Registry factory: the standard keyword set -> the paper's policy."""
+    return ContrastScoringPolicy(
+        scorer,
+        capacity,
+        lazy=LazyScoringSchedule(lazy_interval),
+        score_momentum=score_momentum,
+    )

@@ -23,6 +23,7 @@ from typing import Tuple
 import numpy as np
 
 from repro.data.resize import crop_resize_batch
+from repro.registry import register_augment
 
 __all__ = [
     "horizontal_flip",
@@ -107,6 +108,7 @@ def random_grayscale(
     return out
 
 
+@register_augment("simclr", label="SimCLR strong two-view", aliases=("default",))
 @dataclass
 class SimCLRAugment:
     """The paper's strong two-view augmentation (crop, flip, jitter, gray).

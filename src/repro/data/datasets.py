@@ -9,9 +9,10 @@ for CPU training; benchmarks may override ``image_size`` uniformly.
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional
+from typing import Any, Dict, List, Optional
 
 from repro.data.synthetic import SyntheticConfig, SyntheticImageDataset
+from repro.registry import DATASETS, register_dataset
 
 __all__ = ["DATASET_REGISTRY", "dataset_names", "get_dataset_config", "make_dataset"]
 
@@ -86,16 +87,34 @@ DATASET_REGISTRY: Dict[str, SyntheticConfig] = {
 }
 
 
+def _synthetic_factory(cfg: SyntheticConfig):
+    """A registry factory instantiating one synthetic stand-in recipe."""
+
+    def build(image_size: Optional[int] = None) -> SyntheticImageDataset:
+        resolved = cfg if image_size is None else cfg.with_image_size(image_size)
+        return SyntheticImageDataset(resolved)
+
+    return build
+
+
+for _name, _cfg in DATASET_REGISTRY.items():
+    register_dataset(_name, num_classes=_cfg.num_classes)(_synthetic_factory(_cfg))
+del _name, _cfg
+
+
 def dataset_names() -> List[str]:
-    """All registered dataset names."""
-    return sorted(DATASET_REGISTRY)
+    """All registered dataset names (built-ins plus plugins)."""
+    return DATASETS.names()
 
 
 def get_dataset_config(name: str, image_size: Optional[int] = None) -> SyntheticConfig:
-    """Look up a registered config, optionally overriding the resolution."""
+    """Look up a built-in synthetic config, optionally overriding the
+    resolution.  Plugin datasets registered via
+    :func:`repro.registry.register_dataset` have no SyntheticConfig;
+    use :func:`make_dataset` for those."""
     if name not in DATASET_REGISTRY:
         raise KeyError(
-            f"unknown dataset {name!r}; available: {', '.join(dataset_names())}"
+            f"unknown dataset {name!r}; available: {', '.join(sorted(DATASET_REGISTRY))}"
         )
     cfg = DATASET_REGISTRY[name]
     if image_size is not None:
@@ -103,6 +122,17 @@ def get_dataset_config(name: str, image_size: Optional[int] = None) -> Synthetic
     return cfg
 
 
-def make_dataset(name: str, image_size: Optional[int] = None) -> SyntheticImageDataset:
-    """Instantiate a registered dataset."""
-    return SyntheticImageDataset(get_dataset_config(name, image_size))
+def make_dataset(name: str, image_size: Optional[int] = None) -> Any:
+    """Instantiate a registered dataset (built-in or plugin) by name.
+
+    Built-ins return :class:`SyntheticImageDataset`; plugins return
+    whatever their registered factory builds.
+
+    An *explicit* ``image_size`` is a requirement, not an offer: a
+    plugin factory that does not declare the parameter raises
+    ``TypeError`` rather than silently building at native resolution.
+    """
+    if image_size is None:
+        # omit the key entirely so factories keep their own defaults
+        return DATASETS.create(name)
+    return DATASETS.create_with_required(name, ("image_size",), image_size=image_size)

@@ -134,6 +134,26 @@ class TemporalStream:
         """Number of samples emitted so far."""
         return self._position
 
+    def state_dict(self) -> dict:
+        """Stream-process counters (JSON-serializable) for checkpointing.
+
+        The RNG driving the process is owned by the caller (usually a
+        :class:`~repro.utils.rng.RngRegistry`) and is checkpointed
+        there, not here.
+        """
+        return {
+            "position": self._position,
+            "current_class": self._current_class,
+            "remaining_in_run": self._remaining_in_run,
+        }
+
+    def load_state_dict(self, state: dict) -> None:
+        """Restore counters written by :meth:`state_dict`."""
+        self._position = int(state["position"])
+        current = state["current_class"]
+        self._current_class = None if current is None else int(current)
+        self._remaining_in_run = int(state["remaining_in_run"])
+
 
 def measure_stc(labels: np.ndarray) -> float:
     """Empirical STC of a label sequence: mean same-class run length."""

@@ -22,10 +22,9 @@ from repro.core.gradient_analysis import score_gradient_relation
 from repro.core.scoring import ContrastScorer
 from repro.data.augment import SimCLRAugment, horizontal_flip
 from repro.experiments.config import StreamExperimentConfig, default_config
-from repro.experiments.runner import (
-    build_components,
-    run_stream_experiment,
-)
+from repro.experiments.runner import run_stream_experiment
+from repro.registry import canonical_policy_names, create_policy
+from repro.session import build_components
 from repro.utils.tables import format_table
 
 __all__ = [
@@ -75,10 +74,12 @@ def run_gradient_ablation(
     # Interleave short training phases with measurements.
     from repro.data.stream import TemporalStream
     from repro.core.framework import OnDeviceContrastiveLearner
-    from repro.experiments.runner import make_policy
 
-    policy = make_policy(
-        "contrast-scoring", comp.scorer, config.buffer_size, comp.rngs.get("policy")
+    policy = create_policy(
+        "contrast-scoring",
+        scorer=comp.scorer,
+        capacity=config.buffer_size,
+        rng=comp.rngs.get("policy"),
     )
     learner = OnDeviceContrastiveLearner(
         comp.encoder,
@@ -232,6 +233,7 @@ def run_stc_sweep(
 ) -> StcSweepResult:
     """Vary the temporal correlation strength of the stream."""
     base = config if config is not None else default_config()
+    policies = canonical_policy_names(policies)
     result = StcSweepResult(stc_values=tuple(stc_values))
     for stc in stc_values:
         cfg = base.with_(stc=stc)

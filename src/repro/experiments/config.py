@@ -40,11 +40,14 @@ class StreamExperimentConfig:
     temperature: float = 0.5
     lr: float = 1e-3
     weight_decay: float = 1e-4
-    # model
+    # model (``encoder`` names a repro.registry entry; the width/depth
+    # knobs below apply to encoders whose factory accepts them)
+    encoder: str = "resnet"
     encoder_widths: Tuple[int, ...] = (12, 24, 48)
     encoder_blocks: int = 1
     projection_dim: int = 32
-    # augmentation (strong, stage-1)
+    # augmentation (strong, stage-1; ``augment`` names a registry entry)
+    augment: str = "simclr"
     augment_min_crop: float = 0.6
     augment_jitter: float = 0.2
     augment_grayscale_p: float = 0.2

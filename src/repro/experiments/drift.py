@@ -20,7 +20,8 @@ from repro.core.framework import OnDeviceContrastiveLearner
 from repro.data.augment import SimCLRAugment
 from repro.data.drift import DriftStream, growing_phases
 from repro.experiments.config import StreamExperimentConfig, default_config
-from repro.experiments.runner import build_components, make_policy
+from repro.registry import canonical_policy_names, create_policy
+from repro.session import build_components
 from repro.metrics.accuracy import per_class_accuracy
 from repro.train.classifier import LinearProbe
 from repro.utils.tables import format_table
@@ -47,6 +48,7 @@ def run_drift_experiment(
 ) -> DriftResult:
     """Run the class-incremental drift comparison."""
     config = config if config is not None else default_config()
+    policies = canonical_policy_names(policies)
 
     # establish the phase structure once (shared by all policies)
     reference = build_components(config)
@@ -61,11 +63,11 @@ def run_drift_experiment(
     )
     for policy_name in policies:
         comp = build_components(config)
-        policy = make_policy(
+        policy = create_policy(
             policy_name,
-            comp.scorer,
-            config.buffer_size,
-            comp.rngs.get("policy"),
+            scorer=comp.scorer,
+            capacity=config.buffer_size,
+            rng=comp.rngs.get("policy"),
             temperature=config.temperature,
         )
         learner = OnDeviceContrastiveLearner(

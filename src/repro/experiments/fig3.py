@@ -25,9 +25,10 @@ from repro.experiments.config import StreamExperimentConfig, default_config
 from repro.experiments.runner import (
     POLICY_LABELS,
     POLICY_NAMES,
-    build_components,
     run_stream_experiment,
 )
+from repro.registry import canonical_policy_names
+from repro.session import build_components
 from repro.nn.resnet import ResNetEncoder
 from repro.train.classifier import evaluate_encoder
 from repro.train.supervised import SupervisedBaseline
@@ -67,6 +68,7 @@ def run_fig3(
     head directly on each labeled subset with no contrastive stage.
     """
     config = config if config is not None else default_config()
+    policies = canonical_policy_names(policies)
     result = Fig3Result(config=config, label_fractions=tuple(label_fractions))
 
     for policy in policies:

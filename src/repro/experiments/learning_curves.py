@@ -24,6 +24,7 @@ from repro.experiments.runner import (
     run_stream_experiment,
 )
 from repro.metrics.curves import LearningCurve, speedup_at_accuracy
+from repro.registry import canonical_policy_names
 from repro.utils.tables import format_table
 
 __all__ = [
@@ -73,6 +74,7 @@ def run_learning_curves(
     config = config if config is not None else default_config(dataset)
     if config.dataset != dataset:
         config = config.with_(dataset=dataset)
+    policies = canonical_policy_names(policies)
     result = LearningCurveResult(dataset=dataset, config=config)
     for policy in policies:
         result.runs[policy] = run_stream_experiment(
@@ -104,9 +106,12 @@ def format_learning_curves(result: LearningCurveResult) -> str:
         speedup = result.speedup_over(baseline)
         label = POLICY_LABELS.get(baseline, baseline)
         if speedup is None:
-            extras.append(
-                f"speedup vs {label}: n/a (target accuracy not reached)"
+            reason = (
+                "no contrast-scoring run"
+                if "contrast-scoring" not in result.runs
+                else "target accuracy not reached"
             )
+            extras.append(f"speedup vs {label}: n/a ({reason})")
         else:
             extras.append(f"speedup vs {label}: {speedup:.2f}x")
     finals = ", ".join(

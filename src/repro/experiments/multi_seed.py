@@ -15,6 +15,7 @@ import numpy as np
 
 from repro.experiments.config import StreamExperimentConfig, default_config
 from repro.experiments.runner import StreamRunResult, run_stream_experiment
+from repro.registry import canonical_policy_names
 from repro.utils.tables import format_table
 
 __all__ = ["SeedAggregate", "MultiSeedResult", "run_multi_seed", "format_multi_seed"]
@@ -75,6 +76,7 @@ def run_multi_seed(
     base = config if config is not None else default_config()
     if not seeds:
         raise ValueError("need at least one seed")
+    policies = canonical_policy_names(policies)
     result = MultiSeedResult(config=base, seeds=tuple(seeds))
     for policy in policies:
         aggregate = SeedAggregate(policy=policy)

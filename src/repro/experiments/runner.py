@@ -1,40 +1,37 @@
 """Shared experiment machinery: component wiring and the stream runner.
 
 Every figure/table harness builds on :func:`run_stream_experiment`,
-which executes one full stage-1 run (stream → replacement → training)
-while periodically probing the encoder (stage 2) to record a learning
-curve.
+which executes one full stage-1 run (stream → selective replacement →
+contrastive update) while periodically probing the encoder (stage 2) to
+record a learning curve.
+
+As of the registry/Session redesign this module is a thin compatibility
+layer: the canonical implementation lives in :class:`repro.session.
+Session` (execution, checkpoint/resume, lifecycle callbacks) and
+:mod:`repro.registry` (component construction).  ``make_policy`` and
+``build_components`` are kept as deprecation shims so existing call
+sites keep working; new code should use
+``repro.session.build_components`` and ``repro.registry.create_policy``.
 """
 
 from __future__ import annotations
 
-import time
-from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Tuple
+import warnings
+from collections.abc import Mapping
+from typing import Iterator, Optional
 
 import numpy as np
 
-from repro.core.framework import OnDeviceContrastiveLearner
-from repro.core.lazy import LazyScoringSchedule
-from repro.core.replacement import ContrastScoringPolicy
 from repro.core.scoring import ContrastScorer
-from repro.data.augment import SimCLRAugment
-from repro.data.datasets import make_dataset
-from repro.data.stream import TemporalStream
-from repro.data.synthetic import SyntheticImageDataset
-from repro.experiments.config import StreamExperimentConfig
-from repro.metrics.curves import LearningCurve
-from repro.nn.projection import ProjectionHead
-from repro.nn.resnet import ResNetEncoder
-from repro.selection import (
-    FIFOPolicy,
-    KCenterPolicy,
-    RandomReplacePolicy,
-    ReplacementPolicy,
-    SelectiveBPPolicy,
+from repro.registry import create_policy, policy_labels
+from repro.selection.base import ReplacementPolicy
+from repro.session import (
+    ExperimentComponents,
+    Session,
+    StreamRunResult,
+    build_components as _build_components,
 )
-from repro.train.classifier import evaluate_encoder
-from repro.utils.rng import RngRegistry
+from repro.experiments.config import StreamExperimentConfig
 
 __all__ = [
     "POLICY_NAMES",
@@ -46,71 +43,45 @@ __all__ = [
     "run_stream_experiment",
 ]
 
-#: Canonical policy identifiers used across benchmarks and the CLI.
+#: Canonical policy identifiers used across benchmarks and the CLI, in
+#: the paper's figure order.  Plugins registered via
+#: ``@register_policy`` are *not* listed here — use
+#: :func:`repro.registry.policy_names` for the full set.
 POLICY_NAMES = ("contrast-scoring", "random-replace", "fifo", "selective-bp", "k-center")
 
-#: Pretty labels matching the paper's figures.
-POLICY_LABELS = {
-    "contrast-scoring": "Contrast Scoring",
-    "random-replace": "Random Replace",
-    "fifo": "FIFO Replace",
-    "selective-bp": "Selective-BP",
-    "k-center": "K-Center",
-}
+class _LivePolicyLabels(Mapping):
+    """A read-only live view over the policy registry's labels.
+
+    Not a snapshot: policies registered after this module is imported
+    (plugins) show their labels too.
+    """
+
+    def __getitem__(self, name: str) -> str:
+        return policy_labels()[name]
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(policy_labels())
+
+    def __len__(self) -> int:
+        return len(policy_labels())
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return repr(policy_labels())
 
 
-@dataclass
-class ExperimentComponents:
-    """The wired-up pieces of one run."""
-
-    dataset: SyntheticImageDataset
-    encoder: ResNetEncoder
-    projector: ProjectionHead
-    scorer: ContrastScorer
-    rngs: RngRegistry
-
-
-@dataclass
-class StreamRunResult:
-    """Outcome of one stage-1 run plus its probe evaluations."""
-
-    policy: str
-    config: StreamExperimentConfig
-    curve: LearningCurve
-    final_accuracy: float
-    final_loss: float
-    mean_select_seconds: float
-    mean_train_seconds: float
-    rescoring_fraction: Optional[float]
-    buffer_class_diversity: float
-    wall_seconds: float
-    info: Dict[str, float] = field(default_factory=dict)
-
-    @property
-    def relative_batch_time(self) -> float:
-        """Per-iteration time relative to training alone (Table I metric)."""
-        if self.mean_train_seconds <= 0:
-            return float("nan")
-        return (
-            self.mean_select_seconds + self.mean_train_seconds
-        ) / self.mean_train_seconds
+#: Pretty labels matching the paper's figures (live registry metadata).
+POLICY_LABELS = _LivePolicyLabels()
 
 
 def build_components(config: StreamExperimentConfig) -> ExperimentComponents:
-    """Instantiate dataset, encoder, projector, and scorer for a config."""
-    rngs = RngRegistry(config.seed)
-    dataset = make_dataset(config.dataset, image_size=config.image_size)
-    encoder = ResNetEncoder(
-        in_channels=dataset.image_shape[0],
-        widths=config.encoder_widths,
-        blocks_per_stage=config.encoder_blocks,
-        rng=rngs.get("model"),
+    """Deprecated shim: use :func:`repro.session.build_components`."""
+    warnings.warn(
+        "repro.experiments.runner.build_components is deprecated; "
+        "use repro.session.build_components",
+        DeprecationWarning,
+        stacklevel=2,
     )
-    projector = ProjectionHead(
-        encoder.feature_dim, out_dim=config.projection_dim, rng=rngs.get("model")
-    )
-    scorer = ContrastScorer(encoder, projector)
-    return ExperimentComponents(dataset, encoder, projector, scorer, rngs)
+    return _build_components(config)
 
 
 def make_policy(
@@ -122,23 +93,22 @@ def make_policy(
     lazy_interval: Optional[int] = None,
     score_momentum: float = 0.0,
 ) -> ReplacementPolicy:
-    """Construct a policy by canonical name."""
-    if name == "contrast-scoring":
-        return ContrastScoringPolicy(
-            scorer,
-            capacity,
-            lazy=LazyScoringSchedule(lazy_interval),
-            score_momentum=score_momentum,
-        )
-    if name == "random-replace":
-        return RandomReplacePolicy(capacity, rng)
-    if name == "fifo":
-        return FIFOPolicy(capacity)
-    if name == "selective-bp":
-        return SelectiveBPPolicy(scorer, capacity, temperature=temperature)
-    if name == "k-center":
-        return KCenterPolicy(scorer, capacity)
-    raise ValueError(f"unknown policy {name!r}; known: {', '.join(POLICY_NAMES)}")
+    """Deprecated shim: use :func:`repro.registry.create_policy`."""
+    warnings.warn(
+        "repro.experiments.runner.make_policy is deprecated; "
+        "use repro.registry.create_policy",
+        DeprecationWarning,
+        stacklevel=2,
+    )
+    return create_policy(
+        name,
+        scorer=scorer,
+        capacity=capacity,
+        rng=rng,
+        temperature=temperature,
+        lazy_interval=lazy_interval,
+        score_momentum=score_momentum,
+    )
 
 
 def run_stream_experiment(
@@ -152,10 +122,15 @@ def run_stream_experiment(
 ) -> StreamRunResult:
     """Execute one full stream-learning run and probe the encoder.
 
+    A thin wrapper over :class:`repro.session.Session` (results are
+    identical); kept because every harness and benchmark phrases its
+    protocol in terms of this function.
+
     Parameters
     ----------
     config: experiment parameters.
-    policy_name: one of :data:`POLICY_NAMES`.
+    policy_name: any registered policy name (see
+        :func:`repro.registry.policy_names`).
     eval_points: number of probe checkpoints along the stream (>= 1;
         the final checkpoint is always taken at the end).
     label_fraction: stage-2 label budget for every probe.
@@ -163,93 +138,13 @@ def run_stream_experiment(
     score_momentum: EMA smoothing of scores (contrast-scoring only).
     components: pre-built components (rebuilt from config when None).
     """
-    if eval_points < 1:
-        raise ValueError(f"eval_points must be >= 1, got {eval_points}")
-    comp = components if components is not None else build_components(config)
-    rngs = comp.rngs
-
-    policy = make_policy(
-        policy_name,
-        comp.scorer,
-        config.buffer_size,
-        rngs.get("policy"),
-        temperature=config.temperature,
-        lazy_interval=lazy_interval,
-        score_momentum=score_momentum,
+    session = (
+        Session(config, policy=policy_name)
+        .with_eval_points(eval_points)
+        .with_label_fraction(label_fraction)
+        .with_lazy_interval(lazy_interval)
+        .with_score_momentum(score_momentum)
     )
-    augment = SimCLRAugment(
-        min_crop_scale=config.augment_min_crop,
-        jitter_strength=config.augment_jitter,
-        grayscale_p=config.augment_grayscale_p,
-    )
-    learner = OnDeviceContrastiveLearner(
-        comp.encoder,
-        comp.projector,
-        policy,
-        config.buffer_size,
-        rngs.get("augment"),
-        temperature=config.temperature,
-        lr=config.lr,
-        weight_decay=config.weight_decay,
-        augment=augment,
-    )
-    stream = TemporalStream(comp.dataset, config.stc, rngs.get("stream"))
-
-    # Fixed evaluation pools shared across checkpoints (and across policy
-    # runs with the same seed, since the registry keys are stable).
-    probe_train_x, probe_train_y = comp.dataset.make_split(
-        config.probe_train_per_class, rngs.get("probe-train-pool")
-    )
-    probe_test_x, probe_test_y = comp.dataset.make_split(
-        config.probe_test_per_class, rngs.get("probe-test-pool")
-    )
-
-    def probe() -> float:
-        result = evaluate_encoder(
-            comp.encoder,
-            probe_train_x,
-            probe_train_y,
-            probe_test_x,
-            probe_test_y,
-            comp.dataset.num_classes,
-            rngs.get("probe"),
-            label_fraction=label_fraction,
-            lr=config.probe_lr,
-            epochs=config.probe_epochs,
-        )
-        return result.accuracy
-
-    total_iters = config.iterations
-    eval_every = max(1, total_iters // eval_points)
-    curve = LearningCurve(method=policy_name)
-    diversity: List[float] = []
-
-    start = time.perf_counter()
-    final_loss = float("nan")
-    for segment in stream.segments(config.buffer_size, config.total_samples):
-        stats = learner.process_segment(segment)
-        final_loss = stats.loss
-        diversity.append(
-            float((learner.buffer_class_histogram(comp.dataset.num_classes) > 0).sum())
-        )
-        is_last = learner.seen_inputs >= config.total_samples
-        if learner.iteration % eval_every == 0 or is_last:
-            curve.add(learner.seen_inputs, probe())
-    wall = time.perf_counter() - start
-
-    rescoring = None
-    if isinstance(policy, ContrastScoringPolicy):
-        rescoring = policy.lazy.rescoring_fraction
-
-    return StreamRunResult(
-        policy=policy_name,
-        config=config,
-        curve=curve,
-        final_accuracy=curve.final_accuracy,
-        final_loss=final_loss,
-        mean_select_seconds=learner.mean_select_seconds(),
-        mean_train_seconds=learner.mean_train_seconds(),
-        rescoring_fraction=rescoring,
-        buffer_class_diversity=float(np.mean(diversity)) if diversity else 0.0,
-        wall_seconds=wall,
-    )
+    if components is not None:
+        session.with_components(components)
+    return session.run()

@@ -21,6 +21,7 @@ from repro.experiments.runner import (
     run_stream_experiment,
 )
 from repro.nn.optim import sqrt_batch_lr_scale
+from repro.registry import canonical_policy_names
 from repro.utils.tables import format_table
 
 __all__ = ["BUFFER_SIZES", "Table2Result", "run_table2", "format_table2"]
@@ -56,6 +57,7 @@ def run_table2(
 ) -> Table2Result:
     """Run the buffer-size sweep with sqrt lr scaling."""
     base = config if config is not None else default_config()
+    policies = canonical_policy_names(policies)
     result = Table2Result(config=base, buffer_sizes=tuple(buffer_sizes))
     for buffer_size in buffer_sizes:
         lr = sqrt_batch_lr_scale(base.lr, buffer_size, base_batch=base.buffer_size)
@@ -74,11 +76,12 @@ def format_table2(result: Table2Result) -> str:
     rows: List[List[str]] = []
     for buffer_size in result.buffer_sizes:
         by_policy = result.runs[buffer_size]
-        cs_acc = by_policy["contrast-scoring"].final_accuracy
+        cs_run = by_policy.get("contrast-scoring")
+        cs_acc = cs_run.final_accuracy if cs_run is not None else None
         for policy, run in by_policy.items():
             delta = (
                 ""
-                if policy == "contrast-scoring"
+                if policy == "contrast-scoring" or cs_acc is None
                 else f"{run.final_accuracy - cs_acc:+.3f}"
             )
             rows.append(

@@ -113,6 +113,36 @@ class Adam(Optimizer):
             v_hat = v / bias2
             p.data = p.data - self.lr * m_hat / (np.sqrt(v_hat) + self.eps)
 
+    # ------------------------------------------------------------------
+    def state_dict(self) -> Dict[str, np.ndarray]:
+        """Moment estimates and step count, keyed by parameter order.
+
+        Parameters that have not yet received a gradient are stored as
+        zero moments, which is exactly what :meth:`step` would lazily
+        initialize them to.
+        """
+        out: Dict[str, np.ndarray] = {"t": np.array(self._t, dtype=np.int64)}
+        for i, p in enumerate(self.params):
+            m = self._m.get(id(p))
+            v = self._v.get(id(p))
+            out[f"m{i}"] = (np.zeros_like(p.data) if m is None else m).copy()
+            out[f"v{i}"] = (np.zeros_like(p.data) if v is None else v).copy()
+        return out
+
+    def load_state_dict(self, state: Dict[str, np.ndarray]) -> None:
+        """Restore moments written by :meth:`state_dict` (same param order)."""
+        self._t = int(state["t"])
+        for i, p in enumerate(self.params):
+            m = np.asarray(state[f"m{i}"])
+            v = np.asarray(state[f"v{i}"])
+            if m.shape != p.data.shape or v.shape != p.data.shape:
+                raise ValueError(
+                    f"optimizer state shape mismatch at param {i}: "
+                    f"{m.shape}/{v.shape} vs {p.data.shape}"
+                )
+            self._m[id(p)] = m.copy()
+            self._v[id(p)] = v.copy()
+
 
 def sqrt_batch_lr_scale(base_lr: float, batch_size: int, base_batch: int = 256) -> float:
     """Scale a learning rate with sqrt(batch size), the paper's Table II rule.

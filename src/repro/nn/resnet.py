@@ -23,6 +23,7 @@ from repro.nn.layers import (
     Sequential,
 )
 from repro.nn.tensor import Tensor
+from repro.registry import register_encoder
 
 __all__ = ["BasicBlock", "ResNetEncoder", "resnet_mini", "resnet_micro"]
 
@@ -120,6 +121,20 @@ class ResNetEncoder(Module):
         return 2 ** (len(self.widths) - 1)
 
 
+@register_encoder("resnet", label="ResNet (config widths)")
+def resnet_from_config(
+    in_channels: int = 3,
+    widths: Sequence[int] = (12, 24, 48),
+    blocks_per_stage: int = 1,
+    rng: Optional[np.random.Generator] = None,
+) -> ResNetEncoder:
+    """Config-driven default: widths/depth come from the experiment config."""
+    return ResNetEncoder(
+        in_channels, widths=tuple(widths), blocks_per_stage=blocks_per_stage, rng=rng
+    )
+
+
+@register_encoder("resnet-mini", label="ResNet mini (16,32,64)x2")
 def resnet_mini(
     in_channels: int = 3, rng: Optional[np.random.Generator] = None
 ) -> ResNetEncoder:
@@ -127,6 +142,7 @@ def resnet_mini(
     return ResNetEncoder(in_channels, widths=(16, 32, 64), blocks_per_stage=2, rng=rng)
 
 
+@register_encoder("resnet-small", label="ResNet small (12,24,48)x1")
 def resnet_small(
     in_channels: int = 3, rng: Optional[np.random.Generator] = None
 ) -> ResNetEncoder:
@@ -139,6 +155,7 @@ def resnet_small(
     return ResNetEncoder(in_channels, widths=(12, 24, 48), blocks_per_stage=1, rng=rng)
 
 
+@register_encoder("resnet-micro", label="ResNet micro (8,16)x1")
 def resnet_micro(
     in_channels: int = 3, rng: Optional[np.random.Generator] = None
 ) -> ResNetEncoder:

@@ -11,11 +11,13 @@ from __future__ import annotations
 import numpy as np
 
 from repro.core.buffer import DataBuffer
+from repro.registry import register_policy
 from repro.selection.base import ReplacementPolicy, SelectionResult
 
 __all__ = ["FIFOPolicy"]
 
 
+@register_policy("fifo", label="FIFO Replace", aliases=("first-in-first-out",))
 class FIFOPolicy(ReplacementPolicy):
     """Keep the most recently inserted entries of the candidate pool."""
 

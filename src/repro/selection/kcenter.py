@@ -15,6 +15,7 @@ import numpy as np
 
 from repro.core.buffer import DataBuffer
 from repro.core.scoring import ContrastScorer
+from repro.registry import register_policy
 from repro.selection.base import ReplacementPolicy, SelectionResult
 
 __all__ = ["KCenterPolicy", "greedy_k_center"]
@@ -47,6 +48,7 @@ def greedy_k_center(features: np.ndarray, k: int) -> np.ndarray:
     return np.array(sorted(centers), dtype=np.int64)
 
 
+@register_policy("k-center", label="K-Center", aliases=("kcenter", "core-set"))
 class KCenterPolicy(ReplacementPolicy):
     """Keep a k-center cover of the candidate pool in feature space."""
 

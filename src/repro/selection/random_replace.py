@@ -12,11 +12,13 @@ from __future__ import annotations
 import numpy as np
 
 from repro.core.buffer import DataBuffer
+from repro.registry import register_policy
 from repro.selection.base import ReplacementPolicy, SelectionResult
 
 __all__ = ["RandomReplacePolicy"]
 
 
+@register_policy("random-replace", label="Random Replace", aliases=("random", "reservoir"))
 class RandomReplacePolicy(ReplacementPolicy):
     """Uniformly sample the next buffer from the candidate pool."""
 

@@ -22,11 +22,13 @@ import numpy as np
 from repro.core.buffer import DataBuffer
 from repro.core.scoring import ContrastScorer
 from repro.nn.losses import NTXentLoss
+from repro.registry import register_policy
 from repro.selection.base import ReplacementPolicy, SelectionResult
 
 __all__ = ["SelectiveBPPolicy"]
 
 
+@register_policy("selective-bp", label="Selective-BP", aliases=("selective-backprop",))
 class SelectiveBPPolicy(ReplacementPolicy):
     """Keep the candidates with the largest per-sample contrastive loss."""
 

@@ -1,0 +1,652 @@
+"""The unified experiment surface: :class:`Session`.
+
+One object owns the full lifecycle of a stream-learning run:
+
+* **building** — components (dataset, encoder, projector, scorer) are
+  resolved through the :mod:`repro.registry` registries, so any
+  registered plugin policy/dataset/encoder/augment is usable with zero
+  edits to ``repro`` internals;
+* **running** — ``Session.from_config(config).run()`` executes the
+  stage-1 stream loop with periodic stage-2 probes, exactly matching
+  :func:`repro.experiments.runner.run_stream_experiment` (which is now
+  a thin wrapper over this class);
+* **observing** — ``on_step`` / ``on_probe`` / ``on_finish`` lifecycle
+  callbacks;
+* **checkpointing** — :meth:`Session.save_checkpoint` writes a single
+  ``.npz`` capturing model weights, optimizer moments, buffer contents,
+  RNG states, and stream counters; :meth:`Session.resume` continues a
+  run with bitwise-identical step statistics.
+
+Example
+-------
+>>> from repro.session import Session
+>>> from repro.experiments.config import default_config
+>>> result = (
+...     Session.from_config(default_config(seed=0))
+...     .with_policy("contrast-scoring")
+...     .with_eval_points(4)
+...     .run()
+... )
+>>> round(result.final_accuracy, 3)  # doctest: +SKIP
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from dataclasses import asdict, dataclass, field
+from typing import TYPE_CHECKING, Any, Callable, Dict, List, Optional
+
+import numpy as np
+
+from repro.core.framework import OnDeviceContrastiveLearner, StepStats
+from repro.core.replacement import ContrastScoringPolicy
+from repro.core.scoring import ContrastScorer
+from repro.data.stream import TemporalStream
+from repro.metrics.curves import LearningCurve
+from repro.nn.projection import ProjectionHead
+from repro.registry import AUGMENTS, ENCODERS, POLICIES, create_policy
+from repro.selection.base import ReplacementPolicy
+from repro.train.classifier import evaluate_encoder
+from repro.utils.rng import RngRegistry
+
+if TYPE_CHECKING:
+    # Imported lazily at runtime: experiments.__init__ imports runner,
+    # which imports this module, so a top-level import would cycle.
+    from repro.experiments.config import StreamExperimentConfig
+
+__all__ = [
+    "ExperimentComponents",
+    "StreamRunResult",
+    "Session",
+    "build_components",
+    "config_to_dict",
+    "config_from_dict",
+]
+
+#: Bumped whenever the checkpoint layout changes incompatibly.
+CHECKPOINT_VERSION = 1
+
+
+@dataclass
+class ExperimentComponents:
+    """The wired-up pieces of one run."""
+
+    dataset: Any
+    encoder: Any
+    projector: ProjectionHead
+    scorer: ContrastScorer
+    rngs: RngRegistry
+
+
+def build_components(config: StreamExperimentConfig) -> ExperimentComponents:
+    """Instantiate dataset, encoder, projector, and scorer for a config.
+
+    Every component is resolved by name through :mod:`repro.registry`:
+    ``config.dataset`` and ``config.encoder`` may name built-ins or
+    plugins registered with ``@register_dataset`` / ``@register_encoder``.
+
+    The width/depth config knobs are *offers*: encoder factories with a
+    fixed architecture (``resnet-micro`` etc.) simply don't declare them
+    and run at their native shape.  ``config.image_size`` is different —
+    ``None`` means "dataset default", so a non-None value is an explicit
+    request and :func:`repro.data.datasets.make_dataset` raises if the
+    dataset factory cannot honor it.
+    """
+    from repro.data.datasets import make_dataset
+
+    rngs = RngRegistry(config.seed)
+    dataset = make_dataset(config.dataset, image_size=config.image_size)
+    encoder = ENCODERS.create(
+        config.encoder,
+        in_channels=dataset.image_shape[0],
+        widths=config.encoder_widths,
+        blocks_per_stage=config.encoder_blocks,
+        rng=rngs.get("model"),
+    )
+    projector = ProjectionHead(
+        encoder.feature_dim, out_dim=config.projection_dim, rng=rngs.get("model")
+    )
+    scorer = ContrastScorer(encoder, projector)
+    return ExperimentComponents(dataset, encoder, projector, scorer, rngs)
+
+
+def build_augment(config: StreamExperimentConfig):
+    """Resolve the stage-1 strong augmentation through the registry."""
+    return AUGMENTS.create(
+        config.augment,
+        min_crop_scale=config.augment_min_crop,
+        jitter_strength=config.augment_jitter,
+        grayscale_p=config.augment_grayscale_p,
+    )
+
+
+# ----------------------------------------------------------------------
+# Config / result serialization
+# ----------------------------------------------------------------------
+def config_to_dict(config: StreamExperimentConfig) -> Dict[str, Any]:
+    """A JSON-serializable dict round-trippable via :func:`config_from_dict`."""
+    out = asdict(config)
+    out["encoder_widths"] = list(out["encoder_widths"])
+    return out
+
+
+def config_from_dict(data: Dict[str, Any]) -> StreamExperimentConfig:
+    """Inverse of :func:`config_to_dict`."""
+    from repro.experiments.config import StreamExperimentConfig
+
+    data = dict(data)
+    data["encoder_widths"] = tuple(data["encoder_widths"])
+    return StreamExperimentConfig(**data)
+
+
+def _none_if_nan(value: float) -> Optional[float]:
+    """NaN -> None so the dict is strict-JSON (JSON has no NaN literal)."""
+    return None if isinstance(value, float) and np.isnan(value) else value
+
+
+def _nan_if_none(value: Optional[float]) -> float:
+    return float("nan") if value is None else value
+
+
+@dataclass
+class StreamRunResult:
+    """Outcome of one stage-1 run plus its probe evaluations."""
+
+    policy: str
+    config: StreamExperimentConfig
+    curve: LearningCurve
+    final_accuracy: float
+    final_loss: float
+    mean_select_seconds: float
+    mean_train_seconds: float
+    rescoring_fraction: Optional[float]
+    buffer_class_diversity: float
+    wall_seconds: float
+    info: Dict[str, float] = field(default_factory=dict)
+
+    @property
+    def relative_batch_time(self) -> float:
+        """Per-iteration time relative to training alone (Table I metric)."""
+        if self.mean_train_seconds <= 0:
+            return float("nan")
+        return (
+            self.mean_select_seconds + self.mean_train_seconds
+        ) / self.mean_train_seconds
+
+    # -- serialization --------------------------------------------------
+    def to_dict(self) -> Dict[str, Any]:
+        """JSON-serializable representation (for logging / archiving)."""
+        return {
+            "policy": self.policy,
+            "config": config_to_dict(self.config),
+            "curve": {
+                "method": self.curve.method,
+                "seen_inputs": list(self.curve.seen_inputs),
+                "accuracies": list(self.curve.accuracies),
+            },
+            "final_accuracy": _none_if_nan(self.final_accuracy),
+            "final_loss": _none_if_nan(self.final_loss),
+            "mean_select_seconds": self.mean_select_seconds,
+            "mean_train_seconds": self.mean_train_seconds,
+            "rescoring_fraction": self.rescoring_fraction,
+            "buffer_class_diversity": self.buffer_class_diversity,
+            "wall_seconds": self.wall_seconds,
+            "info": dict(self.info),
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "StreamRunResult":
+        """Inverse of :meth:`to_dict`."""
+        curve = LearningCurve(method=data["curve"]["method"])
+        for seen, acc in zip(
+            data["curve"]["seen_inputs"], data["curve"]["accuracies"]
+        ):
+            curve.add(seen, acc)
+        return cls(
+            policy=data["policy"],
+            config=config_from_dict(data["config"]),
+            curve=curve,
+            final_accuracy=_nan_if_none(data["final_accuracy"]),
+            final_loss=_nan_if_none(data["final_loss"]),
+            mean_select_seconds=data["mean_select_seconds"],
+            mean_train_seconds=data["mean_train_seconds"],
+            rescoring_fraction=data["rescoring_fraction"],
+            buffer_class_diversity=data["buffer_class_diversity"],
+            wall_seconds=data["wall_seconds"],
+            info=dict(data.get("info", {})),
+        )
+
+
+# ----------------------------------------------------------------------
+# The Session facade
+# ----------------------------------------------------------------------
+class Session:
+    """Fluent builder and executor for one stream-learning experiment.
+
+    Construction is cheap; all heavy lifting happens in :meth:`run`.
+    Builder methods return ``self`` so calls chain::
+
+        result = (
+            Session.from_config(cfg)
+            .with_policy("k-center")
+            .with_label_fraction(0.1)
+            .on_step(lambda learner, stats: print(stats.loss))
+            .run()
+        )
+    """
+
+    def __init__(
+        self, config: StreamExperimentConfig, policy: str = "contrast-scoring"
+    ) -> None:
+        self.config = config
+        self._policy_name = policy
+        self._eval_points = 6
+        self._label_fraction = 1.0
+        self._lazy_interval: Optional[int] = None
+        self._score_momentum = 0.0
+        self._injected_components: Optional[ExperimentComponents] = None
+        self._on_step: List[Callable[[OnDeviceContrastiveLearner, StepStats], None]] = []
+        self._on_probe: List[Callable[[OnDeviceContrastiveLearner, int, float], None]] = []
+        self._on_finish: List[Callable[[StreamRunResult], None]] = []
+        self._checkpoint_path: Optional[str] = None
+        self._checkpoint_every: Optional[int] = None
+        self._resume_state: Optional[Dict[str, Any]] = None
+        # live run state (populated by run(); kept for introspection and
+        # post-run checkpointing)
+        self._components: Optional[ExperimentComponents] = None
+        self._learner: Optional[OnDeviceContrastiveLearner] = None
+        self._policy: Optional[ReplacementPolicy] = None
+        self._stream: Optional[TemporalStream] = None
+        self._curve: Optional[LearningCurve] = None
+        self._diversity: List[float] = []
+        self._final_loss = float("nan")
+        self._wall_accum = 0.0  # wall seconds from earlier (checkpointed) runs
+        self._run_started: Optional[float] = None
+
+    # -- construction ---------------------------------------------------
+    @classmethod
+    def from_config(
+        cls,
+        config: Optional[StreamExperimentConfig] = None,
+        policy: str = "contrast-scoring",
+        **overrides: Any,
+    ) -> "Session":
+        """Build a session from a config (default config when None).
+
+        Extra keyword arguments are applied as config field overrides,
+        e.g. ``Session.from_config(seed=3, dataset="svhn")``.
+        """
+        from repro.experiments.config import default_config
+
+        config = default_config() if config is None else config
+        if overrides:
+            config = config.with_(**overrides)
+        return cls(config, policy)
+
+    # -- fluent builders ------------------------------------------------
+    def with_policy(self, name: str) -> "Session":
+        """Select the replacement policy by registered name."""
+        self._policy_name = name
+        return self
+
+    def with_eval_points(self, eval_points: int) -> "Session":
+        """Number of probe checkpoints along the stream (>= 1)."""
+        if eval_points < 1:
+            raise ValueError(f"eval_points must be >= 1, got {eval_points}")
+        self._eval_points = eval_points
+        return self
+
+    def with_label_fraction(self, fraction: float) -> "Session":
+        """Stage-2 label budget for every probe."""
+        self._label_fraction = fraction
+        return self
+
+    def with_lazy_interval(self, interval: Optional[int]) -> "Session":
+        """Lazy-scoring interval T (contrast-scoring only)."""
+        self._lazy_interval = interval
+        return self
+
+    def with_score_momentum(self, momentum: float) -> "Session":
+        """EMA smoothing of scores (contrast-scoring only)."""
+        self._score_momentum = momentum
+        return self
+
+    def with_components(self, components: ExperimentComponents) -> "Session":
+        """Run on pre-built components instead of building from config."""
+        self._injected_components = components
+        return self
+
+    def with_checkpointing(
+        self, path: str, every: Optional[int] = None
+    ) -> "Session":
+        """Write checkpoints to ``path``: every ``every`` iterations when
+        set, and always on :meth:`save_checkpoint` calls."""
+        if every is not None and every < 1:
+            raise ValueError(f"checkpoint interval must be >= 1, got {every}")
+        self._checkpoint_path = path
+        self._checkpoint_every = every
+        return self
+
+    # -- lifecycle callbacks --------------------------------------------
+    def on_step(
+        self, fn: Callable[[OnDeviceContrastiveLearner, StepStats], None]
+    ) -> "Session":
+        """Register ``fn(learner, stats)`` to run after every iteration."""
+        self._on_step.append(fn)
+        return self
+
+    def on_probe(
+        self, fn: Callable[[OnDeviceContrastiveLearner, int, float], None]
+    ) -> "Session":
+        """Register ``fn(learner, seen_inputs, accuracy)`` after each probe."""
+        self._on_probe.append(fn)
+        return self
+
+    def on_finish(self, fn: Callable[[StreamRunResult], None]) -> "Session":
+        """Register ``fn(result)`` to run when :meth:`run` completes."""
+        self._on_finish.append(fn)
+        return self
+
+    # -- introspection --------------------------------------------------
+    @property
+    def components(self) -> Optional[ExperimentComponents]:
+        """Components of the current/last run (None before :meth:`run`)."""
+        return self._components
+
+    @property
+    def learner(self) -> Optional[OnDeviceContrastiveLearner]:
+        """Learner of the current/last run (None before :meth:`run`)."""
+        return self._learner
+
+    @property
+    def policy(self) -> Optional[ReplacementPolicy]:
+        """Policy instance of the current/last run."""
+        return self._policy
+
+    # -- execution ------------------------------------------------------
+    def run(self, stop_after: Optional[int] = None) -> StreamRunResult:
+        """Execute the stream experiment (or its remainder, on resume).
+
+        Parameters
+        ----------
+        stop_after:
+            Stop after this many iterations *of this call* (used with
+            checkpointing to split a run; None = run to completion).
+
+        The fresh-run path performs exactly the same sequence of RNG
+        draws and model updates as the legacy
+        ``run_stream_experiment``, so results are bit-identical.
+        """
+        config = self.config
+        # Canonicalize up front so result.policy, curve.method, and the
+        # checkpoint all carry the canonical name even when an alias
+        # ("cs", "random", ...) was selected.
+        self._policy_name = POLICIES.get(self._policy_name).name
+        if (
+            self._resume_state is not None
+            and self._resume_state["meta"].get("injected_components")
+            and self._injected_components is None
+        ):
+            # Injected components can't be rebuilt from config alone;
+            # resuming with config-built ones would silently diverge.
+            raise RuntimeError(
+                "this checkpoint was written from a session running on "
+                "injected components (with_components); rebuild them and "
+                "pass them via with_components() before run()"
+            )
+        comp = (
+            self._injected_components
+            if self._injected_components is not None
+            else build_components(config)
+        )
+        self._components = comp
+        rngs = comp.rngs
+
+        policy = create_policy(
+            self._policy_name,
+            scorer=comp.scorer,
+            capacity=config.buffer_size,
+            rng=rngs.get("policy"),
+            temperature=config.temperature,
+            lazy_interval=self._lazy_interval,
+            score_momentum=self._score_momentum,
+        )
+        if not isinstance(policy, ReplacementPolicy):
+            raise TypeError(
+                f"policy {self._policy_name!r} built a {type(policy).__name__}, "
+                "expected a ReplacementPolicy"
+            )
+        self._policy = policy
+        augment = build_augment(config)
+        learner = OnDeviceContrastiveLearner(
+            comp.encoder,
+            comp.projector,
+            policy,
+            config.buffer_size,
+            rngs.get("augment"),
+            temperature=config.temperature,
+            lr=config.lr,
+            weight_decay=config.weight_decay,
+            augment=augment,
+        )
+        self._learner = learner
+        stream = TemporalStream(comp.dataset, config.stc, rngs.get("stream"))
+        self._stream = stream
+
+        # Fixed evaluation pools shared across checkpoints (and across
+        # policy runs with the same seed, since the registry keys are
+        # stable).
+        probe_train_x, probe_train_y = comp.dataset.make_split(
+            config.probe_train_per_class, rngs.get("probe-train-pool")
+        )
+        probe_test_x, probe_test_y = comp.dataset.make_split(
+            config.probe_test_per_class, rngs.get("probe-test-pool")
+        )
+
+        def probe() -> float:
+            result = evaluate_encoder(
+                comp.encoder,
+                probe_train_x,
+                probe_train_y,
+                probe_test_x,
+                probe_test_y,
+                comp.dataset.num_classes,
+                rngs.get("probe"),
+                label_fraction=self._label_fraction,
+                lr=config.probe_lr,
+                epochs=config.probe_epochs,
+            )
+            return result.accuracy
+
+        total_iters = config.iterations
+        eval_every = max(1, total_iters // self._eval_points)
+        curve = LearningCurve(method=self._policy_name)
+        self._curve = curve
+        self._diversity = []
+        self._final_loss = float("nan")
+        self._wall_accum = 0.0  # fresh run; a resume below restores it
+
+        if self._resume_state is not None:
+            self._apply_resume_state(learner, stream, policy, curve, rngs)
+
+        if stop_after is not None and stop_after < 0:
+            raise ValueError(f"stop_after must be >= 0, got {stop_after}")
+
+        start = time.perf_counter()
+        self._run_started = start
+        steps_this_call = 0
+        remaining = config.total_samples - learner.seen_inputs
+        segments = (
+            stream.segments(config.buffer_size, remaining)
+            if remaining > 0 and stop_after != 0
+            else ()
+        )
+        for segment in segments:
+            stats = learner.process_segment(segment)
+            self._final_loss = stats.loss
+            self._diversity.append(
+                float(
+                    (learner.buffer_class_histogram(comp.dataset.num_classes) > 0).sum()
+                )
+            )
+            for fn in self._on_step:
+                fn(learner, stats)
+            is_last = learner.seen_inputs >= config.total_samples
+            if learner.iteration % eval_every == 0 or is_last:
+                accuracy = probe()
+                curve.add(learner.seen_inputs, accuracy)
+                for fn in self._on_probe:
+                    fn(learner, learner.seen_inputs, accuracy)
+            steps_this_call += 1
+            if (
+                self._checkpoint_every is not None
+                and learner.iteration % self._checkpoint_every == 0
+            ):
+                self.save_checkpoint()
+            if stop_after is not None and steps_this_call >= stop_after:
+                break
+        # Accumulate across resumes so wall_seconds spans the whole run,
+        # matching the other aggregates (curve, mean timings, diversity).
+        wall = self._wall_accum + (time.perf_counter() - start)
+        self._wall_accum = wall
+        self._run_started = None
+
+        rescoring = None
+        if isinstance(policy, ContrastScoringPolicy):
+            rescoring = policy.lazy.rescoring_fraction
+
+        result = StreamRunResult(
+            policy=self._policy_name,
+            config=config,
+            curve=curve,
+            final_accuracy=curve.final_accuracy if len(curve) else float("nan"),
+            final_loss=self._final_loss,
+            mean_select_seconds=learner.mean_select_seconds(),
+            mean_train_seconds=learner.mean_train_seconds(),
+            rescoring_fraction=rescoring,
+            buffer_class_diversity=(
+                float(np.mean(self._diversity)) if self._diversity else 0.0
+            ),
+            wall_seconds=wall,
+        )
+        for fn in self._on_finish:
+            fn(result)
+        return result
+
+    # -- checkpoint / resume --------------------------------------------
+    def save_checkpoint(self, path: Optional[str] = None) -> str:
+        """Write the live run state to ``path`` (a single ``.npz``).
+
+        Only meaningful during or after :meth:`run` (the learner must
+        exist).  Returns the path written.
+        """
+        path = path if path is not None else self._checkpoint_path
+        if path is None:
+            raise ValueError("no checkpoint path: pass one or use with_checkpointing")
+        if not path.endswith(".npz"):
+            path += ".npz"  # np.savez would append it silently otherwise
+        if self._learner is None or self._components is None or self._stream is None:
+            raise RuntimeError("nothing to checkpoint: run() has not started")
+
+        lazy_state = None
+        if isinstance(self._policy, ContrastScoringPolicy):
+            lazy_state = self._policy.lazy.state_dict()
+        curve = self._curve if self._curve is not None else LearningCurve(self._policy_name)
+        meta = {
+            "version": CHECKPOINT_VERSION,
+            "config": config_to_dict(self.config),
+            "policy": self._policy_name,
+            "eval_points": self._eval_points,
+            "label_fraction": self._label_fraction,
+            "lazy_interval": self._lazy_interval,
+            "score_momentum": self._score_momentum,
+            "checkpoint_every": self._checkpoint_every,
+            "injected_components": self._injected_components is not None,
+            "rng": self._components.rngs.state(),
+            "stream": self._stream.state_dict(),
+            "lazy": lazy_state,
+            "curve": {
+                "seen_inputs": list(curve.seen_inputs),
+                "accuracies": list(curve.accuracies),
+            },
+            "diversity": list(self._diversity),
+            "final_loss": self._final_loss,
+            "wall_accum": self._wall_accum
+            + (
+                time.perf_counter() - self._run_started
+                if self._run_started is not None
+                else 0.0
+            ),
+        }
+        arrays = {
+            f"learner/{key}": value
+            for key, value in self._learner.state_dict().items()
+        }
+        directory = os.path.dirname(os.path.abspath(path))
+        os.makedirs(directory, exist_ok=True)
+        np.savez(path, meta=np.array(json.dumps(meta)), **arrays)
+        return path
+
+    @classmethod
+    def resume(cls, path: str) -> "Session":
+        """Rebuild a session from a checkpoint written by
+        :meth:`save_checkpoint`; its :meth:`run` continues the original
+        run and produces bitwise-identical step statistics."""
+        if not path.endswith(".npz"):
+            path += ".npz"  # mirror save_checkpoint's normalization
+        with np.load(path, allow_pickle=False) as archive:
+            meta = json.loads(str(archive["meta"]))
+            arrays = {
+                key[len("learner/") :]: archive[key].copy()
+                for key in archive.files
+                if key.startswith("learner/")
+            }
+        version = meta.get("version")
+        if version != CHECKPOINT_VERSION:
+            raise ValueError(
+                f"unsupported checkpoint version {version!r} "
+                f"(this build reads version {CHECKPOINT_VERSION})"
+            )
+        session = cls(config_from_dict(meta["config"]), policy=meta["policy"])
+        session._eval_points = int(meta["eval_points"])
+        session._label_fraction = float(meta["label_fraction"])
+        session._lazy_interval = meta["lazy_interval"]
+        session._score_momentum = float(meta["score_momentum"])
+        session._checkpoint_path = path
+        session._checkpoint_every = meta.get("checkpoint_every")
+        session._resume_state = {"meta": meta, "learner": arrays}
+        return session
+
+    def _apply_resume_state(
+        self,
+        learner: OnDeviceContrastiveLearner,
+        stream: TemporalStream,
+        policy: ReplacementPolicy,
+        curve: LearningCurve,
+        rngs: RngRegistry,
+    ) -> None:
+        """Fast-forward freshly built components to the checkpoint.
+
+        Restore happens *after* construction and probe-pool creation:
+        those consume RNG draws deterministically from the registry's
+        initial states, so setting the saved generator states afterwards
+        lands every generator exactly where the original run left it.
+        """
+        state = self._resume_state
+        assert state is not None
+        meta = state["meta"]
+        learner.load_state_dict(state["learner"])
+        rngs.set_state(meta["rng"])
+        stream.load_state_dict(meta["stream"])
+        if meta["lazy"] is not None and isinstance(policy, ContrastScoringPolicy):
+            policy.lazy.load_state_dict(meta["lazy"])
+        for seen, acc in zip(
+            meta["curve"]["seen_inputs"], meta["curve"]["accuracies"]
+        ):
+            curve.add(seen, acc)
+        self._diversity = [float(v) for v in meta["diversity"]]
+        self._final_loss = float(meta["final_loss"])
+        self._wall_accum = float(meta.get("wall_accum", 0.0))
+        self._resume_state = None

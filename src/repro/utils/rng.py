@@ -72,5 +72,28 @@ class RngRegistry:
         """Names of all generators created so far."""
         return tuple(self._generators)
 
+    def state(self) -> Dict[str, dict]:
+        """Bit-generator states of every generator created so far.
+
+        The returned mapping is JSON-serializable (nested dicts and
+        ints) and, together with :meth:`set_state`, makes a run's
+        randomness checkpointable: child seeds depend only on
+        ``(seed, name)``, so a restored registry hands out generators
+        whose future draws match the original run exactly.
+        """
+        return {
+            name: gen.bit_generator.state for name, gen in self._generators.items()
+        }
+
+    def set_state(self, states: Dict[str, dict]) -> None:
+        """Restore generator states written by :meth:`state`.
+
+        Generators are created on demand (same ``(seed, name)``
+        derivation as :meth:`get`) and then fast-forwarded to the saved
+        state, so restore order is irrelevant.
+        """
+        for name, state in states.items():
+            self.get(name).bit_generator.state = state
+
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"RngRegistry(seed={self.seed}, names={list(self._generators)})"

@@ -22,6 +22,7 @@ class TestCliRegistry:
             "ablation-stc",
             "ablation-momentum",
             "ablation-drift",
+            "stream",
         }
         assert set(EXPERIMENTS) == expected
 
@@ -35,6 +36,39 @@ class TestCliRegistry:
         out = capsys.readouterr().out
         assert "fig3" in out
         assert "table1" in out
+
+    def test_list_flag_enumerates_registries(self, capsys):
+        code = main(["--list"])
+        out = capsys.readouterr().out
+        assert code == 0
+        # experiment ids
+        assert "fig3" in out and "stream" in out
+        # registered policies with labels and aliases
+        assert "contrast-scoring" in out and "Contrast Scoring" in out
+        assert "aliases:" in out
+        # datasets / encoders / augments sections
+        assert "cifar10" in out
+        assert "resnet-micro" in out
+        assert "simclr" in out
+
+    def test_experiment_required_without_list(self, capsys):
+        with pytest.raises(SystemExit):
+            main([])
+
+    def test_unknown_policy_rejected_with_suggestion(self, capsys):
+        with pytest.raises(SystemExit):
+            main(["stream", "--policy", "contrast-scorin"])
+        err = capsys.readouterr().err
+        assert "did you mean" in err
+        assert "contrast-scoring" in err
+
+    def test_policy_not_supported_errors(self, capsys):
+        with pytest.raises(SystemExit):
+            main(["table1", "--policy", "fifo"])
+        captured = capsys.readouterr()
+        assert "does not take --policy" in captured.err
+        # rejected before any run output: no started-run header on stdout
+        assert "== table1" not in captured.out
 
     def test_runs_tiny_experiment(self, capsys, monkeypatch):
         """Exercise the dispatch path end-to-end at minimum scale."""
@@ -64,3 +98,29 @@ class TestCliRegistry:
         assert code == 0
         assert "ablation-stc" in out
         assert "STC" in out
+
+    def test_stream_experiment_honors_policy_alias(self, capsys, monkeypatch):
+        """`stream --policy` runs one Session with the resolved policy."""
+        import repro.cli as cli_mod
+        from repro.experiments.config import StreamExperimentConfig
+
+        tiny = StreamExperimentConfig(
+            dataset="cifar10",
+            image_size=8,
+            stc=4,
+            total_samples=64,
+            buffer_size=8,
+            encoder_widths=(8, 16),
+            projection_dim=8,
+            probe_train_per_class=2,
+            probe_test_per_class=2,
+            probe_epochs=2,
+        )
+        monkeypatch.setattr(cli_mod, "default_config", lambda *a, **k: tiny)
+        monkeypatch.setattr(cli_mod, "scaled_config", lambda cfg: cfg)
+        # "random" is an alias of random-replace; it must resolve.
+        code = main(["stream", "--policy", "random"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "policy=random-replace" in out
+        assert "seen inputs" in out

@@ -1,0 +1,311 @@
+"""Tests for the component registries (repro.registry)."""
+
+import numpy as np
+import pytest
+
+from repro.registry import (
+    AUGMENTS,
+    DATASETS,
+    ENCODERS,
+    POLICIES,
+    Registry,
+    create_policy,
+    dataset_names,
+    policy_labels,
+    policy_names,
+    register_policy,
+)
+from repro.selection import (
+    FIFOPolicy,
+    KCenterPolicy,
+    RandomReplacePolicy,
+    SelectiveBPPolicy,
+)
+
+
+class TestRegistryCore:
+    def test_register_lookup_roundtrip(self):
+        reg = Registry("widget")
+
+        @reg.register("my-widget", label="My Widget")
+        class Widget:
+            def __init__(self, size=1):
+                self.size = size
+
+        entry = reg.get("my-widget")
+        assert entry.factory is Widget
+        assert entry.display_label == "My Widget"
+        built = reg.create("my-widget", size=3)
+        assert isinstance(built, Widget) and built.size == 3
+
+    def test_alias_roundtrip(self):
+        reg = Registry("widget")
+        reg.add("long-name", lambda: "built", aliases=("short", "ln"))
+        assert reg.get("short").name == "long-name"
+        assert reg.get("ln").name == "long-name"
+        assert reg.create("short") == "built"
+        assert reg.aliases() == {"short": "long-name", "ln": "long-name"}
+        assert "short" in reg and "long-name" in reg
+
+    def test_duplicate_name_rejected(self):
+        reg = Registry("widget")
+        reg.add("taken", lambda: None)
+        with pytest.raises(ValueError, match="already registered"):
+            reg.add("taken", lambda: None)
+        # an alias may not shadow an existing name either
+        with pytest.raises(ValueError, match="already registered"):
+            reg.add("other", lambda: None, aliases=("taken",))
+        # nor may a new name collide with an existing alias
+        reg.add("with-alias", lambda: None, aliases=("nick",))
+        with pytest.raises(ValueError, match="already registered"):
+            reg.add("nick", lambda: None)
+
+    def test_invalid_names_rejected(self):
+        reg = Registry("widget")
+        for bad in ("CamelCase", "under_score", "spaced name", "-lead", "trail-", ""):
+            with pytest.raises(ValueError, match="kebab-case"):
+                reg.add(bad, lambda: None)
+
+    def test_did_you_mean_suggestion(self):
+        reg = Registry("widget")
+        reg.add("contrast-scoring", lambda: None)
+        with pytest.raises(KeyError) as err:
+            reg.get("contrast-scorin")
+        assert "did you mean 'contrast-scoring'?" in str(err.value)
+
+    def test_unknown_without_close_match(self):
+        reg = Registry("widget")
+        reg.add("alpha", lambda: None)
+        with pytest.raises(KeyError) as err:
+            reg.get("zzzzzz")
+        message = str(err.value)
+        assert "unknown widget" in message
+        assert "did you mean" not in message
+
+    def test_unregister(self):
+        reg = Registry("widget")
+        reg.add("gone-soon", lambda: None, aliases=("gs",))
+        reg.unregister("gone-soon")
+        assert "gone-soon" not in reg
+        assert "gs" not in reg
+        with pytest.raises(KeyError):
+            reg.unregister("gone-soon")
+
+    def test_signature_filtering(self):
+        reg = Registry("widget")
+
+        @reg.register("picky")
+        def build(capacity, rng=None):
+            return ("picky", capacity, rng)
+
+        # scorer/temperature are silently dropped: not in the signature
+        assert reg.create("picky", capacity=4, scorer="S", temperature=0.1) == (
+            "picky",
+            4,
+            None,
+        )
+
+        @reg.register("greedy")
+        def build_all(**kwargs):
+            return sorted(kwargs)
+
+        assert reg.create("greedy", a=1, b=2) == ["a", "b"]
+
+    def test_create_with_required_rejects_undeclared_keys(self):
+        reg = Registry("widget")
+
+        @reg.register("narrow")
+        def build(capacity):
+            return capacity
+
+        assert reg.create_with_required("narrow", ("capacity",), capacity=3) == 3
+        with pytest.raises(TypeError, match="does not accept option"):
+            reg.create_with_required("narrow", ("color",), capacity=3, color="red")
+
+    def test_unregister_alias_keeps_canonical_entry(self):
+        reg = Registry("widget")
+        reg.add("thing", lambda: None, aliases=("t", "th"))
+        reg.unregister("t")
+        assert "t" not in reg
+        assert "thing" in reg and "th" in reg
+        assert reg.get("thing").aliases == ("th",)
+
+    def test_policy_labels_view_is_live(self):
+        from repro.experiments.runner import POLICY_LABELS
+
+        @register_policy("live-label-test", label="Live Label")
+        class LiveLabel(FIFOPolicy):
+            pass
+
+        try:
+            assert POLICY_LABELS.get("live-label-test") == "Live Label"
+        finally:
+            POLICIES.unregister("live-label-test")
+        assert "live-label-test" not in POLICY_LABELS
+
+    def test_required_positional_only_factory_rejected(self):
+        reg = Registry("widget")
+
+        def factory(capacity, /):
+            return capacity
+
+        with pytest.raises(ValueError, match="positional-only"):
+            reg.add("pos-only", factory)
+        # positional-only with a default is fine (never needs passing)
+        reg.add("pos-only-default", lambda: "ok")
+
+    def test_non_callable_rejected(self):
+        reg = Registry("widget")
+        with pytest.raises(TypeError, match="not callable"):
+            reg.add("thing", 42)
+
+
+class TestBuiltinRegistries:
+    def test_builtin_policies_registered(self):
+        assert set(policy_names()) >= {
+            "contrast-scoring",
+            "random-replace",
+            "fifo",
+            "selective-bp",
+            "k-center",
+        }
+
+    def test_policy_labels_match_paper(self):
+        labels = policy_labels()
+        assert labels["contrast-scoring"] == "Contrast Scoring"
+        assert labels["fifo"] == "FIFO Replace"
+
+    def test_builtin_datasets_registered(self):
+        assert set(dataset_names()) >= {
+            "cifar10",
+            "cifar100",
+            "svhn",
+            "imagenet20",
+            "imagenet50",
+            "imagenet100",
+        }
+
+    def test_builtin_encoders_and_augments(self):
+        assert "resnet" in ENCODERS and "resnet-micro" in ENCODERS
+        assert "simclr" in AUGMENTS
+
+    def test_dataset_create_via_registry(self):
+        ds = DATASETS.create("cifar10", image_size=8)
+        assert ds.num_classes == 10
+        assert ds.image_shape == (3, 8, 8)
+
+    def test_create_policy_each_builtin_kind(self):
+        rng = np.random.default_rng(0)
+        assert isinstance(
+            create_policy("fifo", capacity=4), FIFOPolicy
+        )
+        assert isinstance(
+            create_policy("random-replace", capacity=4, rng=rng), RandomReplacePolicy
+        )
+        assert isinstance(
+            create_policy("selective-bp", scorer=object(), capacity=4),
+            SelectiveBPPolicy,
+        )
+        assert isinstance(
+            create_policy("k-center", scorer=object(), capacity=4), KCenterPolicy
+        )
+
+    def test_create_policy_contrast_scoring_maps_lazy_interval(self):
+        from repro.core.replacement import ContrastScoringPolicy
+
+        policy = create_policy(
+            "contrast-scoring", scorer=object(), capacity=4, lazy_interval=8
+        )
+        assert isinstance(policy, ContrastScoringPolicy)
+        assert policy.lazy.interval == 8
+        # alias resolves to the same factory
+        aliased = create_policy("cs", scorer=object(), capacity=4)
+        assert isinstance(aliased, ContrastScoringPolicy)
+
+    def test_create_policy_rejects_unknown_extra_option(self):
+        # standard keys are filtered by signature, but caller-supplied
+        # extras must be accepted — a typo'd option may not vanish
+        with pytest.raises(TypeError, match="lazy_interal"):
+            create_policy(
+                "contrast-scoring", scorer=object(), capacity=4, lazy_interal=8
+            )
+
+    def test_create_policy_passes_accepted_extra_option(self):
+        @register_policy("extra-opt-test")
+        class ExtraOpt(FIFOPolicy):
+            def __init__(self, capacity, spice=0):
+                super().__init__(capacity)
+                self.spice = spice
+
+        try:
+            built = create_policy("extra-opt-test", capacity=4, spice=7)
+            assert built.spice == 7
+        finally:
+            POLICIES.unregister("extra-opt-test")
+
+    def test_create_policy_requires_capacity(self):
+        with pytest.raises(TypeError, match="capacity"):
+            create_policy("fifo")
+
+    def test_create_policy_did_you_mean(self):
+        with pytest.raises(KeyError, match="did you mean"):
+            create_policy("fif0", capacity=4)
+
+    def test_plugin_dataset_rejects_unsupported_image_size(self):
+        from repro.data.datasets import make_dataset
+        from repro.registry import register_dataset
+
+        @register_dataset("fixed-res-test")
+        def build():
+            return "native-resolution-dataset"
+
+        try:
+            assert make_dataset("fixed-res-test") == "native-resolution-dataset"
+            with pytest.raises(TypeError, match=r"does not accept option\(s\): image_size"):
+                make_dataset("fixed-res-test", image_size=8)
+        finally:
+            DATASETS.unregister("fixed-res-test")
+
+    def test_plugin_dataset_keeps_its_own_image_size_default(self):
+        from repro.data.datasets import make_dataset
+        from repro.registry import register_dataset
+
+        @register_dataset("int-default-test")
+        def build(image_size: int = 16):
+            return image_size * 2  # crashes on None
+
+        try:
+            assert make_dataset("int-default-test") == 32
+            assert make_dataset("int-default-test", image_size=8) == 16
+        finally:
+            DATASETS.unregister("int-default-test")
+
+    def test_failed_ensure_retries_instead_of_poisoning(self):
+        calls = []
+
+        def flaky_ensure():
+            calls.append(None)
+            if len(calls) == 1:
+                raise ImportError("transient")
+
+        reg = Registry("widget", ensure=flaky_ensure)
+        with pytest.raises(ImportError):
+            reg.names()
+        # second attempt re-runs ensure and succeeds
+        assert reg.names() == []
+        assert len(calls) == 2
+        # and a successful ensure is not re-run afterwards
+        reg.names()
+        assert len(calls) == 2
+
+    def test_plugin_policy_registers_and_unregisters(self):
+        @register_policy("tmp-plugin-policy")
+        class TmpPolicy(FIFOPolicy):
+            pass
+
+        try:
+            built = create_policy("tmp-plugin-policy", capacity=4)
+            assert isinstance(built, TmpPolicy)
+        finally:
+            POLICIES.unregister("tmp-plugin-policy")
+        assert "tmp-plugin-policy" not in POLICIES
