@@ -78,8 +78,9 @@ def quickstart_components(
     """Deprecated: build a ready-to-run (learner, stream, dataset) triple.
 
     Use :class:`repro.session.Session` instead — it owns the same wiring
-    plus probes, callbacks, and checkpointing.  Kept as a shim for the
-    README quickstart and older examples.
+    plus probes, callbacks, and checkpointing (the README quickstart and
+    every example go through it).  Kept only so pre-Session scripts keep
+    running.
     """
     import warnings
 

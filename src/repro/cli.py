@@ -14,19 +14,24 @@ per-experiment index in DESIGN.md:
     ablation-momentum explicit EMA scores vs lazy scoring
     ablation-drift    class-incremental drift comparison
     stream            one Session run of a single policy
+    multi-seed        many-seed sweep, mean ± std per policy
 
 ``--list`` enumerates the experiment ids together with every policy,
 dataset, encoder, and augment registered in :mod:`repro.registry`
 (plugins included).  ``--policy`` overrides the policy selection of
 experiments that compare or run policies; any registered policy name
-or alias is accepted.
+or alias is accepted.  ``--workers N`` fans sweep-shaped experiments
+(``multi-seed``, ``table2``, ``ablation-stc``, ``fig4a``-``fig6b``)
+out over N worker processes via
+:mod:`repro.experiments.parallel`; results are identical to the serial
+run.  ``--seeds 0,1,2,3`` sets the seed roster of ``multi-seed``.
 """
 
 from __future__ import annotations
 
 import argparse
 import sys
-from typing import Callable, Dict, Optional
+from typing import Callable, Dict, Optional, Sequence
 
 from repro.experiments import (
     default_config,
@@ -34,6 +39,7 @@ from repro.experiments import (
     format_gradient_ablation,
     format_learning_curves,
     format_momentum_ablation,
+    format_multi_seed,
     format_scoring_view_ablation,
     format_stc_sweep,
     format_table1,
@@ -42,6 +48,7 @@ from repro.experiments import (
     run_gradient_ablation,
     run_learning_curves,
     run_momentum_ablation,
+    run_multi_seed,
     run_scoring_view_ablation,
     run_stc_sweep,
     run_table1,
@@ -72,58 +79,70 @@ def _fixed_roster(fn):
     return fn
 
 
-def _run_fig3(seed: int, policy: Optional[str] = None) -> str:
+def _parallel(fn):
+    """Mark a runner that fans out over ``--workers`` processes; ``main``
+    rejects ``--workers`` > 1 for runners without this mark."""
+    fn.supports_workers = True
+    return fn
+
+
+def _run_fig3(seed: int, policy: Optional[str] = None, workers: int = 1) -> str:
     config = scaled_config(default_config(seed=seed))
     policies = POLICY_NAMES if policy is None else (policy,)
     return format_fig3(run_fig3(config, policies=policies))
 
 
-def _curve_runner(dataset: str) -> Callable[[int, Optional[str]], str]:
-    def run(seed: int, policy: Optional[str] = None) -> str:
+def _curve_runner(dataset: str) -> Callable[..., str]:
+    @_parallel
+    def run(seed: int, policy: Optional[str] = None, workers: int = 1) -> str:
         config = scaled_config(default_config(dataset, seed=seed))
         kwargs = {} if policy is None else {"policies": (policy,)}
-        return format_learning_curves(run_learning_curves(dataset, config, **kwargs))
+        return format_learning_curves(
+            run_learning_curves(dataset, config, workers=workers, **kwargs)
+        )
 
     return run
 
 
 @_fixed_roster
-def _run_table1(seed: int, policy: Optional[str] = None) -> str:
+def _run_table1(seed: int, policy: Optional[str] = None, workers: int = 1) -> str:
     config = scaled_config(default_config(seed=seed))
     return format_table1(run_table1(config))
 
 
-def _run_table2(seed: int, policy: Optional[str] = None) -> str:
+@_parallel
+def _run_table2(seed: int, policy: Optional[str] = None, workers: int = 1) -> str:
     config = scaled_config(default_config(seed=seed))
     kwargs = {} if policy is None else {"policies": (policy,)}
-    return format_table2(run_table2(config, **kwargs))
+    return format_table2(run_table2(config, workers=workers, **kwargs))
 
 
 @_fixed_roster
-def _run_ablation_grad(seed: int, policy: Optional[str] = None) -> str:
+def _run_ablation_grad(seed: int, policy: Optional[str] = None, workers: int = 1) -> str:
     config = scaled_config(default_config(seed=seed))
     return format_gradient_ablation(run_gradient_ablation(config))
 
 
 @_fixed_roster
-def _run_ablation_views(seed: int, policy: Optional[str] = None) -> str:
+def _run_ablation_views(seed: int, policy: Optional[str] = None, workers: int = 1) -> str:
     config = scaled_config(default_config(seed=seed))
     return format_scoring_view_ablation(run_scoring_view_ablation(config))
 
 
 @_fixed_roster
-def _run_ablation_stc(seed: int, policy: Optional[str] = None) -> str:
+@_parallel
+def _run_ablation_stc(seed: int, policy: Optional[str] = None, workers: int = 1) -> str:
     config = scaled_config(default_config(seed=seed))
-    return format_stc_sweep(run_stc_sweep(config))
+    return format_stc_sweep(run_stc_sweep(config, workers=workers))
 
 
 @_fixed_roster
-def _run_ablation_momentum(seed: int, policy: Optional[str] = None) -> str:
+def _run_ablation_momentum(seed: int, policy: Optional[str] = None, workers: int = 1) -> str:
     config = scaled_config(default_config(seed=seed))
     return format_momentum_ablation(run_momentum_ablation(config))
 
 
-def _run_ablation_drift(seed: int, policy: Optional[str] = None) -> str:
+def _run_ablation_drift(seed: int, policy: Optional[str] = None, workers: int = 1) -> str:
     from repro.experiments.drift import format_drift, run_drift_experiment
 
     config = scaled_config(default_config(seed=seed))
@@ -131,7 +150,7 @@ def _run_ablation_drift(seed: int, policy: Optional[str] = None) -> str:
     return format_drift(run_drift_experiment(config, **kwargs))
 
 
-def _run_stream(seed: int, policy: Optional[str] = None) -> str:
+def _run_stream(seed: int, policy: Optional[str] = None, workers: int = 1) -> str:
     """One Session run of a single policy; prints the learning curve."""
     config = scaled_config(default_config(seed=seed))
     policy = policy if policy is not None else "contrast-scoring"
@@ -146,6 +165,29 @@ def _run_stream(seed: int, policy: Optional[str] = None) -> str:
     return "\n".join([format_table(header, rows), summary])
 
 
+@_parallel
+def _run_multi_seed_cli(
+    seed: int,
+    policy: Optional[str] = None,
+    workers: int = 1,
+    seeds: Optional[Sequence[int]] = None,
+) -> str:
+    """Many-seed sweep: mean ± std per policy (the paper's protocol).
+
+    Default roster is three consecutive seeds starting at ``--seed``
+    (the paper averages over three runs); ``--seeds`` overrides it.
+    """
+    config = scaled_config(default_config(seed=seed))
+    seeds = tuple(seeds) if seeds else (seed, seed + 1, seed + 2)
+    kwargs = {} if policy is None else {"policies": (policy,)}
+    return format_multi_seed(
+        run_multi_seed(config, seeds=seeds, workers=workers, **kwargs)
+    )
+
+
+_run_multi_seed_cli.supports_seeds = True
+
+
 EXPERIMENTS: Dict[str, Callable[..., str]] = {
     "fig3": _run_fig3,
     **{name: _curve_runner(ds) for name, ds in _CURVE_DATASETS.items()},
@@ -157,6 +199,7 @@ EXPERIMENTS: Dict[str, Callable[..., str]] = {
     "ablation-momentum": _run_ablation_momentum,
     "ablation-drift": _run_ablation_drift,
     "stream": _run_stream,
+    "multi-seed": _run_multi_seed_cli,
 }
 
 
@@ -194,6 +237,20 @@ def main(argv: list[str] | None = None) -> int:
         help="override the policy roster with one registered policy name",
     )
     parser.add_argument(
+        "--workers",
+        type=int,
+        default=1,
+        help="worker processes for sweep-shaped experiments "
+        "(multi-seed, table2, ablation-stc, fig4a..fig6b); results are "
+        "identical to the serial run",
+    )
+    parser.add_argument(
+        "--seeds",
+        default=None,
+        help="comma-separated seed roster for multi-seed "
+        "(default: seed, seed+1, seed+2)",
+    )
+    parser.add_argument(
         "--list",
         action="store_true",
         help="list experiment ids and registered policies/datasets/"
@@ -220,8 +277,33 @@ def main(argv: list[str] | None = None) -> int:
         except KeyError as exc:
             parser.error(str(exc))
 
+    if args.workers < 1:
+        parser.error(f"--workers must be >= 1, got {args.workers}")
+    extra: Dict[str, object] = {}
+    if args.workers != 1:
+        if not getattr(runner, "supports_workers", False):
+            parser.error(
+                f"experiment {args.experiment!r} does not take --workers "
+                "(it is not sweep-shaped)"
+            )
+        extra["workers"] = args.workers
+    if args.seeds is not None:
+        if not getattr(runner, "supports_seeds", False):
+            parser.error(
+                f"experiment {args.experiment!r} does not take --seeds "
+                "(only multi-seed does)"
+            )
+        try:
+            extra["seeds"] = tuple(
+                int(part) for part in args.seeds.split(",") if part.strip()
+            )
+        except ValueError:
+            parser.error(f"--seeds must be comma-separated ints, got {args.seeds!r}")
+        if not extra["seeds"]:
+            parser.error("--seeds must name at least one seed")
+
     print(f"== {args.experiment} (seed {args.seed}) ==")
-    print(runner(args.seed, policy))
+    print(runner(args.seed, policy, **extra))
     return 0
 
 

@@ -19,7 +19,7 @@ import numpy as np
 
 from repro.core.buffer import DataBuffer
 from repro.core.lazy import LazyScoringSchedule
-from repro.core.scoring import ContrastScorer
+from repro.core.scoring import ContrastScorer, score_batches
 from repro.registry import register_policy
 from repro.selection.base import ReplacementPolicy, SelectionResult
 
@@ -74,32 +74,36 @@ class ContrastScoringPolicy(ReplacementPolicy):
         n_buf = buffer.size
         n_new = incoming.shape[0]
 
-        # --- score buffered entries (lazily) ---------------------------
+        # --- which buffered entries need fresh scores (lazily)? --------
         if n_buf:
             needs = self.lazy.needs_scoring(buffer.ages)
             # entries that have never been scored must be scored now
             needs = needs | np.isnan(buffer.scores)
             buf_scores = buffer.scores.copy()
-            if needs.any():
-                fresh = self.scorer.score(buffer.images[needs])
-                if self.score_momentum > 0.0:
-                    old = buffer.scores[needs]
-                    blend = np.where(
-                        np.isnan(old),
-                        fresh,
-                        self.score_momentum * old + (1 - self.score_momentum) * fresh,
-                    )
-                    buf_scores[needs] = blend
-                else:
-                    buf_scores[needs] = fresh
-            num_rescored = int(needs.sum())
-            self.lazy.record(num_rescored, n_buf)
         else:
+            needs = np.zeros(0, dtype=bool)
             buf_scores = np.zeros(0, dtype=np.float64)
-            num_rescored = 0
 
-        # --- incoming data is always scored ----------------------------
-        new_scores = self.scorer.score(incoming)
+        # --- one fused scoring pass: stale buffer entries + incoming ---
+        # (incoming stream data is always scored; eval-mode scoring makes
+        # each sample's score independent of its batch-mates, so fusing
+        # the two groups into one scoring pass only improves throughput)
+        to_rescore = buffer.images[needs] if needs.any() else incoming[:0]
+        fresh, new_scores = score_batches(self.scorer, [to_rescore, incoming])
+        if needs.any():
+            if self.score_momentum > 0.0:
+                old = buffer.scores[needs]
+                blend = np.where(
+                    np.isnan(old),
+                    fresh,
+                    self.score_momentum * old + (1 - self.score_momentum) * fresh,
+                )
+                buf_scores[needs] = blend
+            else:
+                buf_scores[needs] = fresh
+        num_rescored = int(needs.sum())
+        if n_buf:
+            self.lazy.record(num_rescored, n_buf)
 
         pool_scores = np.concatenate([buf_scores, new_scores])
         keep = self._top_n(pool_scores, self.capacity)

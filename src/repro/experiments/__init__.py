@@ -1,5 +1,15 @@
 """Experiment harnesses that regenerate every table and figure of the
 paper's evaluation (plus the ablations listed in DESIGN.md).
+
+Sweep-shaped harnesses (``run_multi_seed``, ``run_table2``,
+``run_stc_sweep``, ``run_learning_curves``) accept ``workers=`` to fan
+out over processes via :mod:`repro.experiments.parallel`.
+
+The re-exported ``make_policy`` and ``build_components`` are
+deprecation shims kept for pre-registry call sites; new code uses
+:func:`repro.registry.create_policy`,
+:func:`repro.session.build_components`, and
+:class:`repro.session.Session` (see docs/API.md).
 """
 
 from repro.experiments.config import (
@@ -37,6 +47,7 @@ from repro.experiments.table2 import (
     run_table2,
 )
 from repro.experiments.drift import DriftResult, format_drift, run_drift_experiment
+from repro.experiments.parallel import SweepSpec, result_fingerprint, run_sweep
 from repro.experiments.multi_seed import (
     MultiSeedResult,
     SeedAggregate,
@@ -102,6 +113,9 @@ __all__ = [
     "SeedAggregate",
     "run_multi_seed",
     "format_multi_seed",
+    "SweepSpec",
+    "run_sweep",
+    "result_fingerprint",
     "DriftResult",
     "run_drift_experiment",
     "format_drift",

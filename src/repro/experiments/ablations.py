@@ -22,6 +22,7 @@ from repro.core.gradient_analysis import score_gradient_relation
 from repro.core.scoring import ContrastScorer
 from repro.data.augment import SimCLRAugment, horizontal_flip
 from repro.experiments.config import StreamExperimentConfig, default_config
+from repro.experiments.parallel import SweepSpec, run_sweep
 from repro.experiments.runner import run_stream_experiment
 from repro.registry import canonical_policy_names, create_policy
 from repro.session import build_components
@@ -230,17 +231,24 @@ def run_stc_sweep(
     config: Optional[StreamExperimentConfig] = None,
     stc_values: Sequence[int] = (1, 8, 64, 512),
     policies: Sequence[str] = ("contrast-scoring", "random-replace"),
+    workers: int = 1,
 ) -> StcSweepResult:
-    """Vary the temporal correlation strength of the stream."""
+    """Vary the temporal correlation strength of the stream.
+
+    ``workers > 1`` runs the (STC, policy) grid in parallel via
+    :func:`repro.experiments.parallel.run_sweep`.
+    """
     base = config if config is not None else default_config()
     policies = canonical_policy_names(policies)
     result = StcSweepResult(stc_values=tuple(stc_values))
+    specs = [
+        SweepSpec(config=base.with_(stc=stc), policy=policy, eval_points=1)
+        for stc in stc_values
+        for policy in policies
+    ]
+    runs = iter(run_sweep(specs, workers=workers))
     for stc in stc_values:
-        cfg = base.with_(stc=stc)
-        result.accuracy[stc] = {}
-        for policy in policies:
-            run = run_stream_experiment(cfg, policy, eval_points=1)
-            result.accuracy[stc][policy] = run.final_accuracy
+        result.accuracy[stc] = {policy: next(runs).final_accuracy for policy in policies}
     return result
 
 

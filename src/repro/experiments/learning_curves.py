@@ -18,11 +18,8 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence
 
 from repro.experiments.config import StreamExperimentConfig, default_config
-from repro.experiments.runner import (
-    POLICY_LABELS,
-    StreamRunResult,
-    run_stream_experiment,
-)
+from repro.experiments.parallel import SweepSpec, run_sweep
+from repro.experiments.runner import POLICY_LABELS, StreamRunResult
 from repro.metrics.curves import LearningCurve, speedup_at_accuracy
 from repro.registry import canonical_policy_names
 from repro.utils.tables import format_table
@@ -69,17 +66,26 @@ def run_learning_curves(
     config: Optional[StreamExperimentConfig] = None,
     policies: Sequence[str] = CURVE_POLICIES,
     eval_points: int = 6,
+    workers: int = 1,
 ) -> LearningCurveResult:
-    """Run the Figs. 4-6 protocol for one dataset."""
+    """Run the Figs. 4-6 protocol for one dataset.
+
+    ``workers > 1`` runs the per-policy curves in parallel via
+    :func:`repro.experiments.parallel.run_sweep`.
+    """
     config = config if config is not None else default_config(dataset)
     if config.dataset != dataset:
         config = config.with_(dataset=dataset)
     policies = canonical_policy_names(policies)
     result = LearningCurveResult(dataset=dataset, config=config)
-    for policy in policies:
-        result.runs[policy] = run_stream_experiment(
-            config, policy, eval_points=eval_points, label_fraction=1.0
+    specs = [
+        SweepSpec(
+            config=config, policy=policy, eval_points=eval_points, label_fraction=1.0
         )
+        for policy in policies
+    ]
+    for policy, run in zip(policies, run_sweep(specs, workers=workers)):
+        result.runs[policy] = run
     return result
 
 

@@ -14,7 +14,8 @@ from typing import Dict, List, Optional, Sequence
 import numpy as np
 
 from repro.experiments.config import StreamExperimentConfig, default_config
-from repro.experiments.runner import StreamRunResult, run_stream_experiment
+from repro.experiments.parallel import SweepSpec, run_sweep
+from repro.experiments.runner import StreamRunResult
 from repro.registry import canonical_policy_names
 from repro.utils.tables import format_table
 
@@ -71,22 +72,35 @@ def run_multi_seed(
     policies: Sequence[str] = ("contrast-scoring", "random-replace", "fifo"),
     seeds: Sequence[int] = (0, 1, 2),
     eval_points: int = 1,
+    workers: int = 1,
 ) -> MultiSeedResult:
-    """Run every (policy, seed) pair and aggregate final accuracies."""
+    """Run every (policy, seed) pair and aggregate final accuracies.
+
+    ``workers > 1`` fans the (policy, seed) grid out over worker
+    processes via :func:`repro.experiments.parallel.run_sweep`; the
+    merged result is identical to the serial one on every deterministic
+    field (runs share no state).
+    """
     base = config if config is not None else default_config()
     if not seeds:
         raise ValueError("need at least one seed")
     policies = canonical_policy_names(policies)
     result = MultiSeedResult(config=base, seeds=tuple(seeds))
+    specs = [
+        SweepSpec(
+            config=base.with_(seed=seed),
+            policy=policy,
+            eval_points=eval_points,
+            tag=f"{policy}/seed{seed}",
+        )
+        for policy in policies
+        for seed in seeds
+    ]
+    sweep_runs = iter(run_sweep(specs, workers=workers))
     for policy in policies:
         aggregate = SeedAggregate(policy=policy)
-        runs: List[StreamRunResult] = []
-        for seed in seeds:
-            run = run_stream_experiment(
-                base.with_(seed=seed), policy, eval_points=eval_points
-            )
-            aggregate.accuracies.append(run.final_accuracy)
-            runs.append(run)
+        runs: List[StreamRunResult] = [next(sweep_runs) for _ in seeds]
+        aggregate.accuracies = [run.final_accuracy for run in runs]
         result.aggregates[policy] = aggregate
         result.runs[policy] = runs
     return result

@@ -1,0 +1,183 @@
+"""Process-parallel sweep engine for multi-seed / multi-policy grids.
+
+Selection-policy comparisons only become meaningful over many-seed
+sweeps, and every run of a sweep is embarrassingly parallel: runs share
+no mutable state (each builds its own components from its config, and
+every stochastic component draws from a per-run
+:class:`~repro.utils.rng.RngRegistry` seeded by ``config.seed`` alone).
+This module fans such grids out over ``multiprocessing`` workers:
+
+* **Specs, not objects** — a sweep is a list of :class:`SweepSpec`
+  values (config + policy + run options).  Specs cross the process
+  boundary as the JSON-compatible payload of
+  :func:`repro.session.config_to_dict`, and results come back as
+  :meth:`~repro.session.StreamRunResult.to_dict` payloads, so the wire
+  format is the same stable schema used for archiving.
+* **Deterministic merging** — results are returned in spec order
+  regardless of worker completion order, and the round trip through
+  ``to_dict``/``from_dict`` is lossless, so a parallel sweep is
+  bitwise-identical to the serial one on every deterministic field
+  (:func:`result_fingerprint`; wall-clock timings necessarily differ).
+* **RNG isolation** — follows from the per-run registries: a worker
+  process never touches another run's generators, and no component
+  draws from numpy's global RNG.  The equivalence tests in
+  ``tests/integration/test_parallel.py`` enforce this.
+* **Graceful fallback** — ``workers=1`` (or a single spec) runs serially
+  in-process with zero multiprocessing involvement, and an unavailable
+  multiprocessing substrate degrades to the serial path with a warning.
+
+``run_multi_seed``, ``run_table2``, ``run_stc_sweep``, and
+``run_learning_curves`` accept ``workers=`` and build on this engine;
+the CLI exposes it as ``--workers``.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import warnings
+from dataclasses import dataclass
+from typing import Any, Dict, List, Optional, Sequence
+
+from repro.experiments.config import StreamExperimentConfig
+from repro.experiments.runner import run_stream_experiment
+from repro.session import StreamRunResult, config_from_dict, config_to_dict
+
+__all__ = [
+    "SweepSpec",
+    "run_sweep",
+    "result_fingerprint",
+    "default_start_method",
+    "TIMING_FIELDS",
+]
+
+#: ``StreamRunResult.to_dict`` keys that depend on wall-clock time and
+#: therefore legitimately differ between serial and parallel execution.
+TIMING_FIELDS = ("mean_select_seconds", "mean_train_seconds", "wall_seconds")
+
+
+def default_start_method() -> str:
+    """Preferred multiprocessing start method: ``fork`` where available
+    (cheap worker startup on POSIX), else ``spawn``."""
+    return "fork" if "fork" in multiprocessing.get_all_start_methods() else "spawn"
+
+
+@dataclass(frozen=True)
+class SweepSpec:
+    """One run of a sweep: a config plus the run options of
+    :func:`~repro.experiments.runner.run_stream_experiment`.
+
+    ``tag`` is caller bookkeeping (e.g. ``"fifo/seed3"``) echoed back by
+    nothing — the engine identifies runs purely by position, which is
+    what makes merged results order-stable.
+    """
+
+    config: StreamExperimentConfig
+    policy: str = "contrast-scoring"
+    eval_points: int = 1
+    label_fraction: float = 1.0
+    lazy_interval: Optional[int] = None
+    score_momentum: float = 0.0
+    tag: Optional[str] = None
+
+    def to_payload(self) -> Dict[str, Any]:
+        """JSON-compatible wire form (crosses the process boundary)."""
+        return {
+            "config": config_to_dict(self.config),
+            "policy": self.policy,
+            "eval_points": self.eval_points,
+            "label_fraction": self.label_fraction,
+            "lazy_interval": self.lazy_interval,
+            "score_momentum": self.score_momentum,
+            "tag": self.tag,
+        }
+
+    @classmethod
+    def from_payload(cls, payload: Dict[str, Any]) -> "SweepSpec":
+        """Inverse of :meth:`to_payload`."""
+        payload = dict(payload)
+        payload["config"] = config_from_dict(payload["config"])
+        return cls(**payload)
+
+
+def _run_spec(spec: SweepSpec) -> StreamRunResult:
+    """Execute one spec in the current process."""
+    return run_stream_experiment(
+        spec.config,
+        spec.policy,
+        eval_points=spec.eval_points,
+        label_fraction=spec.label_fraction,
+        lazy_interval=spec.lazy_interval,
+        score_momentum=spec.score_momentum,
+    )
+
+
+def _worker(payload: Dict[str, Any]) -> Dict[str, Any]:
+    """Pool worker: payload in, result payload out (must be module-level
+    so every start method can import it)."""
+    return _run_spec(SweepSpec.from_payload(payload)).to_dict()
+
+
+def run_sweep(
+    specs: Sequence[SweepSpec],
+    workers: int = 1,
+    start_method: Optional[str] = None,
+) -> List[StreamRunResult]:
+    """Run every spec and return results in spec order.
+
+    Parameters
+    ----------
+    specs: the runs to execute.
+    workers: worker process count.  1 (the default) runs serially
+        in-process; values above the spec count are clamped.
+    start_method: multiprocessing start method (default:
+        :func:`default_start_method`).
+
+    Serial and parallel execution produce identical results on every
+    deterministic field — see :func:`result_fingerprint` — because runs
+    share no state and the cross-process round trip is lossless.
+    """
+    if workers < 1:
+        raise ValueError(f"workers must be >= 1, got {workers}")
+    specs = list(specs)
+    if not specs:
+        return []
+    workers = min(workers, len(specs))
+    if workers == 1:
+        return [_run_spec(spec) for spec in specs]
+
+    payloads = [spec.to_payload() for spec in specs]
+    try:
+        context = multiprocessing.get_context(
+            start_method if start_method is not None else default_start_method()
+        )
+        pool = context.Pool(processes=workers)
+    except (ImportError, OSError, PermissionError) as exc:
+        # Pool *creation* failing (e.g. missing POSIX semaphores in a
+        # restricted sandbox) degrades to serial.  Errors raised by the
+        # runs themselves propagate: silently rerunning a failing sweep
+        # serially would double its wall clock and bury the real error.
+        warnings.warn(
+            f"multiprocessing unavailable ({exc}); running sweep serially",
+            RuntimeWarning,
+            stacklevel=2,
+        )
+        return [_run_spec(spec) for spec in specs]
+    with pool:
+        # map() preserves input order — the ordered merge; chunksize 1
+        # because runs are long and few, so balance beats batching.
+        result_payloads = pool.map(_worker, payloads, chunksize=1)
+    return [StreamRunResult.from_dict(payload) for payload in result_payloads]
+
+
+def result_fingerprint(result: StreamRunResult) -> Dict[str, Any]:
+    """The deterministic payload of a run: ``to_dict()`` minus the
+    wall-clock timing fields (:data:`TIMING_FIELDS`).
+
+    Two runs of the same spec — serial, parallel, or resumed — must
+    produce equal fingerprints; the equivalence tests compare exactly
+    this.
+    """
+    payload = result.to_dict()
+    for key in TIMING_FIELDS:
+        payload.pop(key, None)
+    return payload

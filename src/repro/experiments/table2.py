@@ -15,11 +15,8 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.experiments.config import StreamExperimentConfig, default_config
-from repro.experiments.runner import (
-    POLICY_LABELS,
-    StreamRunResult,
-    run_stream_experiment,
-)
+from repro.experiments.parallel import SweepSpec, run_sweep
+from repro.experiments.runner import POLICY_LABELS, StreamRunResult
 from repro.nn.optim import sqrt_batch_lr_scale
 from repro.registry import canonical_policy_names
 from repro.utils.tables import format_table
@@ -54,19 +51,33 @@ def run_table2(
     config: Optional[StreamExperimentConfig] = None,
     buffer_sizes: Sequence[int] = BUFFER_SIZES,
     policies: Sequence[str] = TABLE2_POLICIES,
+    workers: int = 1,
 ) -> Table2Result:
-    """Run the buffer-size sweep with sqrt lr scaling."""
+    """Run the buffer-size sweep with sqrt lr scaling.
+
+    ``workers > 1`` runs the (buffer size, policy) grid in parallel via
+    :func:`repro.experiments.parallel.run_sweep`.
+    """
     base = config if config is not None else default_config()
     policies = canonical_policy_names(policies)
     result = Table2Result(config=base, buffer_sizes=tuple(buffer_sizes))
+    specs = []
     for buffer_size in buffer_sizes:
         lr = sqrt_batch_lr_scale(base.lr, buffer_size, base_batch=base.buffer_size)
         cfg = base.with_(buffer_size=buffer_size, lr=lr)
-        result.runs[buffer_size] = {}
         for policy in policies:
-            result.runs[buffer_size][policy] = run_stream_experiment(
-                cfg, policy, eval_points=1, label_fraction=1.0
+            specs.append(
+                SweepSpec(
+                    config=cfg,
+                    policy=policy,
+                    eval_points=1,
+                    label_fraction=1.0,
+                    tag=f"buffer{buffer_size}/{policy}",
+                )
             )
+    sweep_runs = iter(run_sweep(specs, workers=workers))
+    for buffer_size in buffer_sizes:
+        result.runs[buffer_size] = {policy: next(sweep_runs) for policy in policies}
     return result
 
 

@@ -11,7 +11,7 @@ from typing import Optional, Tuple, Union
 
 import numpy as np
 
-from repro.nn.im2col import col2im, conv_output_size, im2col
+from repro.nn.im2col import col2im, conv_output_size, default_workspace, im2col
 from repro.nn.tensor import Tensor, is_grad_enabled
 
 __all__ = [
@@ -60,6 +60,14 @@ def conv2d(
     x: ``(N, C_in, H, W)`` input.
     weight: ``(C_out, C_in, kh, kw)`` filters.
     bias: optional ``(C_out,)``.
+
+    Gradient-free forwards (``no_grad`` scoring/eval, frozen inputs)
+    unfold into the process-wide :func:`repro.nn.im2col.
+    default_workspace` instead of allocating a fresh column matrix —
+    safe because nothing retains the columns once the output GEMM is
+    done.  Autograd forwards always own their columns (the backward
+    closure reads them for the weight gradient), so they never touch
+    the workspace.
     """
     if x.ndim != 4:
         raise ValueError(f"conv2d expects NCHW input, got shape {x.shape}")
@@ -74,14 +82,16 @@ def conv2d(
     out_h = conv_output_size(h, kh, stride, padding)
     out_w = conv_output_size(w, kw, stride, padding)
 
-    cols = im2col(x.data, (kh, kw), stride, padding)  # (N, oh, ow, C*kh*kw)
+    parents = (x, weight) if bias is None else (x, weight, bias)
+    needs_grad = is_grad_enabled() and any(p.requires_grad for p in parents)
+    workspace = None if needs_grad else default_workspace()
+
+    cols = im2col(x.data, (kh, kw), stride, padding, workspace=workspace)
     w_mat = weight.data.reshape(c_out, -1)  # (C_out, C*kh*kw)
     out = cols @ w_mat.T  # (N, oh, ow, C_out)
     if bias is not None:
         out = out + bias.data
     out = np.ascontiguousarray(out.transpose(0, 3, 1, 2))
-
-    parents = (x, weight) if bias is None else (x, weight, bias)
 
     def backward(g: np.ndarray):
         # g: (N, C_out, oh, ow) -> (N, oh, ow, C_out)

@@ -5,15 +5,109 @@ convolution becomes a single GEMM; ``col2im`` folds gradients back,
 accumulating where windows overlap.  Both are pure numpy functions with
 no autograd involvement — :mod:`repro.nn.functional` wires them into the
 graph.
+
+Workspace reuse
+---------------
+The unfold allocates two large scratch arrays per call (the padded
+input and the contiguous column matrix).  On the scoring/eval hot path
+— where every forward runs under ``no_grad`` and nothing retains the
+columns — those allocations dominate small-model conv time, so
+:class:`Im2colWorkspace` caches them keyed by (role, shape, dtype) and
+:func:`im2col` reuses them when a workspace is passed.
+
+Cache invariants (see DESIGN.md §7):
+
+1. An array returned by a workspace-backed :func:`im2col` call is
+   **owned by the workspace** and invalidated by the next call using
+   the same workspace (each role is one flat arena).  Callers must
+   fully consume it before triggering another unfold and must never
+   store it.
+2. Consequently a workspace may only be used for gradient-free
+   forwards: autograd convolutions retain their columns until
+   ``backward`` runs, so they always allocate fresh arrays.
+   :func:`repro.nn.functional.conv2d` enforces this automatically.
+3. ``col2im`` never uses the workspace: its output (or a view of it) is
+   returned as a *gradient* and may be retained by the autograd engine
+   indefinitely.
+4. Workspaces are not thread-safe; the module-level default is
+   per-process (each parallel-sweep worker has its own).
 """
 
 from __future__ import annotations
 
-from typing import Tuple
+from typing import Dict, Optional, Tuple
 
 import numpy as np
 
-__all__ = ["conv_output_size", "im2col", "col2im"]
+__all__ = [
+    "conv_output_size",
+    "im2col",
+    "col2im",
+    "Im2colWorkspace",
+    "default_workspace",
+]
+
+
+class Im2colWorkspace:
+    """Per-role scratch arenas for im2col (padded input, columns).
+
+    ``get(role, shape, dtype)`` returns a view of the role's flat byte
+    arena, grown (never shrunk) to the largest request seen, so memory
+    stays bounded at one arena per role no matter how many distinct
+    shapes pass through — the fused scoring path produces a different
+    batch size almost every iteration, and caching per exact shape
+    would leak a buffer pair per size for the process lifetime.  By
+    invariant 1 (module docstring) only the most recent view per role
+    is ever live, which is what makes a single arena sufficient.
+    Contents are undefined on return — callers overwrite every element
+    they read.  A "hit" is a request served without growing the arena.
+    """
+
+    def __init__(self) -> None:
+        self._arenas: Dict[str, np.ndarray] = {}
+        self.hits = 0
+        self.misses = 0
+
+    def get(self, role: str, shape: Tuple[int, ...], dtype) -> np.ndarray:
+        dtype = np.dtype(dtype)
+        nbytes = int(np.prod(shape)) * dtype.itemsize
+        arena = self._arenas.get(role)
+        if arena is None or arena.nbytes < nbytes:
+            arena = np.empty(nbytes, dtype=np.uint8)
+            self._arenas[role] = arena
+            self.misses += 1
+        else:
+            self.hits += 1
+        return arena[:nbytes].view(dtype).reshape(shape)
+
+    def clear(self) -> None:
+        """Drop every arena and reset the counters."""
+        self._arenas.clear()
+        self.hits = 0
+        self.misses = 0
+
+    def stats(self) -> Dict[str, float]:
+        """Hit/miss counters plus retained bytes (for the perf suite)."""
+        total = self.hits + self.misses
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "hit_rate": self.hits / total if total else 0.0,
+            "buffers": len(self._arenas),
+            "bytes": int(sum(a.nbytes for a in self._arenas.values())),
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Im2colWorkspace({self.stats()})"
+
+
+#: Process-wide workspace used by gradient-free convolutions.
+_DEFAULT_WORKSPACE = Im2colWorkspace()
+
+
+def default_workspace() -> Im2colWorkspace:
+    """The process-wide workspace gradient-free convolutions reuse."""
+    return _DEFAULT_WORKSPACE
 
 
 def conv_output_size(size: int, kernel: int, stride: int, padding: int) -> int:
@@ -28,13 +122,24 @@ def conv_output_size(size: int, kernel: int, stride: int, padding: int) -> int:
 
 
 def im2col(
-    x: np.ndarray, kernel: Tuple[int, int], stride: int, padding: int
+    x: np.ndarray,
+    kernel: Tuple[int, int],
+    stride: int,
+    padding: int,
+    workspace: Optional[Im2colWorkspace] = None,
 ) -> np.ndarray:
     """Unfold ``x`` (N, C, H, W) into (N, out_h, out_w, C*kh*kw).
 
     The last axis is ordered (C, kh, kw) — the same layout a weight
     tensor ``(F, C, kh, kw)`` flattens to, so the convolution GEMM is
     ``cols @ w.reshape(F, -1).T``.
+
+    When ``workspace`` is given, the padded input and the returned
+    column matrix are views of its per-role arenas instead of fresh
+    allocations.  The return value is then owned by the workspace and
+    invalidated by the next workspace-backed call — only pass a
+    workspace when the result is fully consumed before the next unfold
+    (the gradient-free convolution path; see the module docstring).
     """
     if x.ndim != 4:
         raise ValueError(f"expected NCHW input, got shape {x.shape}")
@@ -43,11 +148,23 @@ def im2col(
     out_h = conv_output_size(h, kh, stride, padding)
     out_w = conv_output_size(w, kw, stride, padding)
     if padding > 0:
-        x = np.pad(
-            x,
-            ((0, 0), (0, 0), (padding, padding), (padding, padding)),
-            mode="constant",
-        )
+        if workspace is not None:
+            padded = workspace.get(
+                "pad", (n, c, h + 2 * padding, w + 2 * padding), x.dtype
+            )
+            # Zero only the border slabs: the interior is overwritten.
+            padded[:, :, :padding, :] = 0
+            padded[:, :, -padding:, :] = 0
+            padded[:, :, padding:-padding, :padding] = 0
+            padded[:, :, padding:-padding, -padding:] = 0
+            padded[:, :, padding:-padding, padding:-padding] = x
+            x = padded
+        else:
+            x = np.pad(
+                x,
+                ((0, 0), (0, 0), (padding, padding), (padding, padding)),
+                mode="constant",
+            )
     sn, sc, sh, sw = x.strides
     windows = np.lib.stride_tricks.as_strided(
         x,
@@ -56,7 +173,11 @@ def im2col(
         writeable=False,
     )
     # (N, out_h, out_w, C, kh, kw) -> (N, out_h, out_w, C*kh*kw)
-    cols = np.ascontiguousarray(windows.transpose(0, 2, 3, 1, 4, 5))
+    if workspace is not None:
+        cols = workspace.get("cols", (n, out_h, out_w, c, kh, kw), x.dtype)
+        np.copyto(cols, windows.transpose(0, 2, 3, 1, 4, 5))
+    else:
+        cols = np.ascontiguousarray(windows.transpose(0, 2, 3, 1, 4, 5))
     return cols.reshape(n, out_h, out_w, c * kh * kw)
 
 

@@ -253,7 +253,14 @@ class Linear(Module):
 
 
 class Conv2d(Module):
-    """2-D convolution layer (square kernel)."""
+    """2-D convolution layer (square kernel).
+
+    Forward delegates to :func:`repro.nn.functional.conv2d`, which
+    reuses the process-wide im2col workspace for gradient-free passes
+    (``no_grad`` scoring/eval) so repeated forwards of the same shape —
+    the contrast-scoring hot path — stop reallocating their unfold
+    scratch.  See :mod:`repro.nn.im2col` for the cache invariants.
+    """
 
     def __init__(
         self,

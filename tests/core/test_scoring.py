@@ -160,3 +160,63 @@ class TestScoreTracksLearning:
         trained_score = scorer.score(trained).mean()
         unseen_score = scorer.score(unseen).mean()
         assert unseen_score > 3 * trained_score
+
+
+class TestVectorizedScorerRegression:
+    """The batched scorer must match the per-sample reference spec."""
+
+    def test_batched_matches_loop_on_random_batches(self, scorer, rng):
+        for trial in range(3):
+            images = rng.uniform(0, 1, size=(9 + trial, 3, 8, 8)).astype(np.float32)
+            np.testing.assert_allclose(
+                scorer.score(images), scorer.score_loop(images), atol=1e-6
+            )
+
+    def test_loop_empty_batch(self, scorer):
+        assert scorer.score_loop(np.zeros((0, 3, 8, 8), dtype=np.float32)).shape == (0,)
+
+    def test_score_many_matches_separate_calls(self, scorer, rng):
+        a = rng.uniform(0, 1, size=(5, 3, 8, 8)).astype(np.float32)
+        b = rng.uniform(0, 1, size=(7, 3, 8, 8)).astype(np.float32)
+        fused_a, fused_b = scorer.score_many([a, b])
+        np.testing.assert_allclose(fused_a, scorer.score(a), atol=1e-6)
+        np.testing.assert_allclose(fused_b, scorer.score(b), atol=1e-6)
+
+    def test_score_many_empty_batches(self, scorer, rng):
+        a = rng.uniform(0, 1, size=(4, 3, 8, 8)).astype(np.float32)
+        empty = a[:0]
+        e1, scores, e2 = scorer.score_many([empty, a, empty])
+        assert e1.shape == (0,) and e2.shape == (0,)
+        np.testing.assert_allclose(scores, scorer.score(a), atol=1e-6)
+
+    def test_score_many_all_empty(self, scorer):
+        empty = np.zeros((0, 3, 8, 8), dtype=np.float32)
+        out = scorer.score_many([empty, empty])
+        assert [s.shape for s in out] == [(0,), (0,)]
+
+
+class TestScoreBatchesFallback:
+    def test_duck_typed_scorer_without_score_many(self):
+        from repro.core.scoring import score_batches
+
+        class Stub:
+            calls = 0
+
+            def score(self, images):
+                self.calls += 1
+                return np.full(images.shape[0], 0.5)
+
+        stub = Stub()
+        empty = np.zeros((0, 3, 4, 4), dtype=np.float32)
+        batch = np.zeros((3, 3, 4, 4), dtype=np.float32)
+        out_empty, out_batch = score_batches(stub, [empty, batch])
+        assert out_empty.shape == (0,)
+        np.testing.assert_array_equal(out_batch, np.full(3, 0.5))
+        assert stub.calls == 1  # the empty batch never reaches the stub
+
+    def test_real_scorer_uses_fused_path(self, scorer, rng):
+        from repro.core.scoring import score_batches
+
+        images = rng.uniform(0, 1, size=(6, 3, 8, 8)).astype(np.float32)
+        (fused,) = score_batches(scorer, [images])
+        np.testing.assert_allclose(fused, scorer.score(images), atol=1e-6)

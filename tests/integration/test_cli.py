@@ -23,6 +23,7 @@ class TestCliRegistry:
             "ablation-momentum",
             "ablation-drift",
             "stream",
+            "multi-seed",
         }
         assert set(EXPERIMENTS) == expected
 
@@ -124,3 +125,56 @@ class TestCliRegistry:
         assert code == 0
         assert "policy=random-replace" in out
         assert "seen inputs" in out
+
+
+def _tiny(monkeypatch):
+    import repro.cli as cli_mod
+    from repro.experiments.config import StreamExperimentConfig
+
+    tiny = StreamExperimentConfig(
+        dataset="cifar10",
+        image_size=8,
+        stc=4,
+        total_samples=64,
+        buffer_size=8,
+        encoder_widths=(8, 16),
+        projection_dim=8,
+        probe_train_per_class=2,
+        probe_test_per_class=2,
+        probe_epochs=2,
+    )
+    monkeypatch.setattr(cli_mod, "default_config", lambda *a, **k: tiny)
+    monkeypatch.setattr(cli_mod, "scaled_config", lambda cfg: cfg)
+
+
+class TestWorkersFlag:
+    def test_workers_rejected_for_non_sweep_experiment(self, capsys):
+        with pytest.raises(SystemExit):
+            main(["stream", "--workers", "2"])
+        assert "does not take --workers" in capsys.readouterr().err
+
+    def test_workers_must_be_positive(self, capsys):
+        with pytest.raises(SystemExit):
+            main(["multi-seed", "--workers", "0"])
+        assert "--workers must be >= 1" in capsys.readouterr().err
+
+    def test_seeds_rejected_outside_multi_seed(self, capsys):
+        with pytest.raises(SystemExit):
+            main(["table2", "--seeds", "0,1"])
+        assert "does not take --seeds" in capsys.readouterr().err
+
+    def test_seeds_must_parse(self, capsys):
+        with pytest.raises(SystemExit):
+            main(["multi-seed", "--seeds", "0,x"])
+        assert "comma-separated ints" in capsys.readouterr().err
+
+    def test_multi_seed_runs_with_workers(self, capsys, monkeypatch):
+        _tiny(monkeypatch)
+        code = main(
+            ["multi-seed", "--policy", "fifo", "--seeds", "0,1", "--workers", "2"]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "multi-seed" in out
+        assert "fifo" in out
+        assert "±" in out

@@ -1,0 +1,151 @@
+"""Tests for the process-parallel sweep engine.
+
+The load-bearing property: a parallel sweep must be *indistinguishable*
+from the serial one on every deterministic field — same runs, same
+order, bit-identical numbers.  Only wall-clock timings may differ.
+"""
+
+import numpy as np
+import pytest
+
+from repro.experiments.config import StreamExperimentConfig
+from repro.experiments.multi_seed import run_multi_seed
+from repro.experiments.parallel import (
+    SweepSpec,
+    TIMING_FIELDS,
+    result_fingerprint,
+    run_sweep,
+)
+from repro.experiments.runner import run_stream_experiment
+from repro.experiments.table2 import run_table2
+
+
+@pytest.fixture
+def tiny_config():
+    return StreamExperimentConfig(
+        dataset="cifar10",
+        image_size=8,
+        stc=8,
+        total_samples=64,
+        buffer_size=8,
+        encoder_widths=(8, 16),
+        projection_dim=8,
+        probe_train_per_class=3,
+        probe_test_per_class=2,
+        probe_epochs=2,
+        seed=0,
+    )
+
+
+class TestSweepSpec:
+    def test_payload_round_trip(self, tiny_config):
+        spec = SweepSpec(
+            config=tiny_config,
+            policy="fifo",
+            eval_points=2,
+            label_fraction=0.5,
+            lazy_interval=3,
+            score_momentum=0.25,
+            tag="fifo/seed0",
+        )
+        assert SweepSpec.from_payload(spec.to_payload()) == spec
+
+    def test_payload_is_json_compatible(self, tiny_config):
+        import json
+
+        payload = SweepSpec(config=tiny_config).to_payload()
+        assert json.loads(json.dumps(payload)) == payload
+
+
+class TestRunSweep:
+    def test_empty(self):
+        assert run_sweep([], workers=4) == []
+
+    def test_rejects_bad_workers(self, tiny_config):
+        with pytest.raises(ValueError, match="workers"):
+            run_sweep([SweepSpec(config=tiny_config)], workers=0)
+
+    def test_serial_matches_direct_run(self, tiny_config):
+        spec = SweepSpec(config=tiny_config, policy="fifo", eval_points=2)
+        (swept,) = run_sweep([spec], workers=1)
+        direct = run_stream_experiment(tiny_config, "fifo", eval_points=2)
+        assert result_fingerprint(swept) == result_fingerprint(direct)
+
+    def test_parallel_bitwise_identical_to_serial(self, tiny_config):
+        """The tentpole guarantee: workers=1 and workers=4 agree on every
+        deterministic field of every merged result."""
+        specs = [
+            SweepSpec(config=tiny_config.with_(seed=seed), policy=policy)
+            for policy in ("fifo", "random-replace")
+            for seed in (0, 1)
+        ]
+        serial = run_sweep(specs, workers=1)
+        parallel = run_sweep(specs, workers=4)
+        assert [result_fingerprint(r) for r in serial] == [
+            result_fingerprint(r) for r in parallel
+        ]
+
+    def test_merge_preserves_spec_order(self, tiny_config):
+        specs = [
+            SweepSpec(config=tiny_config.with_(seed=seed), policy="fifo")
+            for seed in (3, 1, 2, 0)
+        ]
+        results = run_sweep(specs, workers=2)
+        assert [r.config.seed for r in results] == [3, 1, 2, 0]
+
+    def test_workers_clamped_to_spec_count(self, tiny_config):
+        # 1 spec + many workers must not spawn a pointless pool
+        (result,) = run_sweep(
+            [SweepSpec(config=tiny_config, policy="fifo")], workers=16
+        )
+        assert result.policy == "fifo"
+
+    def test_fingerprint_drops_only_timing(self, tiny_config):
+        (result,) = run_sweep([SweepSpec(config=tiny_config, policy="fifo")])
+        payload = result.to_dict()
+        fingerprint = result_fingerprint(result)
+        assert set(payload) - set(fingerprint) == set(TIMING_FIELDS)
+
+
+class TestMultiSeedWorkers:
+    def test_parallel_equals_serial(self, tiny_config):
+        kwargs = dict(policies=("fifo", "random-replace"), seeds=(0, 1))
+        serial = run_multi_seed(tiny_config, workers=1, **kwargs)
+        parallel = run_multi_seed(tiny_config, workers=2, **kwargs)
+        for policy in kwargs["policies"]:
+            assert (
+                serial.aggregates[policy].accuracies
+                == parallel.aggregates[policy].accuracies
+            )
+            for a, b in zip(serial.runs[policy], parallel.runs[policy]):
+                assert result_fingerprint(a) == result_fingerprint(b)
+
+    def test_runs_keyed_in_seed_order(self, tiny_config):
+        result = run_multi_seed(
+            tiny_config, policies=("fifo",), seeds=(2, 0), workers=2
+        )
+        assert [r.config.seed for r in result.runs["fifo"]] == [2, 0]
+
+
+class TestTable2Workers:
+    def test_parallel_equals_serial(self, tiny_config):
+        kwargs = dict(buffer_sizes=(4, 8), policies=("fifo",))
+        serial = run_table2(tiny_config, workers=1, **kwargs)
+        parallel = run_table2(tiny_config, workers=2, **kwargs)
+        for size in kwargs["buffer_sizes"]:
+            assert result_fingerprint(serial.runs[size]["fifo"]) == (
+                result_fingerprint(parallel.runs[size]["fifo"])
+            )
+
+
+class TestRngIsolation:
+    def test_worker_runs_do_not_share_rng(self, tiny_config):
+        """Different seeds must diverge, identical seeds must agree —
+        regardless of which worker executed them."""
+        specs = [
+            SweepSpec(config=tiny_config.with_(seed=seed), policy="fifo")
+            for seed in (0, 1, 0)
+        ]
+        a, b, c = run_sweep(specs, workers=3)
+        assert result_fingerprint(a) == result_fingerprint(c)
+        assert a.final_loss != b.final_loss

@@ -106,3 +106,131 @@ class TestCol2im:
         out = col2im(cols, x_shape, (2, 2), 1, 0)
         expected = np.array([[1, 2, 1], [2, 4, 2], [1, 2, 1]], dtype=float)
         np.testing.assert_allclose(out[0, 0], expected)
+
+
+class TestIm2colWorkspace:
+    """Workspace-backed unfolds must be value-identical to fresh ones."""
+
+    @pytest.mark.parametrize(
+        "shape,kernel,stride,padding",
+        [
+            ((2, 3, 8, 8), (3, 3), 1, 1),
+            ((1, 1, 5, 5), (3, 3), 2, 0),
+            ((2, 2, 6, 6), (2, 2), 2, 0),
+            ((1, 2, 7, 9), (3, 3), 2, 1),
+        ],
+    )
+    def test_matches_fresh_allocation(self, rng, shape, kernel, stride, padding):
+        from repro.nn.im2col import Im2colWorkspace
+
+        ws = Im2colWorkspace()
+        x = rng.normal(size=shape).astype(np.float32)
+        fresh = im2col(x, kernel, stride, padding)
+        # run twice so the second call exercises the buffer-reuse path
+        im2col(x, kernel, stride, padding, workspace=ws)
+        cached = im2col(x, kernel, stride, padding, workspace=ws)
+        np.testing.assert_array_equal(cached, fresh)
+        assert ws.hits > 0
+
+    def test_border_rezeroed_on_reuse(self, rng):
+        """A reused padded buffer must not leak the previous call's data."""
+        from repro.nn.im2col import Im2colWorkspace
+
+        ws = Im2colWorkspace()
+        a = rng.normal(size=(1, 2, 6, 6)).astype(np.float32)
+        b = rng.normal(size=(1, 2, 6, 6)).astype(np.float32)
+        im2col(a, (3, 3), 1, 2, workspace=ws)  # padding 2: border strips
+        out = im2col(b, (3, 3), 1, 2, workspace=ws)
+        np.testing.assert_array_equal(out, im2col(b, (3, 3), 1, 2))
+
+    def test_stats_and_clear(self, rng):
+        from repro.nn.im2col import Im2colWorkspace
+
+        ws = Im2colWorkspace()
+        x = rng.normal(size=(1, 2, 6, 6)).astype(np.float32)
+        im2col(x, (3, 3), 1, 1, workspace=ws)
+        im2col(x, (3, 3), 1, 1, workspace=ws)
+        stats = ws.stats()
+        assert stats["misses"] == 2 and stats["hits"] == 2  # pad + cols buffers
+        assert 0.0 < stats["hit_rate"] <= 1.0 and stats["bytes"] > 0
+        ws.clear()
+        assert ws.stats()["buffers"] == 0
+
+    def test_mixed_dtypes_share_arenas(self, rng):
+        from repro.nn.im2col import Im2colWorkspace
+
+        ws = Im2colWorkspace()
+        x32 = rng.normal(size=(1, 2, 6, 6)).astype(np.float32)
+        out64 = im2col(x32.astype(np.float64), (3, 3), 1, 1, workspace=ws)
+        assert out64.dtype == np.float64
+        out32 = im2col(x32, (3, 3), 1, 1, workspace=ws)
+        assert out32.dtype == np.float32
+        np.testing.assert_array_equal(out32, im2col(x32, (3, 3), 1, 1))
+
+    def test_memory_bounded_across_distinct_shapes(self, rng):
+        """Variable batch sizes (the fused scoring path) must not grow
+        the arena count — one arena per role, sized to the max seen."""
+        from repro.nn.im2col import Im2colWorkspace
+
+        ws = Im2colWorkspace()
+        for n in (1, 5, 3, 7, 2, 7):
+            x = rng.normal(size=(n, 2, 6, 6)).astype(np.float32)
+            out = im2col(x, (3, 3), 1, 1, workspace=ws)
+            np.testing.assert_array_equal(out, im2col(x, (3, 3), 1, 1))
+        stats = ws.stats()
+        assert stats["buffers"] == 2  # pad + cols arenas, regardless of shapes
+        # arenas only grow to the largest request (n=7), never per shape
+        x7 = rng.normal(size=(7, 2, 6, 6)).astype(np.float32)
+        expected = im2col(x7, (3, 3), 1, 1, workspace=None)
+        assert stats["bytes"] <= 2 * max(expected.nbytes, 7 * 2 * 8 * 8 * 4)
+
+
+class TestConv2dWorkspaceGating:
+    """conv2d must only reuse the shared workspace on gradient-free passes."""
+
+    def test_grad_forward_owns_its_columns(self, rng):
+        from repro.nn import functional as F
+        from repro.nn.im2col import default_workspace
+        from repro.nn.tensor import Tensor
+
+        x = Tensor(rng.normal(size=(2, 2, 6, 6)).astype(np.float32), requires_grad=True)
+        w = Tensor(rng.normal(size=(4, 2, 3, 3)).astype(np.float32), requires_grad=True)
+        ws = default_workspace()
+        ws.clear()
+        before = ws.stats()["misses"]
+        F.conv2d(x, w, stride=1, padding=1).sum().backward()
+        assert ws.stats()["misses"] == before  # workspace untouched
+        assert w.grad is not None
+
+    def test_nograd_forward_matches_grad_forward(self, rng):
+        from repro.nn import functional as F
+        from repro.nn.tensor import Tensor, no_grad
+
+        x = Tensor(rng.normal(size=(2, 2, 6, 6)).astype(np.float32), requires_grad=True)
+        w = Tensor(rng.normal(size=(4, 2, 3, 3)).astype(np.float32), requires_grad=True)
+        with_grad = F.conv2d(x, w, stride=1, padding=1).data
+        with no_grad():
+            F.conv2d(x, w, stride=1, padding=1)  # warm the workspace
+            without = F.conv2d(x, w, stride=1, padding=1).data
+        np.testing.assert_array_equal(with_grad, without)
+
+    def test_interleaved_grad_and_nograd_backward_correct(self, rng):
+        """A no_grad forward between forward and backward must not corrupt
+        the autograd convolution's retained columns."""
+        from repro.nn import functional as F
+        from repro.nn.tensor import Tensor, no_grad
+
+        x = Tensor(rng.normal(size=(2, 2, 6, 6)).astype(np.float32), requires_grad=True)
+        w = Tensor(rng.normal(size=(4, 2, 3, 3)).astype(np.float32), requires_grad=True)
+
+        out = F.conv2d(x, w, stride=1, padding=1)
+        with no_grad():
+            F.conv2d(Tensor(rng.normal(size=(2, 2, 6, 6)).astype(np.float32)), w,
+                     stride=1, padding=1)
+        out.sum().backward()
+        grad_interleaved = w.grad.copy()
+
+        x2 = Tensor(x.data.copy(), requires_grad=True)
+        w2 = Tensor(w.data.copy(), requires_grad=True)
+        F.conv2d(x2, w2, stride=1, padding=1).sum().backward()
+        np.testing.assert_array_equal(grad_interleaved, w2.grad)

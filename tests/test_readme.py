@@ -1,0 +1,48 @@
+"""Guards for the README's documented surface.
+
+CI executes the quickstart snippet for real; these tests keep the
+cheap invariants in the tier-1 suite so a broken README fails fast
+locally too.
+"""
+
+import pathlib
+import re
+
+README = pathlib.Path(__file__).resolve().parent.parent / "README.md"
+
+
+def _python_blocks(text):
+    return re.findall(r"```python\n(.*?)```", text, re.S)
+
+
+def test_readme_exists_with_quickstart():
+    text = README.read_text()
+    blocks = _python_blocks(text)
+    assert blocks, "README must contain a python quickstart block"
+    quickstart = blocks[0]
+    assert "from repro import Session" in quickstart
+    assert ".run()" in quickstart
+
+
+def test_quickstart_snippet_compiles():
+    quickstart = _python_blocks(README.read_text())[0]
+    compile(quickstart, "README.md:quickstart", "exec")
+
+
+def test_quickstart_uses_only_public_api():
+    """The snippet's imports must resolve from the top-level package."""
+    quickstart = _python_blocks(README.read_text())[0]
+    import repro
+
+    for match in re.finditer(r"from repro import (.+)", quickstart):
+        for name in match.group(1).split(","):
+            assert hasattr(repro, name.strip()), name
+
+
+def test_readme_documents_the_operational_commands():
+    text = README.read_text()
+    assert "python -m repro.cli --list" in text
+    assert "python -m pytest -x -q" in text
+    assert "bench_perf_suite.py" in text
+    assert "--workers" in text
+    assert "docs/API.md" in text
