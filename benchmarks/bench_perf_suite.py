@@ -14,6 +14,9 @@ beat (ROADMAP: "fast as the hardware allows"):
    contrast-scoring :class:`~repro.session.Session` run.
 4. **sweep** — a 4-seed multi-seed sweep, serial vs.
    ``workers=4`` through :mod:`repro.experiments.parallel`.
+5. **backends** — the ``numpy`` reference vs. the ``fused`` inference
+   backend (:mod:`repro.nn.backend`) on batched scoring and on
+   end-to-end stream steps, same components and inputs.
 
 Honors ``REPRO_BENCH_SCALE`` (stream lengths and repeat counts) and
 ``REPRO_BENCH_SEED``.  Run from anywhere::
@@ -47,11 +50,12 @@ from repro.core.scoring import ContrastScorer
 from repro.experiments.config import bench_scale, bench_seed, default_config
 from repro.experiments.multi_seed import run_multi_seed
 from repro.nn import functional as F
+from repro.nn.backend import use_backend
 from repro.nn.im2col import default_workspace
 from repro.nn.tensor import Tensor, no_grad
 from repro.session import Session, build_components
 
-BENCH_VERSION = 1
+BENCH_VERSION = 2
 
 
 def _time(fn: Callable[[], object], repeats: int, warmup: int = 1) -> Dict[str, float]:
@@ -184,6 +188,58 @@ def bench_sweep(scale: float, seed: int, workers: int = 4) -> Dict[str, object]:
     }
 
 
+def bench_backends(scale: float, seed: int) -> Dict[str, object]:
+    """numpy vs fused backend: batched scoring and stream-step timing.
+
+    Same components, same inputs; only the execution backend changes.
+    ``scoring_max_abs_diff`` records the cross-backend score agreement
+    (float32-forward tolerance, not bitwise).
+    """
+    config = default_config(seed=seed)
+    comp = build_components(config)
+    rng = comp.rngs.get("bench-backends")
+    batch = 64
+    labels = rng.integers(0, comp.dataset.num_classes, size=batch)
+    images = comp.dataset.sample(labels, rng)
+    scorer: ContrastScorer = comp.scorer
+    repeats = max(3, int(round(6 * scale)))
+
+    result: Dict[str, object] = {"batch": batch}
+    scores: Dict[str, object] = {}
+    for name in ("numpy", "fused"):
+        with use_backend(name):
+            result[f"scoring_{name}"] = _time(
+                lambda: scorer.score(images), repeats=repeats
+            )
+            scores[name] = scorer.score(images)
+    result["scoring_speedup"] = (
+        result["scoring_numpy"]["best_s"] / result["scoring_fused"]["best_s"]
+    )
+    result["scoring_max_abs_diff"] = float(
+        np.abs(scores["numpy"] - scores["fused"]).max()
+    )
+
+    stream_config = config.with_(
+        total_samples=max(32 * 6, int(round(768 * scale))), probe_epochs=5
+    )
+    for name in ("numpy", "fused"):
+        run = (
+            Session.from_config(stream_config.with_(backend=name))
+            .with_eval_points(1)
+            .run()
+        )
+        result[f"stream_{name}"] = {
+            "mean_select_s": run.mean_select_seconds,
+            "mean_train_s": run.mean_train_seconds,
+            "mean_step_s": run.mean_select_seconds + run.mean_train_seconds,
+            "final_accuracy": run.final_accuracy,
+        }
+    result["stream_step_speedup"] = (
+        result["stream_numpy"]["mean_step_s"] / result["stream_fused"]["mean_step_s"]
+    )
+    return result
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument(
@@ -203,10 +259,11 @@ def main(argv=None) -> int:
         "--check",
         action="store_true",
         help="fail (exit 1) when a speedup regresses below its floor: "
-        "batched scoring >= 1.3x, sweep results identical, and — on "
-        "machines with >= 4 logical CPUs — sweep speedup >= 1.5x "
-        "(headroom under the 2x multi-core target, since logical CPUs "
-        "overstate physical cores)",
+        "batched scoring >= 1.3x, fused-backend scoring >= 1.5x over "
+        "numpy, sweep results identical, and — on machines with >= 4 "
+        "logical CPUs — sweep speedup >= 1.5x (headroom under the 2x "
+        "multi-core target, since logical CPUs overstate physical "
+        "cores)",
     )
     args = parser.parse_args(argv)
 
@@ -251,6 +308,18 @@ def main(argv=None) -> int:
             report["stream"]["mean_step_s"], report["stream"]["iterations"]
         )
     )
+    report["backends"] = bench_backends(scale, seed)
+    print(
+        "  backends: scoring numpy {:.4f}s vs fused {:.4f}s -> {:.2f}x; "
+        "stream step {:.4f}s vs {:.4f}s -> {:.2f}x".format(
+            report["backends"]["scoring_numpy"]["best_s"],
+            report["backends"]["scoring_fused"]["best_s"],
+            report["backends"]["scoring_speedup"],
+            report["backends"]["stream_numpy"]["mean_step_s"],
+            report["backends"]["stream_fused"]["mean_step_s"],
+            report["backends"]["stream_step_speedup"],
+        )
+    )
     if not args.skip_sweep:
         report["sweep"] = bench_sweep(scale, seed, workers=args.workers)
         print(
@@ -288,6 +357,20 @@ def _check_thresholds(report: Dict[str, object]) -> List[str]:
         failures.append(
             f"batched scoring speedup {scoring_speedup:.2f}x < 1.3x floor"
         )
+    backends = report.get("backends")
+    if backends is not None:
+        # Single-process compute-bound comparison: CPU-count independent,
+        # so the floor is enforced everywhere (ISSUE 3 acceptance bar).
+        if backends["scoring_speedup"] < 1.5:
+            failures.append(
+                "fused-backend scoring speedup "
+                f"{backends['scoring_speedup']:.2f}x < 1.5x floor over numpy"
+            )
+        if backends["scoring_max_abs_diff"] > 1e-4:
+            failures.append(
+                "numpy/fused score disagreement "
+                f"{backends['scoring_max_abs_diff']:.2e} > 1e-4 tolerance"
+            )
     sweep = report.get("sweep")
     if sweep is not None:
         if not sweep["results_identical"]:

@@ -19,7 +19,11 @@ Public API tour
   and figure.
 
 * :mod:`repro.registry` — the extension surface: ``@register_policy``,
-  ``@register_dataset``, ``@register_encoder``, ``@register_augment``.
+  ``@register_dataset``, ``@register_encoder``, ``@register_augment``,
+  ``@register_backend``.
+* :mod:`repro.nn.backend` — pluggable array-execution backends
+  (``numpy`` reference, ``fused`` inference engine; select via
+  ``REPRO_BACKEND``, ``--backend``, or ``config.backend``).
 * :mod:`repro.session` — the unified experiment surface:
   :class:`~repro.session.Session`.
 

@@ -17,19 +17,24 @@ per-experiment index in DESIGN.md:
     multi-seed        many-seed sweep, mean ± std per policy
 
 ``--list`` enumerates the experiment ids together with every policy,
-dataset, encoder, and augment registered in :mod:`repro.registry`
-(plugins included).  ``--policy`` overrides the policy selection of
-experiments that compare or run policies; any registered policy name
-or alias is accepted.  ``--workers N`` fans sweep-shaped experiments
-(``multi-seed``, ``table2``, ``ablation-stc``, ``fig4a``-``fig6b``)
-out over N worker processes via
+dataset, encoder, augment, and backend registered in
+:mod:`repro.registry` (plugins included).  ``--policy`` overrides the
+policy selection of experiments that compare or run policies; any
+registered policy name or alias is accepted.  ``--workers N`` fans
+sweep-shaped experiments (``multi-seed``, ``table2``, ``ablation-stc``,
+``fig4a``-``fig6b``) out over N worker processes via
 :mod:`repro.experiments.parallel`; results are identical to the serial
 run.  ``--seeds 0,1,2,3`` sets the seed roster of ``multi-seed``.
+``--backend NAME`` selects the array-execution backend
+(:mod:`repro.nn.backend`) for the whole invocation — it becomes the
+process default *and* is exported via ``REPRO_BACKEND`` so spawned
+sweep workers inherit it.
 """
 
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 from typing import Callable, Dict, Optional, Sequence
 
@@ -56,7 +61,8 @@ from repro.experiments import (
     scaled_config,
 )
 from repro.experiments.runner import POLICY_NAMES
-from repro.registry import AUGMENTS, DATASETS, ENCODERS, POLICIES
+from repro.nn.backend import set_backend
+from repro.registry import AUGMENTS, BACKENDS, DATASETS, ENCODERS, POLICIES
 from repro.session import Session
 from repro.utils.tables import format_table
 
@@ -208,7 +214,7 @@ def _format_listing() -> str:
     lines = ["experiments:"]
     lines += [f"  {name}" for name in sorted(EXPERIMENTS)]
     plurals = {"policy": "policies"}
-    for registry in (POLICIES, DATASETS, ENCODERS, AUGMENTS):
+    for registry in (POLICIES, DATASETS, ENCODERS, AUGMENTS, BACKENDS):
         lines.append(f"{plurals.get(registry.kind, registry.kind + 's')}:")
         for entry in registry.entries():
             alias_note = (
@@ -251,6 +257,13 @@ def main(argv: list[str] | None = None) -> int:
         "(default: seed, seed+1, seed+2)",
     )
     parser.add_argument(
+        "--backend",
+        default=None,
+        help="array-execution backend for the whole invocation "
+        "(any registered backend name/alias, e.g. numpy or fused; "
+        "default: REPRO_BACKEND env or numpy)",
+    )
+    parser.add_argument(
         "--list",
         action="store_true",
         help="list experiment ids and registered policies/datasets/"
@@ -276,6 +289,16 @@ def main(argv: list[str] | None = None) -> int:
             policy = POLICIES.get(policy).name  # resolve aliases, validate
         except KeyError as exc:
             parser.error(str(exc))
+
+    if args.backend is not None:
+        try:
+            backend = BACKENDS.get(args.backend).name  # resolve, validate
+        except KeyError as exc:
+            parser.error(str(exc))
+        # Process default for this invocation; the env export makes
+        # spawn-started sweep workers resolve the same backend.
+        set_backend(backend)
+        os.environ["REPRO_BACKEND"] = backend
 
     if args.workers < 1:
         parser.error(f"--workers must be >= 1, got {args.workers}")

@@ -31,6 +31,14 @@ buffer entries and incoming stream data in one fused pass), and
 :meth:`ContrastScorer.score_loop` keeps the one-image-at-a-time
 reference implementation as an executable spec for regression tests and
 the perf baseline (``benchmarks/bench_perf_suite.py``).
+
+The forward passes run on the active array backend
+(:mod:`repro.nn.backend`): the ``fused`` backend collapses each
+conv→BN→ReLU chain into one GEMM with in-place epilogues and keeps the
+whole scoring forward in float32 (its ``scoring_dtype``), while the
+``numpy`` reference scores at the historical float64.  Scores are
+always returned as float64 vectors — the buffer contract — with values
+matching across backends to float32 tolerance.
 """
 
 from __future__ import annotations
@@ -40,6 +48,7 @@ from typing import Callable, List, Optional, Sequence
 import numpy as np
 
 from repro.data.augment import horizontal_flip
+from repro.nn.backend.base import get_backend
 from repro.nn.layers import Module
 from repro.nn.tensor import Tensor, no_grad
 
@@ -82,9 +91,14 @@ class ContrastScorer:
 
     # ------------------------------------------------------------------
     def project(self, images: np.ndarray) -> np.ndarray:
-        """Normalized projections z = g(f(x))/||g(f(x))|| (no gradient)."""
+        """Normalized projections z = g(f(x))/||g(f(x))|| (no gradient).
+
+        Computed at the active backend's ``scoring_dtype`` (float64 on
+        the numpy reference, float32 end-to-end on the fused backend).
+        """
         if images.ndim != 4:
             raise ValueError(f"expected NCHW batch, got shape {images.shape}")
+        dtype = get_backend().scoring_dtype
         outputs = []
         enc_training = self.encoder.training
         proj_training = self.projector.training
@@ -95,13 +109,13 @@ class ContrastScorer:
                 for start in range(0, images.shape[0], self.max_batch):
                     chunk = images[start : start + self.max_batch]
                     z = self.projector(self.encoder(Tensor(chunk))).data
-                    outputs.append(np.asarray(z, dtype=np.float64))
+                    outputs.append(np.asarray(z, dtype=dtype))
         finally:
             self.encoder.train(enc_training)
             self.projector.train(proj_training)
-        z = np.concatenate(outputs, axis=0) if outputs else np.zeros((0, 1))
+        z = np.concatenate(outputs, axis=0) if outputs else np.zeros((0, 1), dtype=dtype)
         norms = np.linalg.norm(z, axis=1, keepdims=True)
-        return z / np.maximum(norms, 1e-12)
+        return z / np.maximum(norms, 1e-12).astype(dtype, copy=False)
 
     def score(self, images: np.ndarray) -> np.ndarray:
         """Contrast scores S(x) in [0, 2] for every image in the batch.
@@ -120,8 +134,10 @@ class ContrastScorer:
             return np.zeros(0, dtype=np.float64)
         stacked = np.concatenate([images, self.view_fn(images)], axis=0)
         z = self.project(stacked)
-        scores = 1.0 - np.einsum("nd,nd->n", z[:n], z[n:])
-        return np.clip(scores, 0.0, 2.0)
+        scores = 1.0 - get_backend().einsum("nd,nd->n", z[:n], z[n:])
+        # Scores are float64 vectors regardless of the backend's scoring
+        # dtype (the buffer stores float64); the cast is N scalars.
+        return np.clip(scores, 0.0, 2.0).astype(np.float64, copy=False)
 
     def score_many(self, batches: Sequence[np.ndarray]) -> List[np.ndarray]:
         """Score several NCHW batches in one fused forward pass.

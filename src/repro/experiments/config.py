@@ -56,6 +56,9 @@ class StreamExperimentConfig:
     probe_test_per_class: int = 20
     probe_epochs: int = 40
     probe_lr: float = 3e-3
+    # execution (``backend`` names a repro.registry array backend;
+    # None inherits the process default — REPRO_BACKEND env or "numpy")
+    backend: Optional[str] = None
     # reproducibility
     seed: int = 0
 

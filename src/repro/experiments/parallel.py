@@ -25,6 +25,13 @@ This module fans such grids out over ``multiprocessing`` workers:
 * **Graceful fallback** — ``workers=1`` (or a single spec) runs serially
   in-process with zero multiprocessing involvement, and an unavailable
   multiprocessing substrate degrades to the serial path with a warning.
+* **Backend threading** — the array-backend selection
+  (:mod:`repro.nn.backend`) rides each spec's config: ``config.backend``
+  crosses the process boundary inside the ``config_to_dict`` payload
+  and the worker's Session activates it, so a sweep of ``fused`` runs
+  behaves identically under any worker count or start method.  A
+  ``None`` backend inherits the worker's process default
+  (``REPRO_BACKEND``, which both ``fork`` and ``spawn`` children see).
 
 ``run_multi_seed``, ``run_table2``, ``run_stc_sweep``, and
 ``run_learning_curves`` accept ``workers=`` and build on this engine;
@@ -68,7 +75,10 @@ class SweepSpec:
 
     ``tag`` is caller bookkeeping (e.g. ``"fifo/seed3"``) echoed back by
     nothing — the engine identifies runs purely by position, which is
-    what makes merged results order-stable.
+    what makes merged results order-stable.  Execution-layer selection
+    (the array backend) is part of ``config`` (``config.backend``), so
+    it needs no field here and crosses the wire with the rest of the
+    config payload.
     """
 
     config: StreamExperimentConfig

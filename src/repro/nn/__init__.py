@@ -1,7 +1,17 @@
 """Neural-network substrate: autograd tensors, layers, ResNet encoder,
 optimizers, and losses — the numpy stand-in for the paper's PyTorch stack.
+
+All numeric compute routes through a pluggable array backend
+(:mod:`repro.nn.backend`): ``numpy`` is the reference, ``fused`` the
+buffer-reusing, conv→BN→ReLU-fusing inference engine.
 """
 
+from repro.nn.backend import (
+    ArrayBackend,
+    get_backend,
+    set_backend,
+    use_backend,
+)
 from repro.nn.tensor import Tensor, no_grad
 from repro.nn.layers import (
     AvgPool2d,
@@ -34,6 +44,10 @@ from repro.nn.serialization import load_module, load_state, save_module, save_st
 __all__ = [
     "Tensor",
     "no_grad",
+    "ArrayBackend",
+    "get_backend",
+    "set_backend",
+    "use_backend",
     "Module",
     "ModuleList",
     "Parameter",

@@ -1,0 +1,219 @@
+"""The ``fused`` optimized backend.
+
+Same math as the :class:`~repro.nn.backend.numpy_backend.NumpyBackend`
+reference, executed the way an on-device inference engine would run it:
+
+* **conv → BN → ReLU fusion** — eval-mode batch norm is a per-channel
+  affine, so it folds into the convolution weights once per call
+  (``w' = w * scale``, a pass over the tiny filter tensor) and the GEMM
+  emits normalized activations directly; the optional ReLU runs
+  in-place on the GEMM buffer.  This collapses the reference path's
+  per-layer sequence (conv repack, BN scale/shift temporaries, ReLU
+  mask/where/astype) into GEMM + two in-place epilogues.
+* **Buffer reuse** — the unfold scratch (padded input, columns) and the
+  GEMM output land in a private :class:`~repro.nn.im2col.
+  Im2colWorkspace` (``out=`` into the arena), so a steady-state
+  inference forward allocates exactly one array per layer: the NCHW
+  output it returns.  Returned arrays are always fresh copies — the
+  caller-ownership invariant of the protocol holds.
+* **float32 end-to-end** — gradient-free scoring forwards stay in the
+  compute dtype instead of upcasting projections to float64
+  (:attr:`scoring_dtype`); contrast scores have ~1e-3 gaps on a [0, 2]
+  scale, far above float32 resolution, and the final score vector is
+  still returned as float64 by the scorer for buffer compatibility.
+  Per-sample *loss* reductions keep float64 (see the base class
+  rationale on :attr:`~repro.nn.backend.base.ArrayBackend.
+  loss_reduction_dtype`).
+
+Fusion only ever applies to gradient-free forwards (the scoring /
+probe-evaluation hot path); autograd training math is inherited
+unchanged from the reference backend, so training trajectories are
+bitwise identical across backends.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+import numpy as np
+
+from repro.nn.backend.numpy_backend import NumpyBackend
+from repro.nn.im2col import Im2colWorkspace, conv_output_size, im2col, im2col_nhwc
+from repro.registry import register_backend
+
+__all__ = ["FusedBackend"]
+
+
+@register_backend("fused", label="Fused inference", aliases=("fast",))
+class FusedBackend(NumpyBackend):
+    """conv→BN→ReLU fusion + arena buffer reuse + float32 inference."""
+
+    name = "fused"
+    scoring_dtype = np.float32
+    supports_fusion = True
+    supports_nhwc_infer = True
+
+    def __init__(self) -> None:
+        # Private workspace (separate from the reference backend's
+        # process-wide one): the fused path adds a "gemm" role, and
+        # sharing arenas across backends would entangle their
+        # invalidation windows.
+        self._workspace = Im2colWorkspace()
+
+    @property
+    def workspace(self) -> Im2colWorkspace:
+        """The private scratch workspace (stats/clear for benchmarks)."""
+        return self._workspace
+
+    # -- elementwise -----------------------------------------------------
+    def relu(self, x: np.ndarray) -> np.ndarray:
+        # Single-pass maximum instead of mask/where/astype; only zero
+        # signs can differ from the reference, which no consumer
+        # observes.
+        return np.maximum(x, 0.0)
+
+    # -- im2col ----------------------------------------------------------
+    def im2col(
+        self,
+        x: np.ndarray,
+        kernel: Tuple[int, int],
+        stride: int,
+        padding: int,
+        grad_free: bool = False,
+    ) -> np.ndarray:
+        workspace = self._workspace if grad_free else None
+        return im2col(x, kernel, stride, padding, workspace=workspace)
+
+    # -- inference fast paths -------------------------------------------
+    def conv2d_infer(
+        self,
+        x: np.ndarray,
+        weight: np.ndarray,
+        bias: Optional[np.ndarray],
+        stride: int,
+        padding: int,
+    ) -> np.ndarray:
+        return self._conv_epilogue_infer(
+            x, weight, bias, stride, padding, scale=None, shift=None, relu=False
+        )
+
+    def conv_bn_infer(
+        self,
+        x: np.ndarray,
+        weight: np.ndarray,
+        bias: Optional[np.ndarray],
+        stride: int,
+        padding: int,
+        scale: np.ndarray,
+        shift: np.ndarray,
+        relu: bool,
+    ) -> np.ndarray:
+        return self._conv_epilogue_infer(
+            x, weight, bias, stride, padding, scale=scale, shift=shift, relu=relu
+        )
+
+    def add_relu_infer(self, a: np.ndarray, b: np.ndarray) -> np.ndarray:
+        out = a + b
+        return np.maximum(out, 0.0, out=out)
+
+    # -- NHWC inference chain -------------------------------------------
+    def to_nhwc(self, x: np.ndarray) -> np.ndarray:
+        return np.ascontiguousarray(x.transpose(0, 2, 3, 1))
+
+    def conv_bn_nhwc(
+        self,
+        x: np.ndarray,
+        weight: np.ndarray,
+        bias: Optional[np.ndarray],
+        stride: int,
+        padding: int,
+        scale: Optional[np.ndarray],
+        shift: Optional[np.ndarray],
+        relu: bool,
+    ) -> np.ndarray:
+        """Channels-last fused conv: contiguous unfold, GEMM straight
+        into the caller-owned NHWC output, in-place epilogues.
+
+        Unlike the NCHW fast path there is no layout repack at all —
+        the GEMM result *is* the output the next layer consumes — so a
+        steady-state chain costs one gather (workspace), one GEMM, and
+        two in-place vector passes per layer.
+        """
+        c_out, c_in, kh, kw = weight.shape
+        n, h, w, _ = x.shape
+        out_h = conv_output_size(h, kh, stride, padding)
+        out_w = conv_output_size(w, kw, stride, padding)
+        dtype = np.promote_types(x.dtype, self.compute_dtype)
+
+        # (C_out, C_in, kh, kw) -> (C_out, kh*kw*C_in), matching the
+        # (kh, kw, C) order of the NHWC columns; BN folds in here.
+        w_mat = weight.transpose(0, 2, 3, 1).reshape(c_out, -1)
+        if scale is not None:
+            w_mat = w_mat * scale[:, None]
+            b_vec = shift if bias is None else bias * scale + shift
+        else:
+            b_vec = bias
+        w_mat = np.ascontiguousarray(w_mat, dtype=dtype)
+
+        cols = im2col_nhwc(x, (kh, kw), stride, padding, workspace=self._workspace)
+        out = np.empty((n, out_h, out_w, c_out), dtype=dtype)
+        np.matmul(
+            cols.reshape(n * out_h * out_w, kh * kw * c_in).astype(dtype, copy=False),
+            w_mat.T,
+            out=out.reshape(n * out_h * out_w, c_out),
+        )
+        if b_vec is not None:
+            out += b_vec.astype(dtype, copy=False)
+        if relu:
+            np.maximum(out, 0.0, out=out)
+        return out
+
+    def pool_mean_nhwc(self, x: np.ndarray) -> np.ndarray:
+        return x.mean(axis=(1, 2))
+
+    # -- internals -------------------------------------------------------
+    def _conv_epilogue_infer(
+        self,
+        x: np.ndarray,
+        weight: np.ndarray,
+        bias: Optional[np.ndarray],
+        stride: int,
+        padding: int,
+        scale: Optional[np.ndarray],
+        shift: Optional[np.ndarray],
+        relu: bool,
+    ) -> np.ndarray:
+        """One fused conv forward: unfold → GEMM(out=arena) → epilogue.
+
+        The BN affine (``scale``/``shift``) folds into the weights and
+        the bias term; the bias add and ReLU run in place on the GEMM
+        arena.  Only the final NCHW repack allocates.
+        """
+        c_out, c_in, kh, kw = weight.shape
+        n, _, h, w = x.shape
+        out_h = conv_output_size(h, kh, stride, padding)
+        out_w = conv_output_size(w, kw, stride, padding)
+        # float32 for float32 inputs; float64 inputs (reference tests,
+        # finite differences) keep their width.
+        dtype = np.promote_types(x.dtype, self.compute_dtype)
+
+        if scale is not None:
+            w_mat = (weight.reshape(c_out, -1) * scale[:, None]).astype(
+                dtype, copy=False
+            )
+            b_vec = shift if bias is None else bias * scale + shift
+        else:
+            w_mat = weight.reshape(c_out, -1).astype(dtype, copy=False)
+            b_vec = bias
+        cols = self.im2col(x, (kh, kw), stride, padding, grad_free=True)
+        cols2 = cols.reshape(n * out_h * out_w, c_in * kh * kw)
+        gemm = self._workspace.get("gemm", (n * out_h * out_w, c_out), dtype)
+        np.matmul(cols2.astype(dtype, copy=False), w_mat.T, out=gemm)
+        if b_vec is not None:
+            gemm += b_vec.astype(dtype, copy=False)
+        if relu:
+            np.maximum(gemm, 0.0, out=gemm)
+        # The one allocation of the call: the caller-owned NCHW output.
+        return np.ascontiguousarray(
+            gemm.reshape(n, out_h, out_w, c_out).transpose(0, 3, 1, 2)
+        )

@@ -1,0 +1,23 @@
+"""The ``numpy`` reference backend.
+
+A direct instantiation of the :class:`~repro.nn.backend.base.
+ArrayBackend` reference semantics: plain numpy execution, float64
+scoring (the historical precision), workspace-backed gradient-free
+unfolds through the process-wide :func:`repro.nn.im2col.
+default_workspace`, and no fusion.  Every other backend is defined —
+and parity-tested — against this one.
+"""
+
+from __future__ import annotations
+
+from repro.nn.backend.base import ArrayBackend
+from repro.registry import register_backend
+
+__all__ = ["NumpyBackend"]
+
+
+@register_backend("numpy", label="NumPy reference", aliases=("np", "reference"))
+class NumpyBackend(ArrayBackend):
+    """Reference execution: unfused, float64 scoring, numpy semantics."""
+
+    name = "numpy"

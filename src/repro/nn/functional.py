@@ -1,8 +1,13 @@
 """Differentiable neural-network operations on :class:`~repro.nn.tensor.Tensor`.
 
 Everything here builds on the autograd closures of
-:mod:`repro.nn.tensor`; convolution and pooling use the im2col
-transforms from :mod:`repro.nn.im2col`.
+:mod:`repro.nn.tensor`.  Array compute routes through the active
+:class:`~repro.nn.backend.base.ArrayBackend`: convolution uses the
+backend's im2col gather/scatter ops, and the gradient-free forward
+paths dispatch to the backend's inference entry points
+(``conv2d_infer`` plus — through :func:`conv_bn_relu` and
+:func:`add_relu` — the optional conv→BN→ReLU and residual-join fusions
+a backend may advertise via ``supports_fusion``).
 """
 
 from __future__ import annotations
@@ -11,12 +16,16 @@ from typing import Optional, Tuple, Union
 
 import numpy as np
 
-from repro.nn.im2col import col2im, conv_output_size, default_workspace, im2col
+from repro.nn.backend.base import get_backend
+from repro.nn.im2col import conv_output_size
 from repro.nn.tensor import Tensor, is_grad_enabled
 
 __all__ = [
     "relu",
     "conv2d",
+    "conv_bn_relu",
+    "add_relu",
+    "bn_eval_affine",
     "max_pool2d",
     "avg_pool2d",
     "global_avg_pool2d",
@@ -62,12 +71,11 @@ def conv2d(
     bias: optional ``(C_out,)``.
 
     Gradient-free forwards (``no_grad`` scoring/eval, frozen inputs)
-    unfold into the process-wide :func:`repro.nn.im2col.
-    default_workspace` instead of allocating a fresh column matrix —
-    safe because nothing retains the columns once the output GEMM is
-    done.  Autograd forwards always own their columns (the backward
-    closure reads them for the weight gradient), so they never touch
-    the workspace.
+    dispatch to the backend's ``conv2d_infer`` fast path, which may
+    serve its unfold from a scratch workspace and reuse output buffers
+    (the returned array is always caller-owned).  Autograd forwards
+    always own their columns (the backward closure reads them for the
+    weight gradient), so they unfold with ``grad_free=False``.
     """
     if x.ndim != 4:
         raise ValueError(f"conv2d expects NCHW input, got shape {x.shape}")
@@ -84,11 +92,21 @@ def conv2d(
 
     parents = (x, weight) if bias is None else (x, weight, bias)
     needs_grad = is_grad_enabled() and any(p.requires_grad for p in parents)
-    workspace = None if needs_grad else default_workspace()
+    backend = get_backend()
+    if not needs_grad:
+        return Tensor(
+            backend.conv2d_infer(
+                x.data,
+                weight.data,
+                None if bias is None else bias.data,
+                stride,
+                padding,
+            )
+        )
 
-    cols = im2col(x.data, (kh, kw), stride, padding, workspace=workspace)
+    cols = backend.im2col(x.data, (kh, kw), stride, padding, grad_free=False)
     w_mat = weight.data.reshape(c_out, -1)  # (C_out, C*kh*kw)
-    out = cols @ w_mat.T  # (N, oh, ow, C_out)
+    out = backend.matmul(cols, w_mat.T)  # (N, oh, ow, C_out)
     if bias is not None:
         out = out + bias.data
     out = np.ascontiguousarray(out.transpose(0, 3, 1, 2))
@@ -98,10 +116,10 @@ def conv2d(
         g_nhwc = g.transpose(0, 2, 3, 1)
         gx = gw = gb = None
         if x.requires_grad:
-            gcols = g_nhwc @ w_mat  # (N, oh, ow, C*kh*kw)
-            gx = col2im(gcols, x.shape, (kh, kw), stride, padding)
+            gcols = backend.matmul(g_nhwc, w_mat)  # (N, oh, ow, C*kh*kw)
+            gx = backend.col2im(gcols, x.shape, (kh, kw), stride, padding)
         if weight.requires_grad:
-            gw_mat = np.einsum("nijf,nijk->fk", g_nhwc, cols, optimize=True)
+            gw_mat = backend.einsum("nijf,nijk->fk", g_nhwc, cols)
             gw = gw_mat.reshape(weight.shape)
         if bias is not None and bias.requires_grad:
             gb = g_nhwc.sum(axis=(0, 1, 2))
@@ -110,6 +128,71 @@ def conv2d(
         return (gx, gw, gb)
 
     return _make_op(out, parents, backward)
+
+
+def conv_bn_relu(x: Tensor, conv, bn, relu: bool = True) -> Tensor:
+    """Convolution → batch norm (→ ReLU), fused when the backend can.
+
+    ``conv`` and ``bn`` are :class:`~repro.nn.layers.Conv2d` /
+    :class:`~repro.nn.layers.BatchNorm2d` modules (duck-typed).  The
+    fused path applies only when the whole chain is gradient-free and
+    ``bn`` runs on running statistics (eval mode): eval BN is a
+    per-channel affine, so the backend folds it into the convolution
+    and skips the separate normalization pass.  Every other case —
+    training-mode BN, any parameter recording gradients, or a backend
+    without fusion — composes the exact reference sequence
+    ``bn(conv(x))`` (+ ``relu``), so autograd results are identical on
+    every backend.
+    """
+    backend = get_backend()
+    grad_live = is_grad_enabled() and (
+        x.requires_grad
+        or conv.weight.requires_grad
+        or (conv.bias is not None and conv.bias.requires_grad)
+        or bn.gamma.requires_grad
+        or bn.beta.requires_grad
+    )
+    if backend.supports_fusion and not bn.training and not grad_live:
+        scale, shift = bn_eval_affine(bn)
+        out = backend.conv_bn_infer(
+            x.data,
+            conv.weight.data,
+            None if conv.bias is None else conv.bias.data,
+            conv.stride,
+            conv.padding,
+            scale,
+            shift,
+            relu,
+        )
+        if out is not None:
+            return Tensor(out)
+    out = bn(conv(x))
+    return out.relu() if relu else out
+
+
+def bn_eval_affine(bn) -> Tuple[np.ndarray, np.ndarray]:
+    """The per-channel affine eval-mode batch norm reduces to.
+
+    Returns ``(scale, shift)`` with ``scale = gamma / sqrt(var + eps)``
+    and ``shift = beta - mean * scale`` — the fold the fused backends
+    push into the preceding convolution's weights.
+    """
+    mean = bn._buffers["running_mean"]
+    var = bn._buffers["running_var"]
+    scale = bn.gamma.data / np.sqrt(var + bn.eps)
+    return scale, bn.beta.data - mean * scale
+
+
+def add_relu(a: Tensor, b: Tensor) -> Tensor:
+    """``relu(a + b)`` — the residual-join epilogue.
+
+    Gradient-free calls dispatch to the backend (which may run the
+    rectification in place on the sum); autograd calls compose the
+    reference ``(a + b).relu()``.
+    """
+    if is_grad_enabled() and (a.requires_grad or b.requires_grad):
+        return (a + b).relu()
+    return Tensor(get_backend().add_relu_infer(a.data, b.data))
 
 
 def max_pool2d(x: Tensor, kernel: int = 2, stride: Optional[int] = None) -> Tensor:
@@ -182,10 +265,11 @@ def linear(x: Tensor, weight: Tensor, bias: Optional[Tensor] = None) -> Tensor:
 def logsumexp(x: Tensor, axis: int = -1, keepdims: bool = False) -> Tensor:
     """Numerically stable ``log(sum(exp(x)))`` along ``axis``."""
     a = x
-    m = a.data.max(axis=axis, keepdims=True)
-    shifted = np.exp(a.data - m)
-    total = shifted.sum(axis=axis, keepdims=True)
-    data = np.log(total) + m
+    backend = get_backend()
+    m = backend.max(a.data, axis=axis, keepdims=True)
+    shifted = backend.exp(a.data - m)
+    total = backend.sum(shifted, axis=axis, keepdims=True)
+    data = backend.log(total) + m
     softmax_vals = shifted / total
     if not keepdims:
         data = np.squeeze(data, axis=axis)
@@ -200,11 +284,12 @@ def logsumexp(x: Tensor, axis: int = -1, keepdims: bool = False) -> Tensor:
 def log_softmax(x: Tensor, axis: int = -1) -> Tensor:
     """Log of the softmax along ``axis`` (stable fused implementation)."""
     a = x
-    m = a.data.max(axis=axis, keepdims=True)
+    backend = get_backend()
+    m = backend.max(a.data, axis=axis, keepdims=True)
     shifted = a.data - m
-    exp = np.exp(shifted)
-    total = exp.sum(axis=axis, keepdims=True)
-    data = shifted - np.log(total)
+    exp = backend.exp(shifted)
+    total = backend.sum(exp, axis=axis, keepdims=True)
+    data = shifted - backend.log(total)
     softmax_vals = exp / total
 
     def backward(g: np.ndarray):
@@ -216,9 +301,10 @@ def log_softmax(x: Tensor, axis: int = -1) -> Tensor:
 def softmax(x: Tensor, axis: int = -1) -> Tensor:
     """Softmax along ``axis`` (stable fused implementation)."""
     a = x
-    m = a.data.max(axis=axis, keepdims=True)
-    exp = np.exp(a.data - m)
-    data = exp / exp.sum(axis=axis, keepdims=True)
+    backend = get_backend()
+    m = backend.max(a.data, axis=axis, keepdims=True)
+    exp = backend.exp(a.data - m)
+    data = exp / backend.sum(exp, axis=axis, keepdims=True)
 
     def backward(g: np.ndarray):
         dot = (g * data).sum(axis=axis, keepdims=True)
@@ -234,8 +320,9 @@ def l2_normalize(x: Tensor, axis: int = -1, eps: float = 1e-12) -> Tensor:
     outputs (Eq. 3) so the dot product ``z_i^T z_i+`` lies in [-1, 1].
     """
     a = x
-    norm = np.sqrt((a.data * a.data).sum(axis=axis, keepdims=True))
-    norm = np.maximum(norm, eps)
+    backend = get_backend()
+    norm = backend.sqrt(backend.sum(a.data * a.data, axis=axis, keepdims=True))
+    norm = backend.maximum(norm, eps)
     data = a.data / norm
 
     def backward(g: np.ndarray):
@@ -273,9 +360,14 @@ def one_hot(labels: np.ndarray, num_classes: int) -> np.ndarray:
 
 
 def cosine_similarity(a: np.ndarray, b: np.ndarray, axis: int = -1) -> np.ndarray:
-    """Cosine similarity between paired rows of two numpy arrays."""
-    a = np.asarray(a, dtype=np.float64)
-    b = np.asarray(b, dtype=np.float64)
+    """Cosine similarity between paired rows of two numpy arrays.
+
+    Accumulated at the backend's loss-reduction precision (float64 on
+    the built-ins; see the ``loss_reduction_dtype`` policy docs).
+    """
+    dtype = get_backend().loss_reduction_dtype
+    a = np.asarray(a, dtype=dtype)
+    b = np.asarray(b, dtype=dtype)
     na = np.linalg.norm(a, axis=axis)
     nb = np.linalg.norm(b, axis=axis)
     denom = np.maximum(na * nb, 1e-12)

@@ -42,6 +42,7 @@ import numpy as np
 __all__ = [
     "conv_output_size",
     "im2col",
+    "im2col_nhwc",
     "col2im",
     "Im2colWorkspace",
     "default_workspace",
@@ -179,6 +180,67 @@ def im2col(
     else:
         cols = np.ascontiguousarray(windows.transpose(0, 2, 3, 1, 4, 5))
     return cols.reshape(n, out_h, out_w, c * kh * kw)
+
+
+def im2col_nhwc(
+    x: np.ndarray,
+    kernel: Tuple[int, int],
+    stride: int,
+    padding: int,
+    workspace: Optional[Im2colWorkspace] = None,
+) -> np.ndarray:
+    """Unfold an NHWC batch (N, H, W, C) into (N, out_h, out_w, kh*kw*C).
+
+    The channels-last sibling of :func:`im2col`, used by the fused
+    backend's inference path.  The last axis is ordered (kh, kw, C) —
+    weights must be flattened ``w.transpose(0, 2, 3, 1).reshape(F, -1)``
+    to match.  The layout is what makes this fast: a window row
+    (``kw`` consecutive pixels × C channels) is one contiguous run of
+    the source, so the gather copies runs of ``kw*C`` elements instead
+    of the ``kw``-element runs the NCHW unfold is limited to.
+
+    The workspace contract is identical to :func:`im2col`: a
+    workspace-backed result is owned by the workspace and invalidated
+    by its next call.
+    """
+    if x.ndim != 4:
+        raise ValueError(f"expected NHWC input, got shape {x.shape}")
+    kh, kw = kernel
+    n, h, w, c = x.shape
+    out_h = conv_output_size(h, kh, stride, padding)
+    out_w = conv_output_size(w, kw, stride, padding)
+    if padding > 0:
+        if workspace is not None:
+            padded = workspace.get(
+                "pad", (n, h + 2 * padding, w + 2 * padding, c), x.dtype
+            )
+            # Zero only the border slabs: the interior is overwritten.
+            padded[:, :padding, :, :] = 0
+            padded[:, -padding:, :, :] = 0
+            padded[:, padding:-padding, :padding, :] = 0
+            padded[:, padding:-padding, -padding:, :] = 0
+            padded[:, padding:-padding, padding:-padding, :] = x
+            x = padded
+        else:
+            x = np.pad(
+                x,
+                ((0, 0), (padding, padding), (padding, padding), (0, 0)),
+                mode="constant",
+            )
+    sn, sh, sw, sc = x.strides
+    windows = np.lib.stride_tricks.as_strided(
+        x,
+        shape=(n, out_h, out_w, kh, kw, c),
+        strides=(sn, sh * stride, sw * stride, sh, sw, sc),
+        writeable=False,
+    )
+    # Already output-ordered: (N, out_h, out_w, kh, kw, C) -> flatten tail.
+    if workspace is not None:
+        cols = workspace.get("cols", (n, out_h, out_w, kh, kw, c), x.dtype)
+        np.copyto(cols, windows)
+    else:
+        cols = np.ascontiguousarray(windows)
+    return cols.reshape(n, out_h, out_w, kh * kw * c)
 
 
 def col2im(

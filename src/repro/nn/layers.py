@@ -14,6 +14,7 @@ import numpy as np
 
 from repro.nn import functional as F
 from repro.nn import init as init_mod
+from repro.nn.backend import base as backend_mod
 from repro.nn.tensor import Tensor
 
 __all__ = [
@@ -256,10 +257,12 @@ class Conv2d(Module):
     """2-D convolution layer (square kernel).
 
     Forward delegates to :func:`repro.nn.functional.conv2d`, which
-    reuses the process-wide im2col workspace for gradient-free passes
-    (``no_grad`` scoring/eval) so repeated forwards of the same shape —
-    the contrast-scoring hot path — stop reallocating their unfold
-    scratch.  See :mod:`repro.nn.im2col` for the cache invariants.
+    dispatches gradient-free passes (``no_grad`` scoring/eval) to the
+    active backend's ``conv2d_infer`` fast path — workspace-backed
+    unfolds, so repeated forwards of the same shape (the
+    contrast-scoring hot path) stop reallocating their scratch.  See
+    :mod:`repro.nn.im2col` for the cache invariants and
+    :mod:`repro.nn.backend` for the backend surface.
     """
 
     def __init__(
@@ -315,8 +318,9 @@ class BatchNorm2d(Module):
                 f"BatchNorm2d({self.num_features}) got input shape {x.shape}"
             )
         if self.training:
-            mean = x.data.mean(axis=(0, 2, 3))
-            var = x.data.var(axis=(0, 2, 3))
+            backend = backend_mod.get_backend()
+            mean = backend.mean(x.data, axis=(0, 2, 3))
+            var = backend.var(x.data, axis=(0, 2, 3))
             n = x.data.shape[0] * x.data.shape[2] * x.data.shape[3]
             # Unbiased variance for the running estimate (PyTorch convention).
             unbiased = var * n / max(n - 1, 1)
@@ -369,15 +373,32 @@ class BatchNorm2d(Module):
         scale = (self.gamma.data * inv_std).reshape(1, -1, 1, 1)
         shift = (self.beta.data - self.gamma.data * mean * inv_std).reshape(1, -1, 1, 1)
         from repro.nn.functional import _make_op
+        from repro.nn.tensor import is_grad_enabled
 
-        x_hat_const = ((x.data - mean.reshape(1, -1, 1, 1))
-                       * inv_std.reshape(1, -1, 1, 1))
         gamma, beta = self.gamma, self.beta
         out = x.data * scale + shift
+        # The normalized input only feeds the gamma gradient — don't pay
+        # the extra full-map pass on gradient-free (scoring/eval) calls.
+        # The backward recomputes it on demand, so a gamma whose
+        # requires_grad flips between forward and backward still gets a
+        # correct gradient.
+        x_hat_const = (
+            (x.data - mean.reshape(1, -1, 1, 1)) * inv_std.reshape(1, -1, 1, 1)
+            if is_grad_enabled() and gamma.requires_grad
+            else None
+        )
 
         def backward(g: np.ndarray):
             gx = g * scale if x.requires_grad else None
-            ggamma = (g * x_hat_const).sum(axis=(0, 2, 3)) if gamma.requires_grad else None
+            ggamma = None
+            if gamma.requires_grad:
+                x_hat = (
+                    x_hat_const
+                    if x_hat_const is not None
+                    else (x.data - mean.reshape(1, -1, 1, 1))
+                    * inv_std.reshape(1, -1, 1, 1)
+                )
+                ggamma = (g * x_hat).sum(axis=(0, 2, 3))
             gbeta = g.sum(axis=(0, 2, 3)) if beta.requires_grad else None
             return (gx, ggamma, gbeta)
 

@@ -1,5 +1,18 @@
 """Loss functions: the NT-Xent contrastive loss (paper Eq. 1) and
 cross-entropy for the stage-2 classifier / supervised baselines.
+
+Precision policy
+----------------
+The differentiable losses compute at the dtype of their inputs (the
+backend's ``compute_dtype``, float32 throughout the nn stack).  The
+*gradient-free* per-sample reduction :meth:`NTXentLoss.per_sample`
+accumulates at the active backend's ``loss_reduction_dtype`` instead of
+a hard-coded float64: the log-sum-exp runs over 2N similarity terms
+spanning the e^{±1/τ} dynamic range, and Selective-BP ranks samples by
+the small differences between those per-sample losses, so the
+accumulation width is an explicit, documented backend decision rather
+than a silent upcast (both built-in backends choose float64 — see
+:class:`repro.nn.backend.base.ArrayBackend` for the rationale).
 """
 
 from __future__ import annotations
@@ -9,6 +22,7 @@ from typing import Optional, Tuple
 import numpy as np
 
 from repro.nn import functional as F
+from repro.nn.backend.base import get_backend
 from repro.nn.tensor import Tensor
 
 __all__ = ["nt_xent_loss", "NTXentLoss", "cross_entropy", "CrossEntropyLoss"]
@@ -49,7 +63,7 @@ def nt_xent_loss(
 
     # Mask self-similarity with a large negative constant (non-differentiable
     # additive constant, so gradients are unaffected on the kept entries).
-    mask = np.zeros((2 * n, 2 * n), dtype=z.data.dtype)
+    mask = get_backend().zeros((2 * n, 2 * n), dtype=z.data.dtype)
     np.fill_diagonal(mask, -1e9)
     sim = sim + mask
 
@@ -75,16 +89,21 @@ class NTXentLoss:
         """Per-pair loss values ℓ(i, i+) (no gradient), used by Selective-BP.
 
         Returns the symmetric per-pair loss
-        ``(ℓ_{i,i+} + ℓ_{i+,i}) / 2`` as a length-N numpy vector.
+        ``(ℓ_{i,i+} + ℓ_{i+,i}) / 2`` as a length-N float64 vector.
+        Internally accumulates at the backend's ``loss_reduction_dtype``
+        (see the module docstring); the returned dtype stays float64 —
+        the buffer-score contract.
         """
-        z1d = np.asarray(z1.data, dtype=np.float64)
-        z2d = np.asarray(z2.data, dtype=np.float64)
+        backend = get_backend()
+        dtype = backend.loss_reduction_dtype
+        z1d = np.asarray(z1.data, dtype=dtype)
+        z2d = np.asarray(z2.data, dtype=dtype)
         n = z1d.shape[0]
         z = np.concatenate([z1d, z2d], axis=0)
-        sim = z @ z.T / self.temperature
+        sim = backend.matmul(z, z.T) / self.temperature
         np.fill_diagonal(sim, -np.inf)
-        sim = sim - sim.max(axis=1, keepdims=True)
-        log_denominator = np.log(np.exp(sim).sum(axis=1))
+        sim = sim - backend.max(sim, axis=1, keepdims=True)
+        log_denominator = backend.log(backend.sum(backend.exp(sim), axis=1))
         pos_index = np.concatenate([np.arange(n, 2 * n), np.arange(0, n)])
         rows = np.arange(2 * n)
         log_numerator = sim[rows, pos_index]

@@ -18,6 +18,15 @@ Design
   are reduced back to the operand's shape by :func:`unbroadcast`.
 * Gradients are plain numpy arrays (no higher-order differentiation);
   this matches how the paper's training loops use gradients.
+* Forward compute dispatches to the active
+  :class:`~repro.nn.backend.base.ArrayBackend` (storage is always a
+  numpy array; the backend decides execution strategy and precision).
+  Backward closures use numpy directly: gradient math must be bitwise
+  reproducible across backends (the cross-backend training-determinism
+  invariant), with :meth:`Tensor.__matmul__` as the one exception —
+  its backward GEMMs route through ``backend.matmul`` so a
+  BLAS-swapping backend accelerates training too.  Pure layout ops
+  (reshape, transpose, indexing, concat/stack) stay ndarray-native.
 
 The engine is deliberately small but complete enough for ResNets with
 batch normalization and the NT-Xent contrastive loss.  Convolution and
@@ -30,6 +39,8 @@ from __future__ import annotations
 from typing import Callable, Iterable, List, Optional, Sequence, Tuple, Union
 
 import numpy as np
+
+from repro.nn.backend.base import get_backend
 
 __all__ = ["Tensor", "unbroadcast", "no_grad", "is_grad_enabled"]
 
@@ -271,7 +282,7 @@ class Tensor:
     def __add__(self, other: Union["Tensor", ArrayLike]) -> "Tensor":
         other = Tensor._lift(other, self.data.dtype)
         a, b = self, other
-        data = a.data + b.data
+        data = get_backend().add(a.data, b.data)
 
         def backward(g: np.ndarray):
             return (unbroadcast(g, a.data.shape), unbroadcast(g, b.data.shape))
@@ -282,7 +293,7 @@ class Tensor:
 
     def __neg__(self) -> "Tensor":
         a = self
-        return self._make(-a.data, (a,), lambda g: (-g,))
+        return self._make(get_backend().negative(a.data), (a,), lambda g: (-g,))
 
     def __sub__(self, other: Union["Tensor", ArrayLike]) -> "Tensor":
         return self + (-Tensor._lift(other, self.data.dtype))
@@ -293,7 +304,7 @@ class Tensor:
     def __mul__(self, other: Union["Tensor", ArrayLike]) -> "Tensor":
         other = Tensor._lift(other, self.data.dtype)
         a, b = self, other
-        data = a.data * b.data
+        data = get_backend().multiply(a.data, b.data)
 
         def backward(g: np.ndarray):
             ga = unbroadcast(g * b.data, a.data.shape) if a.requires_grad else None
@@ -307,7 +318,7 @@ class Tensor:
     def __truediv__(self, other: Union["Tensor", ArrayLike]) -> "Tensor":
         other = Tensor._lift(other, self.data.dtype)
         a, b = self, other
-        data = a.data / b.data
+        data = get_backend().divide(a.data, b.data)
 
         def backward(g: np.ndarray):
             ga = unbroadcast(g / b.data, a.data.shape) if a.requires_grad else None
@@ -327,7 +338,7 @@ class Tensor:
         if isinstance(exponent, Tensor):
             raise TypeError("tensor exponents are not supported; use exp/log")
         a = self
-        data = a.data**exponent
+        data = get_backend().power(a.data, exponent)
 
         def backward(g: np.ndarray):
             return (g * exponent * a.data ** (exponent - 1),)
@@ -337,7 +348,8 @@ class Tensor:
     def __matmul__(self, other: "Tensor") -> "Tensor":
         other = Tensor._lift(other, self.data.dtype)
         a, b = self, other
-        data = a.data @ b.data
+        backend = get_backend()
+        data = backend.matmul(a.data, b.data)
 
         def backward(g: np.ndarray):
             # Promote 1-D operands to 2-D (numpy matmul semantics), compute
@@ -352,10 +364,10 @@ class Tensor:
                 g2 = np.expand_dims(g2, -1)
             ga = gb = None
             if a.requires_grad:
-                ga = g2 @ np.swapaxes(b2, -1, -2)
+                ga = backend.matmul(g2, np.swapaxes(b2, -1, -2))
                 ga = unbroadcast(ga, a2.shape).reshape(a_d.shape)
             if b.requires_grad:
-                gb = np.swapaxes(a2, -1, -2) @ g2
+                gb = backend.matmul(np.swapaxes(a2, -1, -2), g2)
                 gb = unbroadcast(gb, b2.shape).reshape(b_d.shape)
             return (ga, gb)
 
@@ -366,44 +378,49 @@ class Tensor:
     # ------------------------------------------------------------------
     def exp(self) -> "Tensor":
         a = self
-        data = np.exp(a.data)
+        data = get_backend().exp(a.data)
         return self._make(data, (a,), lambda g: (g * data,))
 
     def log(self) -> "Tensor":
         a = self
-        return self._make(np.log(a.data), (a,), lambda g: (g / a.data,))
+        return self._make(get_backend().log(a.data), (a,), lambda g: (g / a.data,))
 
     def sqrt(self) -> "Tensor":
         a = self
-        data = np.sqrt(a.data)
+        data = get_backend().sqrt(a.data)
         return self._make(data, (a,), lambda g: (g * 0.5 / data,))
 
     def tanh(self) -> "Tensor":
         a = self
-        data = np.tanh(a.data)
+        data = get_backend().tanh(a.data)
         return self._make(data, (a,), lambda g: (g * (1.0 - data * data),))
 
     def sigmoid(self) -> "Tensor":
         a = self
-        data = 1.0 / (1.0 + np.exp(-a.data))
+        data = 1.0 / (1.0 + get_backend().exp(-a.data))
         return self._make(data, (a,), lambda g: (g * data * (1.0 - data),))
 
     def relu(self) -> "Tensor":
         a = self
+        if not (_GRAD_ENABLED and a.requires_grad):
+            # Gradient-free: no mask to retain, let the backend pick the
+            # cheapest single-pass rectification.
+            return Tensor(get_backend().relu(a.data))
         mask = a.data > 0
         data = np.where(mask, a.data, 0.0).astype(a.data.dtype)
         return self._make(data, (a,), lambda g: (g * mask,))
 
     def abs(self) -> "Tensor":
         a = self
-        sign = np.sign(a.data)
-        return self._make(np.abs(a.data), (a,), lambda g: (g * sign,))
+        backend = get_backend()
+        sign = backend.sign(a.data)
+        return self._make(backend.absolute(a.data), (a,), lambda g: (g * sign,))
 
     def maximum(self, other: Union["Tensor", ArrayLike]) -> "Tensor":
         other = Tensor._lift(other, self.data.dtype)
         a, b = self, other
         take_a = a.data >= b.data
-        data = np.where(take_a, a.data, b.data)
+        data = get_backend().where(take_a, a.data, b.data)
 
         def backward(g: np.ndarray):
             ga = unbroadcast(g * take_a, a.data.shape) if a.requires_grad else None
@@ -414,7 +431,7 @@ class Tensor:
 
     def clip(self, low: float, high: float) -> "Tensor":
         a = self
-        data = np.clip(a.data, low, high)
+        data = get_backend().clip(a.data, low, high)
         mask = (a.data >= low) & (a.data <= high)
         return self._make(data, (a,), lambda g: (g * mask,))
 
@@ -425,7 +442,7 @@ class Tensor:
         self, axis: Union[int, Tuple[int, ...], None] = None, keepdims: bool = False
     ) -> "Tensor":
         a = self
-        data = a.data.sum(axis=axis, keepdims=keepdims)
+        data = get_backend().sum(a.data, axis=axis, keepdims=keepdims)
 
         def backward(g: np.ndarray):
             return (_expand_reduced(g, a.data.shape, axis, keepdims),)
@@ -437,7 +454,7 @@ class Tensor:
     ) -> "Tensor":
         a = self
         count = _reduced_count(a.data.shape, axis)
-        data = a.data.mean(axis=axis, keepdims=keepdims)
+        data = get_backend().mean(a.data, axis=axis, keepdims=keepdims)
 
         def backward(g: np.ndarray):
             return (_expand_reduced(g, a.data.shape, axis, keepdims) / count,)
@@ -448,7 +465,7 @@ class Tensor:
         self, axis: Union[int, None] = None, keepdims: bool = False
     ) -> "Tensor":
         a = self
-        data = a.data.max(axis=axis, keepdims=keepdims)
+        data = get_backend().max(a.data, axis=axis, keepdims=keepdims)
         # Ties split gradient equally, matching numpy-style subgradient.
         expanded = (
             data if keepdims or axis is None else np.expand_dims(data, axis)

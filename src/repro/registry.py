@@ -1,8 +1,9 @@
 """Typed, decorator-based component registries — the extension surface.
 
 Every pluggable ingredient of the framework (replacement policies,
-dataset recipes, encoder architectures, augmentation pipelines) is
-registered by name in one of the module-level registries below.  New
+dataset recipes, encoder architectures, augmentation pipelines, array
+execution backends) is registered by name in one of the module-level
+registries below.  New
 components plug in with a decorator and zero edits to ``repro``
 internals::
 
@@ -43,10 +44,12 @@ __all__ = [
     "DATASETS",
     "ENCODERS",
     "AUGMENTS",
+    "BACKENDS",
     "register_policy",
     "register_dataset",
     "register_encoder",
     "register_augment",
+    "register_backend",
     "create_policy",
     "canonical_policy_names",
     "policy_names",
@@ -54,6 +57,7 @@ __all__ = [
     "dataset_names",
     "encoder_names",
     "augment_names",
+    "backend_names",
 ]
 
 #: Valid component names: lowercase kebab-case, digits allowed.
@@ -362,15 +366,21 @@ def _ensure_augments() -> None:
     import repro.data.augment  # noqa: F401
 
 
+def _ensure_backends() -> None:
+    import repro.nn.backend  # noqa: F401  (registers numpy + fused)
+
+
 POLICIES = Registry("policy", ensure=_ensure_policies)
 DATASETS = Registry("dataset", ensure=_ensure_datasets)
 ENCODERS = Registry("encoder", ensure=_ensure_encoders)
 AUGMENTS = Registry("augment", ensure=_ensure_augments)
+BACKENDS = Registry("backend", ensure=_ensure_backends)
 
 register_policy = POLICIES.register
 register_dataset = DATASETS.register
 register_encoder = ENCODERS.register
 register_augment = AUGMENTS.register
+register_backend = BACKENDS.register
 
 
 def create_policy(
@@ -444,3 +454,8 @@ def encoder_names() -> List[str]:
 def augment_names() -> List[str]:
     """Sorted names of all registered augmentation pipelines."""
     return AUGMENTS.names()
+
+
+def backend_names() -> List[str]:
+    """Sorted names of all registered array backends."""
+    return BACKENDS.names()

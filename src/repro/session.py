@@ -45,6 +45,7 @@ from repro.core.replacement import ContrastScoringPolicy
 from repro.core.scoring import ContrastScorer
 from repro.data.stream import TemporalStream
 from repro.metrics.curves import LearningCurve
+from repro.nn.backend import use_backend
 from repro.nn.projection import ProjectionHead
 from repro.registry import AUGMENTS, ENCODERS, POLICIES, create_policy
 from repro.selection.base import ReplacementPolicy
@@ -313,6 +314,16 @@ class Session:
         self._score_momentum = momentum
         return self
 
+    def with_backend(self, name: Optional[str]) -> "Session":
+        """Execute the run on a registered array backend.
+
+        Sugar for ``config.with_(backend=name)`` — the selection lives
+        on the config so it serializes into checkpoints and sweep
+        payloads.  ``None`` inherits the process default.
+        """
+        self.config = self.config.with_(backend=name)
+        return self
+
     def with_components(self, components: ExperimentComponents) -> "Session":
         """Run on pre-built components instead of building from config."""
         self._injected_components = components
@@ -378,7 +389,17 @@ class Session:
         The fresh-run path performs exactly the same sequence of RNG
         draws and model updates as the legacy
         ``run_stream_experiment``, so results are bit-identical.
+
+        The whole run executes on ``config.backend`` when set (any
+        registered :mod:`repro.nn.backend` name; ``None`` inherits the
+        process default).  The selection rides the config, so it also
+        crosses the wire to parallel-sweep workers and survives in
+        checkpoints.
         """
+        with use_backend(self.config.backend):
+            return self._run(stop_after)
+
+    def _run(self, stop_after: Optional[int]) -> StreamRunResult:
         config = self.config
         # Canonicalize up front so result.policy, curve.method, and the
         # checkpoint all carry the canonical name even when an alias

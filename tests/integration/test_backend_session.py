@@ -1,0 +1,114 @@
+"""Backend threading through Session / sweeps — determinism per backend."""
+
+import numpy as np
+import pytest
+
+from repro.experiments.config import default_config
+from repro.experiments.parallel import SweepSpec, result_fingerprint, run_sweep
+from repro.nn.backend import get_backend, set_backend
+from repro.registry import UnknownComponentError
+from repro.session import Session, config_from_dict, config_to_dict
+
+BACKENDS_UNDER_TEST = ("numpy", "fused")
+
+
+@pytest.fixture(autouse=True)
+def _restore_backend():
+    before = get_backend()
+    yield
+    set_backend(before)
+
+
+def _tiny_config(seed=0, backend=None):
+    return default_config(seed=seed).with_(
+        backend=backend,
+        image_size=10,
+        encoder_widths=(8, 16),
+        projection_dim=16,
+        buffer_size=16,
+        total_samples=96,
+        stc=8,
+        probe_train_per_class=6,
+        probe_test_per_class=4,
+        probe_epochs=4,
+    )
+
+
+class TestConfigThreading:
+    def test_backend_round_trips_through_config_dict(self):
+        config = _tiny_config(backend="fused")
+        assert config_from_dict(config_to_dict(config)).backend == "fused"
+
+    def test_default_backend_is_inherit(self):
+        assert default_config().backend is None
+
+    def test_with_backend_builder(self):
+        session = Session.from_config(_tiny_config()).with_backend("fused")
+        assert session.config.backend == "fused"
+
+    def test_unknown_backend_fails_at_run(self):
+        session = Session.from_config(_tiny_config(backend="not-a-backend"))
+        with pytest.raises(UnknownComponentError, match="unknown backend"):
+            session.run()
+
+
+class TestPerBackendDeterminism:
+    @pytest.mark.parametrize("backend", BACKENDS_UNDER_TEST)
+    def test_fingerprint_bitwise_identical_across_runs(self, backend):
+        """Each backend is fully deterministic: two identical Session
+        runs produce bitwise-identical result fingerprints."""
+        results = [
+            Session.from_config(_tiny_config(seed=3, backend=backend))
+            .with_eval_points(2)
+            .run()
+            for _ in range(2)
+        ]
+        assert result_fingerprint(results[0]) == result_fingerprint(results[1])
+
+    def test_backends_agree_on_run_shape_and_ballpark(self):
+        """Cross-backend runs are *statistically* equivalent (float32
+        scoring may reorder near-tie selections, so bitwise equality is
+        not the contract — the learning outcome is)."""
+        by_backend = {
+            backend: Session.from_config(_tiny_config(seed=1, backend=backend))
+            .with_eval_points(2)
+            .run()
+            for backend in BACKENDS_UNDER_TEST
+        }
+        accs = [r.final_accuracy for r in by_backend.values()]
+        assert all(np.isfinite(a) for a in accs)
+        assert max(accs) - min(accs) < 0.25
+        curves = [list(r.curve.seen_inputs) for r in by_backend.values()]
+        assert curves[0] == curves[1]
+
+    def test_run_restores_process_backend(self):
+        set_backend("numpy")
+        Session.from_config(_tiny_config(backend="fused")).with_eval_points(1).run()
+        assert get_backend().name == "numpy"
+
+
+class TestSweepThreading:
+    def test_backend_crosses_worker_boundary(self):
+        """A fused-backend sweep spec produces the same fingerprint
+        serially and under multiprocessing workers."""
+        specs = [
+            SweepSpec(config=_tiny_config(seed=s, backend="fused"), eval_points=1)
+            for s in (0, 1)
+        ]
+        serial = run_sweep(specs, workers=1)
+        parallel = run_sweep(specs, workers=2)
+        for a, b in zip(serial, parallel):
+            assert result_fingerprint(a) == result_fingerprint(b)
+
+    def test_checkpoint_resume_preserves_backend(self, tmp_path):
+        path = str(tmp_path / "ckpt.npz")
+        config = _tiny_config(seed=2, backend="fused")
+        full = Session.from_config(config).with_eval_points(1).run()
+        split = Session.from_config(config).with_eval_points(1)
+        split.with_checkpointing(path)
+        split.run(stop_after=3)
+        split.save_checkpoint()
+        resumed_session = Session.resume(path)
+        assert resumed_session.config.backend == "fused"
+        resumed = resumed_session.run()
+        assert result_fingerprint(resumed) == result_fingerprint(full)

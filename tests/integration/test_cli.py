@@ -178,3 +178,46 @@ class TestWorkersFlag:
         assert "multi-seed" in out
         assert "fifo" in out
         assert "±" in out
+
+
+class TestBackendFlag:
+    @pytest.fixture(autouse=True)
+    def _restore_backend(self, monkeypatch):
+        """--backend mutates the process default and the env; undo both."""
+        from repro.nn.backend import get_backend, set_backend
+
+        monkeypatch.delenv("REPRO_BACKEND", raising=False)
+        before = get_backend()
+        yield
+        set_backend(before)
+
+    def test_unknown_backend_rejected_with_suggestion(self, capsys):
+        """Mirrors the policy/dataset behavior: registry error with a
+        'did you mean' hint, before any run output."""
+        with pytest.raises(SystemExit):
+            main(["stream", "--backend", "fuzed"])
+        captured = capsys.readouterr()
+        assert "unknown backend" in captured.err
+        assert "did you mean" in captured.err
+        assert "fused" in captured.err
+        assert "== stream" not in captured.out
+
+    def test_list_shows_backends(self, capsys):
+        code = main(["--list"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "backends:" in out
+        assert "numpy" in out and "fused" in out
+        assert "Fused inference" in out
+
+    def test_backend_alias_selects_and_exports(self, capsys, monkeypatch):
+        import os
+
+        from repro.nn.backend import get_backend
+
+        _tiny(monkeypatch)
+        code = main(["stream", "--backend", "fast"])  # alias of fused
+        assert code == 0
+        assert get_backend().name == "fused"
+        assert os.environ.get("REPRO_BACKEND") == "fused"
+        assert "policy=contrast-scoring" in capsys.readouterr().out

@@ -1,0 +1,304 @@
+"""Tests for the pluggable array-backend execution layer."""
+
+import numpy as np
+import pytest
+
+from repro.nn import functional as F
+from repro.nn.backend import (
+    ArrayBackend,
+    FusedBackend,
+    NumpyBackend,
+    default_backend_name,
+    get_backend,
+    set_backend,
+    use_backend,
+)
+from repro.nn.im2col import im2col, im2col_nhwc
+from repro.nn.layers import BatchNorm2d, Conv2d
+from repro.nn.tensor import Tensor, no_grad
+from repro.registry import BACKENDS, UnknownComponentError
+
+
+@pytest.fixture(autouse=True)
+def _restore_backend():
+    """Every test leaves the process-default backend untouched."""
+    before = get_backend()
+    yield
+    set_backend(before)
+
+
+class TestRegistry:
+    def test_builtins_registered(self):
+        assert "numpy" in BACKENDS
+        assert "fused" in BACKENDS
+        assert BACKENDS.get("np").name == "numpy"
+        assert BACKENDS.get("fast").name == "fused"
+
+    def test_unknown_backend_suggests(self):
+        with pytest.raises(UnknownComponentError, match="did you mean 'fused'"):
+            BACKENDS.get("fuse")
+
+    def test_create_returns_fresh_instances(self):
+        a = BACKENDS.create("fused")
+        b = BACKENDS.create("fused")
+        assert isinstance(a, FusedBackend)
+        assert a is not b  # each holds its own workspace
+
+
+class TestActiveState:
+    def test_default_is_numpy(self, monkeypatch):
+        monkeypatch.delenv("REPRO_BACKEND", raising=False)
+        assert default_backend_name() == "numpy"
+        set_backend(None)  # re-resolve the env default
+        assert get_backend().name == "numpy"
+
+    def test_env_selects_default(self, monkeypatch):
+        monkeypatch.setenv("REPRO_BACKEND", "fused")
+        set_backend(None)
+        assert get_backend().name == "fused"
+
+    def test_set_backend_by_name_and_instance(self):
+        assert set_backend("fused").name == "fused"
+        instance = NumpyBackend()
+        assert set_backend(instance) is instance
+
+    def test_use_backend_restores_on_exit(self):
+        set_backend("numpy")
+        with use_backend("fused") as active:
+            assert active.name == "fused"
+            assert get_backend().name == "fused"
+        assert get_backend().name == "numpy"
+
+    def test_use_backend_restores_on_error(self):
+        set_backend("numpy")
+        with pytest.raises(RuntimeError):
+            with use_backend("fused"):
+                raise RuntimeError("boom")
+        assert get_backend().name == "numpy"
+
+    def test_use_backend_none_is_inherit(self):
+        set_backend("fused")
+        with use_backend(None) as active:
+            assert active.name == "fused"
+        assert get_backend().name == "fused"
+
+    def test_use_backend_nests(self):
+        set_backend("numpy")
+        with use_backend("fused"):
+            with use_backend("numpy"):
+                assert get_backend().name == "numpy"
+            assert get_backend().name == "fused"
+        assert get_backend().name == "numpy"
+
+
+class TestPrecisionPolicy:
+    def test_reference_policy(self):
+        b = NumpyBackend()
+        assert b.compute_dtype == np.float32
+        assert b.scoring_dtype == np.float64
+        assert b.loss_reduction_dtype == np.float64
+        assert not b.supports_fusion
+
+    def test_fused_policy(self):
+        b = FusedBackend()
+        assert b.compute_dtype == np.float32
+        assert b.scoring_dtype == np.float32  # float32 end-to-end scoring
+        assert b.loss_reduction_dtype == np.float64  # wide loss reductions
+        assert b.supports_fusion
+        assert b.supports_nhwc_infer
+
+    def test_per_sample_loss_follows_policy_but_returns_float64(self):
+        from repro.nn.losses import NTXentLoss
+
+        rng = np.random.default_rng(0)
+        z1 = Tensor(rng.normal(size=(6, 8)).astype(np.float32))
+        z2 = Tensor(rng.normal(size=(6, 8)).astype(np.float32))
+        loss = NTXentLoss()
+        for name in ("numpy", "fused"):
+            with use_backend(name):
+                out = loss.per_sample(z1, z2)
+            assert out.dtype == np.float64  # the buffer-score contract
+
+    def test_scores_always_float64(self):
+        from repro.core.scoring import ContrastScorer
+        from repro.nn.projection import ProjectionHead
+        from repro.nn.resnet import resnet_micro
+
+        enc = resnet_micro()
+        scorer = ContrastScorer(enc, ProjectionHead(enc.feature_dim, out_dim=8))
+        images = np.random.default_rng(0).normal(size=(4, 3, 8, 8)).astype(np.float32)
+        for name in ("numpy", "fused"):
+            with use_backend(name):
+                assert scorer.score(images).dtype == np.float64
+
+
+class TestNumpyBackendReference:
+    def test_elementwise_matches_numpy(self):
+        b = NumpyBackend()
+        x = np.linspace(-2, 2, 11, dtype=np.float32)
+        np.testing.assert_array_equal(b.exp(x), np.exp(x))
+        np.testing.assert_array_equal(b.relu(x), np.where(x > 0, x, 0.0))
+        np.testing.assert_array_equal(b.maximum(x, 0.5), np.maximum(x, 0.5))
+        np.testing.assert_array_equal(b.clip(x, -1, 1), np.clip(x, -1, 1))
+
+    def test_matmul_out(self):
+        b = NumpyBackend()
+        rng = np.random.default_rng(0)
+        a = rng.normal(size=(4, 5)).astype(np.float32)
+        c = rng.normal(size=(5, 3)).astype(np.float32)
+        out = np.empty((4, 3), dtype=np.float32)
+        res = b.matmul(a, c, out=out)
+        assert res is out
+        np.testing.assert_array_equal(out, a @ c)
+
+    def test_conv_bn_infer_unsupported(self):
+        b = NumpyBackend()
+        assert b.conv_bn_infer(
+            np.zeros((1, 1, 4, 4), np.float32),
+            np.zeros((1, 1, 3, 3), np.float32),
+            None,
+            1,
+            1,
+            np.ones(1, np.float32),
+            np.zeros(1, np.float32),
+            True,
+        ) is None
+
+    def test_nhwc_chain_unsupported(self):
+        with pytest.raises(NotImplementedError):
+            NumpyBackend().to_nhwc(np.zeros((1, 1, 2, 2), np.float32))
+
+
+class TestFusedOps:
+    def test_im2col_nhwc_matches_nchw_reorder(self):
+        rng = np.random.default_rng(1)
+        x = rng.normal(size=(2, 3, 6, 6)).astype(np.float32)
+        for stride, padding, k in [(1, 1, 3), (2, 0, 1), (2, 1, 3)]:
+            cols_nchw = im2col(x, (k, k), stride, padding)  # (..., C*kh*kw)
+            cols_nhwc = im2col_nhwc(
+                np.ascontiguousarray(x.transpose(0, 2, 3, 1)), (k, k), stride, padding
+            )  # (..., kh*kw*C)
+            n, oh, ow, _ = cols_nchw.shape
+            a = cols_nchw.reshape(n, oh, ow, 3, k, k)
+            bmat = cols_nhwc.reshape(n, oh, ow, k, k, 3)
+            np.testing.assert_array_equal(a, bmat.transpose(0, 1, 2, 5, 3, 4))
+
+    def test_conv_bn_infer_matches_unfused(self):
+        rng = np.random.default_rng(2)
+        conv = Conv2d(3, 5, 3, stride=1, padding=1, rng=rng)
+        bn = BatchNorm2d(5)
+        bn.set_buffer("running_mean", rng.normal(size=5).astype(np.float32))
+        bn.set_buffer("running_var", rng.uniform(0.5, 2.0, size=5).astype(np.float32))
+        bn.eval()
+        conv.eval()
+        x = Tensor(rng.normal(size=(4, 3, 8, 8)).astype(np.float32))
+        with no_grad():
+            with use_backend("numpy"):
+                ref = F.conv_bn_relu(x, conv, bn).data
+            fused = FusedBackend()
+            scale, shift = F.bn_eval_affine(bn)
+            out = fused.conv_bn_infer(
+                x.data, conv.weight.data, None, 1, 1, scale, shift, True
+            )
+        np.testing.assert_allclose(out, ref, atol=1e-5)
+
+    def test_conv_bn_nhwc_matches_unfused(self):
+        rng = np.random.default_rng(3)
+        conv = Conv2d(4, 6, 3, stride=2, padding=1, rng=rng)
+        bn = BatchNorm2d(6)
+        bn.set_buffer("running_mean", rng.normal(size=6).astype(np.float32))
+        bn.set_buffer("running_var", rng.uniform(0.5, 2.0, size=6).astype(np.float32))
+        bn.eval()
+        conv.eval()
+        x = Tensor(rng.normal(size=(2, 4, 8, 8)).astype(np.float32))
+        with no_grad(), use_backend("numpy"):
+            ref = F.conv_bn_relu(x, conv, bn, relu=False).data
+        fused = FusedBackend()
+        scale, shift = F.bn_eval_affine(bn)
+        out_nhwc = fused.conv_bn_nhwc(
+            fused.to_nhwc(x.data), conv.weight.data, None, 2, 1, scale, shift, False
+        )
+        np.testing.assert_allclose(out_nhwc.transpose(0, 3, 1, 2), ref, atol=1e-5)
+
+    def test_returned_arrays_are_caller_owned(self):
+        """Protocol invariant 2: successive fused calls never clobber
+        previously returned outputs."""
+        rng = np.random.default_rng(4)
+        fused = FusedBackend()
+        w = rng.normal(size=(4, 3, 3, 3)).astype(np.float32)
+        x1 = rng.normal(size=(2, 3, 6, 6)).astype(np.float32)
+        x2 = rng.normal(size=(2, 3, 6, 6)).astype(np.float32)
+        out1 = fused.conv2d_infer(x1, w, None, 1, 1)
+        snapshot = out1.copy()
+        fused.conv2d_infer(x2, w, None, 1, 1)  # reuses the arenas
+        np.testing.assert_array_equal(out1, snapshot)
+
+    def test_add_relu_infer(self):
+        fused = FusedBackend()
+        a = np.array([[-1.0, 2.0]], dtype=np.float32)
+        b = np.array([[0.5, -3.0]], dtype=np.float32)
+        np.testing.assert_array_equal(
+            fused.add_relu_infer(a.copy(), b), np.array([[0.0, 0.0]], np.float32)
+        )
+
+    def test_float64_inputs_keep_their_width(self):
+        rng = np.random.default_rng(5)
+        fused = FusedBackend()
+        x = rng.normal(size=(1, 2, 5, 5))  # float64
+        w = rng.normal(size=(3, 2, 3, 3))
+        out = fused.conv2d_infer(x, w, None, 1, 1)
+        assert out.dtype == np.float64
+
+
+class TestFunctionalDispatch:
+    def test_conv_bn_relu_training_mode_never_fuses(self):
+        """Training-mode BN must use batch stats — the fused affine
+        would silently use running stats instead."""
+        rng = np.random.default_rng(6)
+        conv = Conv2d(3, 4, 3, stride=1, padding=1, rng=rng)
+        bn = BatchNorm2d(4)  # training mode, fresh running stats
+        x = Tensor(rng.normal(size=(4, 3, 6, 6)).astype(np.float32))
+        with no_grad():
+            with use_backend("numpy"):
+                ref = F.conv_bn_relu(x, conv, bn).data
+            bn2 = BatchNorm2d(4)
+            with use_backend("fused"):
+                out = F.conv_bn_relu(x, conv, bn2).data
+        np.testing.assert_allclose(out, ref, rtol=1e-5, atol=1e-6)
+
+    def test_autograd_path_identical_across_backends(self):
+        """Invariant 1: graph-recorded forward + backward are bitwise
+        equal on numpy and fused (fusion is no_grad-only)."""
+        rng = np.random.default_rng(7)
+        x_data = rng.normal(size=(2, 3, 6, 6)).astype(np.float32)
+
+        def run():
+            conv = Conv2d(3, 4, 3, stride=1, padding=1, rng=np.random.default_rng(0))
+            bn = BatchNorm2d(4)
+            x = Tensor(x_data.copy(), requires_grad=True)
+            out = F.conv_bn_relu(x, conv, bn)
+            out.sum().backward()
+            return out.data, x.grad, conv.weight.grad
+
+        with use_backend("numpy"):
+            out_n, gx_n, gw_n = run()
+        with use_backend("fused"):
+            out_f, gx_f, gw_f = run()
+        np.testing.assert_array_equal(out_n, out_f)
+        np.testing.assert_array_equal(gx_n, gx_f)
+        np.testing.assert_array_equal(gw_n, gw_f)
+
+    def test_encoder_nhwc_chain_matches_reference(self):
+        from repro.nn.resnet import resnet_small
+
+        rng = np.random.default_rng(8)
+        enc = resnet_small(rng=rng)
+        enc.eval()
+        x = Tensor(rng.normal(size=(4, 3, 12, 12)).astype(np.float32))
+        with no_grad():
+            with use_backend("numpy"):
+                ref = enc(x).data
+            with use_backend("fused"):
+                out = enc(x).data
+        assert out.shape == ref.shape
+        np.testing.assert_allclose(out, ref, atol=1e-4)
