@@ -10,8 +10,10 @@ Public API tour
   (:class:`~repro.core.OnDeviceContrastiveLearner`).
 * :mod:`repro.nn` — numpy autograd substrate: ResNet encoder,
   projection head, NT-Xent loss, Adam.
-* :mod:`repro.data` — synthetic datasets, temporally correlated streams
-  (STC), SimCLR augmentations, label splits.
+* :mod:`repro.data` — synthetic datasets, the stream-scenario zoo
+  (temporal STC runs, drift, cyclic drift, bursty, imbalanced,
+  corrupted — see docs/SCENARIOS.md), SimCLR augmentations, label
+  splits.
 * :mod:`repro.selection` — the four label-free baselines.
 * :mod:`repro.train` — stage-2 linear probes and the supervised
   baseline.
@@ -20,7 +22,7 @@ Public API tour
 
 * :mod:`repro.registry` — the extension surface: ``@register_policy``,
   ``@register_dataset``, ``@register_encoder``, ``@register_augment``,
-  ``@register_backend``.
+  ``@register_backend``, ``@register_scenario``.
 * :mod:`repro.nn.backend` — pluggable array-execution backends
   (``numpy`` reference, ``fused`` inference engine; select via
   ``REPRO_BACKEND``, ``--backend``, or ``config.backend``).
@@ -48,9 +50,11 @@ from repro.core import (
 from repro.registry import (
     create_policy,
     register_augment,
+    register_backend,
     register_dataset,
     register_encoder,
     register_policy,
+    register_scenario,
 )
 from repro.session import Session, StreamRunResult
 from repro.version import __version__
@@ -66,9 +70,11 @@ __all__ = [
     "StreamRunResult",
     "create_policy",
     "register_augment",
+    "register_backend",
     "register_dataset",
     "register_encoder",
     "register_policy",
+    "register_scenario",
     "quickstart_components",
 ]
 

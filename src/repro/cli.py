@@ -15,20 +15,23 @@ per-experiment index in DESIGN.md:
     ablation-drift    class-incremental drift comparison
     stream            one Session run of a single policy
     multi-seed        many-seed sweep, mean ± std per policy
+    scenario-sweep    (scenario × policy) policy-robustness grid
 
 ``--list`` enumerates the experiment ids together with every policy,
-dataset, encoder, augment, and backend registered in
+dataset, encoder, augment, backend, and scenario registered in
 :mod:`repro.registry` (plugins included).  ``--policy`` overrides the
 policy selection of experiments that compare or run policies; any
 registered policy name or alias is accepted.  ``--workers N`` fans
 sweep-shaped experiments (``multi-seed``, ``table2``, ``ablation-stc``,
-``fig4a``-``fig6b``) out over N worker processes via
-:mod:`repro.experiments.parallel`; results are identical to the serial
-run.  ``--seeds 0,1,2,3`` sets the seed roster of ``multi-seed``.
-``--backend NAME`` selects the array-execution backend
+``scenario-sweep``, ``fig4a``-``fig6b``) out over N worker processes
+via :mod:`repro.experiments.parallel`; results are identical to the
+serial run.  ``--seeds 0,1,2,3`` sets the seed roster of
+``multi-seed``.  ``--backend NAME`` selects the array-execution backend
 (:mod:`repro.nn.backend`) for the whole invocation — it becomes the
 process default *and* is exported via ``REPRO_BACKEND`` so spawned
-sweep workers inherit it.
+sweep workers inherit it.  ``--scenario NAME`` selects the stream
+scenario (:mod:`repro.data.scenarios`) for ``stream`` runs, or
+restricts ``scenario-sweep`` to one scenario.
 """
 
 from __future__ import annotations
@@ -60,9 +63,20 @@ from repro.experiments import (
     run_table2,
     scaled_config,
 )
+from repro.experiments.scenario_sweep import (
+    format_scenario_sweep,
+    run_scenario_sweep,
+)
 from repro.experiments.runner import POLICY_NAMES
 from repro.nn.backend import set_backend
-from repro.registry import AUGMENTS, BACKENDS, DATASETS, ENCODERS, POLICIES
+from repro.registry import (
+    AUGMENTS,
+    BACKENDS,
+    DATASETS,
+    ENCODERS,
+    POLICIES,
+    SCENARIOS,
+)
 from repro.session import Session
 from repro.utils.tables import format_table
 
@@ -156,19 +170,53 @@ def _run_ablation_drift(seed: int, policy: Optional[str] = None, workers: int = 
     return format_drift(run_drift_experiment(config, **kwargs))
 
 
-def _run_stream(seed: int, policy: Optional[str] = None, workers: int = 1) -> str:
+def _run_stream(
+    seed: int,
+    policy: Optional[str] = None,
+    workers: int = 1,
+    scenario: Optional[str] = None,
+) -> str:
     """One Session run of a single policy; prints the learning curve."""
     config = scaled_config(default_config(seed=seed))
     policy = policy if policy is not None else "contrast-scoring"
-    result = Session.from_config(config, policy=policy).with_eval_points(4).run()
+    session = Session.from_config(config, policy=policy).with_eval_points(4)
+    if scenario is not None:
+        session.with_scenario(scenario)
+    result = session.run()
     header = ["seen inputs", "probe accuracy"]
     rows = [[str(s), f"{a:.3f}"] for s, a in result.curve.as_rows()]
     summary = (
-        f"policy={result.policy} final={result.final_accuracy:.3f} "
+        f"policy={result.policy} scenario={result.config.scenario} "
+        f"final={result.final_accuracy:.3f} "
         f"loss={result.final_loss:.3f} "
         f"rel-batch-time={result.relative_batch_time:.3f}"
     )
     return "\n".join([format_table(header, rows), summary])
+
+
+_run_stream.supports_scenario = True
+
+
+@_parallel
+def _run_scenario_sweep(
+    seed: int,
+    policy: Optional[str] = None,
+    workers: int = 1,
+    scenario: Optional[str] = None,
+) -> str:
+    """(scenario × policy) robustness grid: kNN accuracy + diversity."""
+    config = scaled_config(default_config(seed=seed))
+    kwargs = {}
+    if policy is not None:
+        kwargs["policies"] = (policy,)
+    if scenario is not None:
+        kwargs["scenarios"] = (scenario,)
+    return format_scenario_sweep(
+        run_scenario_sweep(config, seeds=(seed,), workers=workers, **kwargs)
+    )
+
+
+_run_scenario_sweep.supports_scenario = True
 
 
 @_parallel
@@ -206,6 +254,7 @@ EXPERIMENTS: Dict[str, Callable[..., str]] = {
     "ablation-drift": _run_ablation_drift,
     "stream": _run_stream,
     "multi-seed": _run_multi_seed_cli,
+    "scenario-sweep": _run_scenario_sweep,
 }
 
 
@@ -214,7 +263,7 @@ def _format_listing() -> str:
     lines = ["experiments:"]
     lines += [f"  {name}" for name in sorted(EXPERIMENTS)]
     plurals = {"policy": "policies"}
-    for registry in (POLICIES, DATASETS, ENCODERS, AUGMENTS, BACKENDS):
+    for registry in (POLICIES, DATASETS, ENCODERS, AUGMENTS, BACKENDS, SCENARIOS):
         lines.append(f"{plurals.get(registry.kind, registry.kind + 's')}:")
         for entry in registry.entries():
             alias_note = (
@@ -264,6 +313,13 @@ def main(argv: list[str] | None = None) -> int:
         "default: REPRO_BACKEND env or numpy)",
     )
     parser.add_argument(
+        "--scenario",
+        default=None,
+        help="stream scenario (any registered scenario name/alias, e.g. "
+        "cyclic-drift or bursty) for stream runs, or the single scenario "
+        "of scenario-sweep (default: the full registered roster)",
+    )
+    parser.add_argument(
         "--list",
         action="store_true",
         help="list experiment ids and registered policies/datasets/"
@@ -303,6 +359,16 @@ def main(argv: list[str] | None = None) -> int:
     if args.workers < 1:
         parser.error(f"--workers must be >= 1, got {args.workers}")
     extra: Dict[str, object] = {}
+    if args.scenario is not None:
+        if not getattr(runner, "supports_scenario", False):
+            parser.error(
+                f"experiment {args.experiment!r} does not take --scenario "
+                "(its stream shape is fixed by the paper's protocol)"
+            )
+        try:
+            extra["scenario"] = SCENARIOS.get(args.scenario).name
+        except KeyError as exc:
+            parser.error(str(exc))
     if args.workers != 1:
         if not getattr(runner, "supports_workers", False):
             parser.error(

@@ -1,6 +1,7 @@
-"""Data substrate: synthetic datasets, temporal streams, augmentations,
-and label splits — the stand-in for the paper's CIFAR/SVHN/ImageNet
-streaming inputs.
+"""Data substrate: synthetic datasets, the stream-scenario zoo
+(:mod:`repro.data.scenarios` — temporal, drift, cyclic-drift, bursty,
+imbalanced, corrupted), augmentations, and label splits — the stand-in
+for the paper's CIFAR/SVHN/ImageNet streaming inputs.
 """
 
 from repro.data.augment import (
@@ -19,6 +20,15 @@ from repro.data.datasets import (
 )
 from repro.data.drift import DriftStream, growing_phases
 from repro.data.resize import bilinear_resize, crop_resize_batch, grid_sample_bilinear
+from repro.data.scenarios import (
+    BurstyStream,
+    CorruptedStream,
+    CyclicDriftStream,
+    ImbalancedStream,
+    StreamSource,
+    create_scenario,
+    disjoint_phases,
+)
 from repro.data.splits import labeled_subset, train_test_split
 from repro.data.stream import StreamSegment, TemporalStream, measure_stc
 from repro.data.synthetic import SyntheticConfig, SyntheticImageDataset
@@ -31,9 +41,16 @@ __all__ = [
     "get_dataset_config",
     "make_dataset",
     "StreamSegment",
+    "StreamSource",
     "DriftStream",
     "growing_phases",
+    "disjoint_phases",
     "TemporalStream",
+    "CyclicDriftStream",
+    "BurstyStream",
+    "ImbalancedStream",
+    "CorruptedStream",
+    "create_scenario",
     "measure_stc",
     "SimCLRAugment",
     "horizontal_flip",

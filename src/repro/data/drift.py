@@ -20,7 +20,7 @@ from typing import Iterator, List, Optional, Sequence
 
 import numpy as np
 
-from repro.data.stream import StreamSegment
+from repro.data.stream import StreamSegment, _segment_iterator
 from repro.data.synthetic import SyntheticImageDataset
 
 __all__ = ["DriftStream", "growing_phases"]
@@ -134,15 +134,31 @@ class DriftStream:
     def segments(
         self, segment_size: int, total_samples: int
     ) -> Iterator[StreamSegment]:
-        """Iterate segments until ``total_samples`` inputs have streamed."""
-        if segment_size < 1 or total_samples < 1:
-            raise ValueError("segment_size and total_samples must be >= 1")
-        produced = 0
-        while produced < total_samples:
-            take = min(segment_size, total_samples - produced)
-            yield self.next_segment(take)
-            produced += take
+        """Iterate segments until ``total_samples`` inputs have streamed.
+
+        Arguments are validated eagerly (here, not on first iteration).
+        """
+        return _segment_iterator(self, segment_size, total_samples)
 
     @property
     def position(self) -> int:
         return self._position
+
+    def state_dict(self) -> dict:
+        """Stream-process counters (JSON-serializable) for checkpointing.
+
+        Mirrors :meth:`TemporalStream.state_dict`: the RNG is owned and
+        checkpointed by the caller's ``RngRegistry``, not here.
+        """
+        return {
+            "position": self._position,
+            "current_class": self._current_class,
+            "remaining_in_run": self._remaining_in_run,
+        }
+
+    def load_state_dict(self, state: dict) -> None:
+        """Restore counters written by :meth:`state_dict`."""
+        self._position = int(state["position"])
+        current = state["current_class"]
+        self._current_class = None if current is None else int(current)
+        self._remaining_in_run = int(state["remaining_in_run"])

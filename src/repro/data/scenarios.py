@@ -1,0 +1,444 @@
+"""Registry-driven stream scenarios — the device-stream zoo.
+
+The paper's argument lives or dies on *realistic device streams*:
+temporally correlated, drifting, unlabeled input (§IV-A).  This module
+makes the stream shape a first-class, pluggable component, exactly the
+way policies and backends already are:
+
+* :class:`StreamSource` — the protocol every stream implements
+  (``next_segment`` / ``segments`` / ``position`` / ``state_dict`` /
+  ``load_state_dict``).  :class:`~repro.data.stream.TemporalStream` and
+  :class:`~repro.data.drift.DriftStream` satisfy it unchanged.
+* ``SCENARIOS`` registry (:mod:`repro.registry`) — scenarios register
+  with ``@register_scenario`` and are then accepted by name everywhere:
+  ``config.scenario``, ``Session.with_scenario``, the CLI's
+  ``--scenario`` flag, and the ``scenario-sweep`` experiment.
+* :func:`create_scenario` — the canonical constructor; the framework
+  offers ``dataset, stc, rng, total_samples`` and the factory declares
+  what it needs (same offer-vs-option rule as ``create_policy``).
+
+Built-in scenarios (docs/SCENARIOS.md has the full guide):
+
+==============  ======================================================
+``temporal``    fixed STC runs — the paper's base process
+``drift``       class-incremental phases (classes unlock over time)
+``cyclic-drift``  disjoint environments that *recur*, testing
+                whether a policy's buffer forgets a revisited world
+``bursty``      variable run lengths: calm STC runs punctuated by
+                long same-class bursts (run-length schedule)
+``imbalanced``  long-tailed class frequencies (head classes dominate)
+``corrupted``   wrapper: per-phase noise/blur shift composed on top
+                of any base scenario
+==============  ======================================================
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, List, Optional, Protocol, runtime_checkable
+
+import numpy as np
+
+from repro.data.drift import DriftStream, growing_phases
+from repro.data.stream import StreamSegment, TemporalStream, _segment_iterator
+from repro.data.synthetic import SyntheticImageDataset
+from repro.registry import SCENARIOS, register_scenario
+
+__all__ = [
+    "StreamSource",
+    "create_scenario",
+    "disjoint_phases",
+    "CyclicDriftStream",
+    "BurstyStream",
+    "ImbalancedStream",
+    "CorruptedStream",
+]
+
+
+@runtime_checkable
+class StreamSource(Protocol):
+    """The contract every stream scenario implements.
+
+    A stream source is a *stateful process*: each ``next_segment`` call
+    advances it, ``position`` counts samples emitted so far, and the
+    ``state_dict``/``load_state_dict`` pair checkpoints the process
+    counters (the driving RNG is owned and checkpointed by the caller's
+    :class:`~repro.utils.rng.RngRegistry`).  Labels carried by the
+    produced :class:`~repro.data.stream.StreamSegment` are for
+    *evaluation only* — the framework never shows them to selection
+    policies.
+    """
+
+    def next_segment(self, segment_size: int) -> StreamSegment: ...
+
+    def segments(
+        self, segment_size: int, total_samples: int
+    ) -> Iterator[StreamSegment]: ...
+
+    @property
+    def position(self) -> int: ...
+
+    def state_dict(self) -> dict: ...
+
+    def load_state_dict(self, state: dict) -> None: ...
+
+
+def create_scenario(
+    name: str,
+    *,
+    dataset: SyntheticImageDataset,
+    stc: int,
+    rng: np.random.Generator,
+    total_samples: int,
+    **extra,
+) -> StreamSource:
+    """Construct a stream scenario by registered name.
+
+    The standard keyword set (``dataset``, ``stc``, ``rng``,
+    ``total_samples``) is *offered* to the registered factory, which
+    receives only the keywords its signature declares.  Keys the caller
+    adds via ``extra`` are explicit options: a factory that does not
+    accept one raises ``TypeError`` (mirroring
+    :func:`repro.registry.create_policy`).
+    """
+    source = SCENARIOS.create_with_required(
+        name,
+        tuple(extra),
+        dataset=dataset,
+        stc=stc,
+        rng=rng,
+        total_samples=total_samples,
+        **extra,
+    )
+    if not isinstance(source, StreamSource):
+        raise TypeError(
+            f"scenario {name!r} built a {type(source).__name__}, expected a "
+            "StreamSource (next_segment/segments/position/state_dict)"
+        )
+    return source
+
+
+def disjoint_phases(num_classes: int, num_phases: int) -> List[List[int]]:
+    """Split the class population into ``num_phases`` disjoint slices.
+
+    The complement of :func:`~repro.data.drift.growing_phases`: each
+    phase is a *different world* with no class overlap — the shape that
+    makes recurring environments (``cyclic-drift``) measure forgetting.
+    """
+    if num_phases < 1:
+        raise ValueError(f"num_phases must be >= 1, got {num_phases}")
+    if num_classes < num_phases:
+        raise ValueError(
+            f"need at least one class per phase: {num_classes} classes, "
+            f"{num_phases} phases"
+        )
+    bounds = np.linspace(0, num_classes, num_phases + 1).astype(int)
+    return [list(range(bounds[i], bounds[i + 1])) for i in range(num_phases)]
+
+
+class CyclicDriftStream(DriftStream):
+    """Drift whose phases *recur* instead of persisting.
+
+    ``DriftStream`` clamps to the final phase forever; here the phase
+    index cycles (``(position // phase_length) % num_phases``), so a
+    previously seen environment returns and the run measures whether
+    the buffer still serves it — the forgetting axis of the paper's
+    "adapt to new environments" story.
+    """
+
+    def phase_index(self, position: Optional[int] = None) -> int:
+        """Phase active at ``position``, cycling through all phases."""
+        position = self._position if position is None else position
+        return (position // self.phase_length) % len(self.phases)
+
+
+class BurstyStream(TemporalStream):
+    """Variable STC schedule: calm runs punctuated by long bursts.
+
+    Each new run draws its length — ``burst_stc`` with probability
+    ``burst_prob``, else the base ``stc`` — modelling a camera that
+    mostly pans across subjects but occasionally fixates (a parked car,
+    a sleeping animal).  The empirical STC therefore *varies over
+    time*, which no fixed-``stc`` grid point of the paper's Table 2
+    exercises.
+    """
+
+    def __init__(
+        self,
+        dataset: SyntheticImageDataset,
+        stc: int,
+        rng: np.random.Generator,
+        burst_stc: Optional[int] = None,
+        burst_prob: float = 0.25,
+        forbid_repeat: bool = True,
+    ) -> None:
+        super().__init__(dataset, stc, rng, forbid_repeat=forbid_repeat)
+        burst_stc = 4 * self.stc if burst_stc is None else int(burst_stc)
+        if burst_stc < 1:
+            raise ValueError(f"burst_stc must be >= 1, got {burst_stc}")
+        if not 0.0 <= burst_prob <= 1.0:
+            raise ValueError(f"burst_prob must be in [0, 1], got {burst_prob}")
+        self.burst_stc = burst_stc
+        self.burst_prob = float(burst_prob)
+
+    def _next_run_length(self) -> int:
+        if self.rng.random() < self.burst_prob:
+            return self.burst_stc
+        return self.stc
+
+
+class ImbalancedStream(TemporalStream):
+    """Long-tailed class frequencies over an otherwise-correlated stream.
+
+    Class ``k`` is drawn with probability proportional to
+    ``imbalance ** (k / (K - 1))`` — a geometric decay whose head/tail
+    frequency ratio is exactly ``1 / imbalance``.  Selection policies
+    that only chase high scores can starve the tail; the buffer
+    diversity column of the robustness table shows it.
+    """
+
+    def __init__(
+        self,
+        dataset: SyntheticImageDataset,
+        stc: int,
+        rng: np.random.Generator,
+        imbalance: float = 0.1,
+        forbid_repeat: bool = True,
+    ) -> None:
+        super().__init__(dataset, stc, rng, forbid_repeat=forbid_repeat)
+        if not 0.0 < imbalance <= 1.0:
+            raise ValueError(f"imbalance must be in (0, 1], got {imbalance}")
+        self.imbalance = float(imbalance)
+        k = dataset.num_classes
+        weights = np.power(imbalance, np.arange(k) / max(k - 1, 1))
+        self.class_probs = weights / weights.sum()
+
+    def _next_class(self) -> int:
+        probs = self.class_probs
+        if self.forbid_repeat and self._current_class is not None:
+            probs = probs.copy()
+            probs[self._current_class] = 0.0
+            probs = probs / probs.sum()
+        return int(self.rng.choice(self.dataset.num_classes, p=probs))
+
+
+def _box_blur(images: np.ndarray) -> np.ndarray:
+    """3×3 circular box blur over the spatial axes of an NCHW batch."""
+    out = np.zeros(images.shape, dtype=np.float64)
+    for dy in (-1, 0, 1):
+        for dx in (-1, 0, 1):
+            out += np.roll(np.roll(images, dy, axis=2), dx, axis=3)
+    return out / 9.0
+
+
+class CorruptedStream:
+    """Per-phase corruption shift composed on top of any base scenario.
+
+    Sample ``i`` passes through corruption level
+    ``(i // phase_length) % levels``: level 0 is clean, higher levels
+    add Gaussian pixel noise of linearly increasing strength, and the
+    top level additionally box-blurs (when ``blur``).  The *input
+    distribution* therefore shifts while the *label process* is
+    whatever the wrapped base scenario produces — labels pass through
+    untouched, preserving the segment label-isolation contract.
+    """
+
+    def __init__(
+        self,
+        base: StreamSource,
+        rng: np.random.Generator,
+        phase_length: int,
+        levels: int = 3,
+        noise_std: float = 0.2,
+        blur: bool = True,
+    ) -> None:
+        if phase_length < 1:
+            raise ValueError(f"phase_length must be >= 1, got {phase_length}")
+        if levels < 2:
+            raise ValueError(f"need >= 2 corruption levels, got {levels}")
+        if noise_std < 0:
+            raise ValueError(f"noise_std must be non-negative, got {noise_std}")
+        self.base = base
+        self.rng = rng
+        self.phase_length = int(phase_length)
+        self.levels = int(levels)
+        self.noise_std = float(noise_std)
+        self.blur = bool(blur)
+
+    # ------------------------------------------------------------------
+    def corruption_level(self, position: int) -> int:
+        """Corruption level applied to the sample at ``position``."""
+        return (position // self.phase_length) % self.levels
+
+    def _corrupt(self, images: np.ndarray, start: int) -> np.ndarray:
+        levels = self.corruption_level(start + np.arange(images.shape[0]))
+        images = images.astype(np.float64, copy=True)
+        # np.unique is sorted, so the per-level RNG draw order is fixed.
+        for level in np.unique(levels):
+            if level == 0:
+                continue
+            mask = levels == level
+            chunk = images[mask]
+            if self.blur and level == self.levels - 1:
+                chunk = _box_blur(chunk)
+            std = self.noise_std * (level / (self.levels - 1))
+            chunk = chunk + self.rng.normal(0.0, std, size=chunk.shape)
+            images[mask] = chunk
+        return np.clip(images, 0.0, 1.0).astype(np.float32)
+
+    # -- StreamSource protocol ------------------------------------------
+    def next_segment(self, segment_size: int) -> StreamSegment:
+        segment = self.base.next_segment(segment_size)
+        images = self._corrupt(segment.images, segment.start_index)
+        return StreamSegment(images, segment.labels, segment.start_index)
+
+    def segments(
+        self, segment_size: int, total_samples: int
+    ) -> Iterator[StreamSegment]:
+        """Iterate corrupted segments (arguments validated eagerly)."""
+        return _segment_iterator(self, segment_size, total_samples)
+
+    @property
+    def position(self) -> int:
+        return self.base.position
+
+    def state_dict(self) -> dict:
+        """Wrapper state is derived from position; delegate to the base."""
+        return {"base": self.base.state_dict()}
+
+    def load_state_dict(self, state: dict) -> None:
+        self.base.load_state_dict(state["base"])
+
+
+# ----------------------------------------------------------------------
+# Built-in scenario factories.
+# ----------------------------------------------------------------------
+@register_scenario(
+    "temporal",
+    label="Temporally correlated (fixed STC runs)",
+    aliases=("stationary", "stc-runs"),
+)
+def temporal_scenario(
+    dataset: SyntheticImageDataset,
+    stc: int,
+    rng: np.random.Generator,
+    forbid_repeat: bool = True,
+) -> TemporalStream:
+    """The paper's base process: exact same-class runs of length STC."""
+    return TemporalStream(dataset, stc, rng, forbid_repeat=forbid_repeat)
+
+
+@register_scenario(
+    "drift", label="Class-incremental drift", aliases=("class-incremental",)
+)
+def drift_scenario(
+    dataset: SyntheticImageDataset,
+    stc: int,
+    rng: np.random.Generator,
+    total_samples: int,
+    num_phases: int = 2,
+) -> DriftStream:
+    """Growing phases that cumulatively unlock classes (ablation F)."""
+    phases = growing_phases(dataset.num_classes, num_phases)
+    phase_length = max(1, total_samples // num_phases)
+    return DriftStream(dataset, stc, rng, phases=phases, phase_length=phase_length)
+
+
+@register_scenario(
+    "cyclic-drift", label="Recurring environments", aliases=("cyclic", "recurring")
+)
+def cyclic_drift_scenario(
+    dataset: SyntheticImageDataset,
+    stc: int,
+    rng: np.random.Generator,
+    total_samples: int,
+    num_environments: int = 2,
+    cycles: int = 2,
+) -> CyclicDriftStream:
+    """Disjoint environments visited round-robin, ``cycles`` times each."""
+    if cycles < 1:
+        raise ValueError(f"cycles must be >= 1, got {cycles}")
+    phases = disjoint_phases(dataset.num_classes, num_environments)
+    phase_length = max(1, total_samples // (num_environments * cycles))
+    return CyclicDriftStream(
+        dataset, stc, rng, phases=phases, phase_length=phase_length
+    )
+
+
+@register_scenario("bursty", label="Variable STC run lengths", aliases=("burst",))
+def bursty_scenario(
+    dataset: SyntheticImageDataset,
+    stc: int,
+    rng: np.random.Generator,
+    burst_stc: Optional[int] = None,
+    burst_prob: float = 0.25,
+    forbid_repeat: bool = True,
+) -> BurstyStream:
+    """Calm ``stc`` runs punctuated by ``burst_stc`` bursts."""
+    return BurstyStream(
+        dataset,
+        stc,
+        rng,
+        burst_stc=burst_stc,
+        burst_prob=burst_prob,
+        forbid_repeat=forbid_repeat,
+    )
+
+
+@register_scenario(
+    "imbalanced", label="Long-tailed class frequencies", aliases=("long-tail",)
+)
+def imbalanced_scenario(
+    dataset: SyntheticImageDataset,
+    stc: int,
+    rng: np.random.Generator,
+    imbalance: float = 0.1,
+    forbid_repeat: bool = True,
+) -> ImbalancedStream:
+    """Geometric class-frequency decay with head/tail ratio 1/imbalance."""
+    return ImbalancedStream(
+        dataset, stc, rng, imbalance=imbalance, forbid_repeat=forbid_repeat
+    )
+
+
+@register_scenario(
+    "corrupted", label="Per-phase corruption shift", aliases=("noisy",)
+)
+def corrupted_scenario(
+    dataset: SyntheticImageDataset,
+    stc: int,
+    rng: np.random.Generator,
+    total_samples: int,
+    base: str = "temporal",
+    corruption_levels: int = 3,
+    corruption_phase_length: Optional[int] = None,
+    noise_std: float = 0.2,
+    blur: bool = True,
+    **base_options,
+) -> CorruptedStream:
+    """Compose per-phase corruption on top of any *other* base scenario.
+
+    ``base_options`` are forwarded to the base scenario's factory under
+    the usual explicit-option rule.  The default phase length walks
+    through all corruption levels twice over the stream.
+    """
+    base_name = SCENARIOS.get(base).name
+    if base_name == "corrupted":
+        raise ValueError("the corrupted scenario cannot wrap itself")
+    source = create_scenario(
+        base_name,
+        dataset=dataset,
+        stc=stc,
+        rng=rng,
+        total_samples=total_samples,
+        **base_options,
+    )
+    if corruption_phase_length is None:
+        corruption_phase_length = max(1, total_samples // (corruption_levels * 2))
+    return CorruptedStream(
+        source,
+        rng=rng,
+        phase_length=corruption_phase_length,
+        levels=corruption_levels,
+        noise_std=noise_std,
+        blur=blur,
+    )

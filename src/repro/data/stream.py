@@ -22,6 +22,33 @@ from repro.data.synthetic import SyntheticImageDataset
 __all__ = ["StreamSegment", "TemporalStream", "measure_stc"]
 
 
+def _validate_segment_args(segment_size: int, total_samples: int) -> None:
+    """Shared eager validation for every stream's ``segments`` method."""
+    if segment_size < 1:
+        raise ValueError(f"segment_size must be >= 1, got {segment_size}")
+    if total_samples < 1:
+        raise ValueError(f"total_samples must be >= 1, got {total_samples}")
+
+
+def _segment_iterator(source, segment_size: int, total_samples: int):
+    """Validated segment iteration shared by every stream's ``segments``.
+
+    Validates eagerly (at the call, not on first iteration), then yields
+    ``source.next_segment(...)`` chunks until ``total_samples`` inputs
+    have streamed, truncating the final segment.
+    """
+    _validate_segment_args(segment_size, total_samples)
+
+    def generate():
+        produced = 0
+        while produced < total_samples:
+            take = min(segment_size, total_samples - produced)
+            yield source.next_segment(take)
+            produced += take
+
+    return generate()
+
+
 @dataclass
 class StreamSegment:
     """A contiguous chunk of the input stream.
@@ -87,6 +114,15 @@ class TemporalStream:
         draw = int(self.rng.integers(0, k - 1))
         return draw if draw < self._current_class else draw + 1
 
+    def _next_run_length(self) -> int:
+        """Length of the run that is about to start.
+
+        The base process emits fixed-length runs (the paper's exact
+        STC); subclasses override this to produce variable run-length
+        schedules (e.g. the ``bursty`` scenario).
+        """
+        return self.stc
+
     def next_labels(self, count: int) -> np.ndarray:
         """The next ``count`` class ids of the correlated process."""
         if count < 1:
@@ -96,7 +132,7 @@ class TemporalStream:
         while filled < count:
             if self._remaining_in_run == 0:
                 self._current_class = self._next_class()
-                self._remaining_in_run = self.stc
+                self._remaining_in_run = self._next_run_length()
             take = min(self._remaining_in_run, count - filled)
             out[filled : filled + take] = self._current_class
             filled += take
@@ -117,17 +153,11 @@ class TemporalStream:
         """Iterate segments until ``total_samples`` inputs have streamed.
 
         The final segment is truncated if ``total_samples`` is not a
-        multiple of ``segment_size``.
+        multiple of ``segment_size``.  Arguments are validated eagerly
+        (here, not on first iteration), so a bad value fails at the call
+        site rather than deep inside a training loop.
         """
-        if segment_size < 1:
-            raise ValueError(f"segment_size must be >= 1, got {segment_size}")
-        if total_samples < 1:
-            raise ValueError(f"total_samples must be >= 1, got {total_samples}")
-        produced = 0
-        while produced < total_samples:
-            take = min(segment_size, total_samples - produced)
-            yield self.next_segment(take)
-            produced += take
+        return _segment_iterator(self, segment_size, total_samples)
 
     @property
     def position(self) -> int:

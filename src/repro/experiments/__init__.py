@@ -48,6 +48,11 @@ from repro.experiments.table2 import (
 )
 from repro.experiments.drift import DriftResult, format_drift, run_drift_experiment
 from repro.experiments.parallel import SweepSpec, result_fingerprint, run_sweep
+from repro.experiments.scenario_sweep import (
+    ScenarioSweepResult,
+    format_scenario_sweep,
+    run_scenario_sweep,
+)
 from repro.experiments.multi_seed import (
     MultiSeedResult,
     SeedAggregate,
@@ -119,4 +124,7 @@ __all__ = [
     "DriftResult",
     "run_drift_experiment",
     "format_drift",
+    "ScenarioSweepResult",
+    "run_scenario_sweep",
+    "format_scenario_sweep",
 ]

@@ -30,9 +30,12 @@ __all__ = [
 class StreamExperimentConfig:
     """Everything needed to reproduce one stream-learning run."""
 
-    # data
+    # data (``scenario`` names a repro.registry stream scenario; the
+    # stream shape — temporal/drift/cyclic-drift/bursty/imbalanced/
+    # corrupted — is resolved through SCENARIOS at run time)
     dataset: str = "cifar10"
     image_size: Optional[int] = None  # None = registry default
+    scenario: str = "temporal"
     stc: int = 64
     total_samples: int = 8192
     # buffer / stage-1 training

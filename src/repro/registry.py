@@ -2,8 +2,8 @@
 
 Every pluggable ingredient of the framework (replacement policies,
 dataset recipes, encoder architectures, augmentation pipelines, array
-execution backends) is registered by name in one of the module-level
-registries below.  New
+execution backends, stream scenarios) is registered by name in one of
+the module-level registries below.  New
 components plug in with a decorator and zero edits to ``repro``
 internals::
 
@@ -45,11 +45,13 @@ __all__ = [
     "ENCODERS",
     "AUGMENTS",
     "BACKENDS",
+    "SCENARIOS",
     "register_policy",
     "register_dataset",
     "register_encoder",
     "register_augment",
     "register_backend",
+    "register_scenario",
     "create_policy",
     "canonical_policy_names",
     "policy_names",
@@ -58,6 +60,7 @@ __all__ = [
     "encoder_names",
     "augment_names",
     "backend_names",
+    "scenario_names",
 ]
 
 #: Valid component names: lowercase kebab-case, digits allowed.
@@ -370,17 +373,23 @@ def _ensure_backends() -> None:
     import repro.nn.backend  # noqa: F401  (registers numpy + fused)
 
 
+def _ensure_scenarios() -> None:
+    import repro.data.scenarios  # noqa: F401  (registers the built-in streams)
+
+
 POLICIES = Registry("policy", ensure=_ensure_policies)
 DATASETS = Registry("dataset", ensure=_ensure_datasets)
 ENCODERS = Registry("encoder", ensure=_ensure_encoders)
 AUGMENTS = Registry("augment", ensure=_ensure_augments)
 BACKENDS = Registry("backend", ensure=_ensure_backends)
+SCENARIOS = Registry("scenario", ensure=_ensure_scenarios)
 
 register_policy = POLICIES.register
 register_dataset = DATASETS.register
 register_encoder = ENCODERS.register
 register_augment = AUGMENTS.register
 register_backend = BACKENDS.register
+register_scenario = SCENARIOS.register
 
 
 def create_policy(
@@ -459,3 +468,8 @@ def augment_names() -> List[str]:
 def backend_names() -> List[str]:
     """Sorted names of all registered array backends."""
     return BACKENDS.names()
+
+
+def scenario_names() -> List[str]:
+    """Sorted names of all registered stream scenarios."""
+    return SCENARIOS.names()

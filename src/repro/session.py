@@ -43,13 +43,14 @@ import numpy as np
 from repro.core.framework import OnDeviceContrastiveLearner, StepStats
 from repro.core.replacement import ContrastScoringPolicy
 from repro.core.scoring import ContrastScorer
-from repro.data.stream import TemporalStream
+from repro.data.scenarios import StreamSource, create_scenario
 from repro.metrics.curves import LearningCurve
 from repro.nn.backend import use_backend
 from repro.nn.projection import ProjectionHead
-from repro.registry import AUGMENTS, ENCODERS, POLICIES, create_policy
+from repro.registry import AUGMENTS, ENCODERS, POLICIES, SCENARIOS, create_policy
 from repro.selection.base import ReplacementPolicy
 from repro.train.classifier import evaluate_encoder
+from repro.train.knn import KnnProbe
 from repro.utils.rng import RngRegistry
 
 if TYPE_CHECKING:
@@ -259,7 +260,7 @@ class Session:
         self._components: Optional[ExperimentComponents] = None
         self._learner: Optional[OnDeviceContrastiveLearner] = None
         self._policy: Optional[ReplacementPolicy] = None
-        self._stream: Optional[TemporalStream] = None
+        self._stream: Optional[StreamSource] = None
         self._curve: Optional[LearningCurve] = None
         self._diversity: List[float] = []
         self._final_loss = float("nan")
@@ -322,6 +323,17 @@ class Session:
         payloads.  ``None`` inherits the process default.
         """
         self.config = self.config.with_(backend=name)
+        return self
+
+    def with_scenario(self, name: str) -> "Session":
+        """Stream the run through a registered scenario.
+
+        Sugar for ``config.with_(scenario=name)`` — like the backend,
+        the selection rides the config so it serializes into
+        checkpoints and sweep worker payloads.  Any registered
+        :mod:`repro.data.scenarios` name or alias is accepted.
+        """
+        self.config = self.config.with_(scenario=name)
         return self
 
     def with_components(self, components: ExperimentComponents) -> "Session":
@@ -392,19 +404,24 @@ class Session:
 
         The whole run executes on ``config.backend`` when set (any
         registered :mod:`repro.nn.backend` name; ``None`` inherits the
-        process default).  The selection rides the config, so it also
-        crosses the wire to parallel-sweep workers and survives in
+        process default), and streams through ``config.scenario`` (any
+        registered :mod:`repro.data.scenarios` name; default
+        ``temporal``).  Both selections ride the config, so they also
+        cross the wire to parallel-sweep workers and survive in
         checkpoints.
         """
         with use_backend(self.config.backend):
             return self._run(stop_after)
 
     def _run(self, stop_after: Optional[int]) -> StreamRunResult:
-        config = self.config
         # Canonicalize up front so result.policy, curve.method, and the
-        # checkpoint all carry the canonical name even when an alias
-        # ("cs", "random", ...) was selected.
+        # checkpoint all carry the canonical names even when aliases
+        # ("cs", "cyclic", ...) were selected.
         self._policy_name = POLICIES.get(self._policy_name).name
+        self.config = self.config.with_(
+            scenario=SCENARIOS.get(self.config.scenario).name
+        )
+        config = self.config
         if (
             self._resume_state is not None
             and self._resume_state["meta"].get("injected_components")
@@ -453,7 +470,13 @@ class Session:
             augment=augment,
         )
         self._learner = learner
-        stream = TemporalStream(comp.dataset, config.stc, rngs.get("stream"))
+        stream = create_scenario(
+            config.scenario,
+            dataset=comp.dataset,
+            stc=config.stc,
+            rng=rngs.get("stream"),
+            total_samples=config.total_samples,
+        )
         self._stream = stream
 
         # Fixed evaluation pools shared across checkpoints (and across
@@ -538,6 +561,18 @@ class Session:
         if isinstance(policy, ContrastScoringPolicy):
             rescoring = policy.lazy.rescoring_fraction
 
+        # Training-free kNN readout of the final encoder on the fixed
+        # probe pools — the accuracy cell of the scenario-sweep
+        # robustness table.  knn_predict draws no RNG, so this never
+        # perturbs checkpoint/resume bitwiseness.
+        knn_accuracy = KnnProbe(comp.encoder).score(
+            probe_train_x,
+            probe_train_y,
+            probe_test_x,
+            probe_test_y,
+            num_classes=comp.dataset.num_classes,
+        )
+
         result = StreamRunResult(
             policy=self._policy_name,
             config=config,
@@ -551,6 +586,7 @@ class Session:
                 float(np.mean(self._diversity)) if self._diversity else 0.0
             ),
             wall_seconds=wall,
+            info={"final_knn_accuracy": float(knn_accuracy)},
         )
         for fn in self._on_finish:
             fn(result)
@@ -643,7 +679,7 @@ class Session:
     def _apply_resume_state(
         self,
         learner: OnDeviceContrastiveLearner,
-        stream: TemporalStream,
+        stream: StreamSource,
         policy: ReplacementPolicy,
         curve: LearningCurve,
         rngs: RngRegistry,

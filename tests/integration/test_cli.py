@@ -24,6 +24,7 @@ class TestCliRegistry:
             "ablation-drift",
             "stream",
             "multi-seed",
+            "scenario-sweep",
         }
         assert set(EXPERIMENTS) == expected
 
@@ -178,6 +179,50 @@ class TestWorkersFlag:
         assert "multi-seed" in out
         assert "fifo" in out
         assert "±" in out
+
+
+class TestScenarioFlag:
+    def test_unknown_scenario_rejected_with_suggestion(self, capsys):
+        with pytest.raises(SystemExit):
+            main(["stream", "--scenario", "cyclic-drif"])
+        captured = capsys.readouterr()
+        assert "unknown scenario" in captured.err
+        assert "did you mean" in captured.err
+        assert "cyclic-drift" in captured.err
+        assert "== stream" not in captured.out
+
+    def test_scenario_rejected_for_fixed_stream_experiment(self, capsys):
+        with pytest.raises(SystemExit):
+            main(["table1", "--scenario", "bursty"])
+        assert "does not take --scenario" in capsys.readouterr().err
+
+    def test_list_shows_scenarios(self, capsys):
+        code = main(["--list"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "scenarios:" in out
+        assert "cyclic-drift" in out and "bursty" in out
+        assert "imbalanced" in out and "corrupted" in out
+        assert "Recurring environments" in out
+
+    def test_stream_honors_scenario_alias(self, capsys, monkeypatch):
+        """`stream --scenario` runs the Session on the resolved scenario."""
+        _tiny(monkeypatch)
+        code = main(["stream", "--policy", "fifo", "--scenario", "cyclic"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "scenario=cyclic-drift" in out
+
+    def test_scenario_sweep_runs_restricted_roster(self, capsys, monkeypatch):
+        _tiny(monkeypatch)
+        code = main(
+            ["scenario-sweep", "--policy", "fifo", "--scenario", "stationary"]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "temporal" in out  # alias resolved to the canonical row
+        assert "fifo" in out
+        assert "robustness gap" in out
 
 
 class TestBackendFlag:

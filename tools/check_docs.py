@@ -1,0 +1,110 @@
+"""Docs-consistency checker: registries and docs cannot drift apart.
+
+Asserts, in both directions:
+
+* every experiment id (``repro.cli.EXPERIMENTS``), backend
+  (``BACKENDS``), and scenario (``SCENARIOS``) appears in the matching
+  ``<!-- inventory:KIND -->`` block of docs/API.md, and every name
+  listed there is actually registered;
+* every registered scenario has a ``## `name` `` section in
+  docs/SCENARIOS.md, and every such section names a registered
+  scenario.
+
+Run from the repo root (CI does)::
+
+    PYTHONPATH=src python tools/check_docs.py
+
+Exit status 0 means consistent; 1 prints every mismatch found.
+"""
+
+from __future__ import annotations
+
+import pathlib
+import re
+import sys
+from typing import Dict, List, Set
+
+ROOT = pathlib.Path(__file__).resolve().parent.parent
+API_MD = ROOT / "docs" / "API.md"
+SCENARIOS_MD = ROOT / "docs" / "SCENARIOS.md"
+
+INVENTORY_RE = re.compile(
+    r"<!--\s*inventory:([a-z-]+)\s*-->(.*?)<!--\s*/inventory\s*-->", re.S
+)
+BACKTICKED_RE = re.compile(r"`([a-z0-9]+(?:-[a-z0-9]+)*)`")
+SCENARIO_SECTION_RE = re.compile(r"^## `([a-z0-9-]+)`", re.M)
+
+
+def parse_inventories(text: str) -> Dict[str, Set[str]]:
+    """Inventory-block name sets of an API.md-style document."""
+    inventories: Dict[str, Set[str]] = {}
+    for kind, body in INVENTORY_RE.findall(text):
+        inventories[kind] = set(BACKTICKED_RE.findall(body))
+    return inventories
+
+
+def registered_names() -> Dict[str, Set[str]]:
+    """The live registry contents the docs must mirror."""
+    from repro.cli import EXPERIMENTS
+    from repro.registry import BACKENDS, SCENARIOS
+
+    return {
+        "experiments": set(EXPERIMENTS),
+        "backends": set(BACKENDS.names()),
+        "scenarios": set(SCENARIOS.names()),
+    }
+
+
+def check() -> List[str]:
+    """Every mismatch found (empty = consistent)."""
+    problems: List[str] = []
+    api_text = API_MD.read_text()
+    inventories = parse_inventories(api_text)
+    for kind, registered in registered_names().items():
+        documented = inventories.get(kind)
+        if documented is None:
+            problems.append(
+                f"docs/API.md has no <!-- inventory:{kind} --> block"
+            )
+            continue
+        for name in sorted(registered - documented):
+            problems.append(
+                f"{kind}: {name!r} is registered but missing from the "
+                "docs/API.md inventory"
+            )
+        for name in sorted(documented - registered):
+            problems.append(
+                f"{kind}: {name!r} is listed in the docs/API.md inventory "
+                "but not registered"
+            )
+
+    scenario_text = SCENARIOS_MD.read_text()
+    sections = set(SCENARIO_SECTION_RE.findall(scenario_text))
+    from repro.registry import SCENARIOS
+
+    registered_scenarios = set(SCENARIOS.names())
+    for name in sorted(registered_scenarios - sections):
+        problems.append(
+            f"scenario {name!r} is registered but has no '## `{name}`' "
+            "section in docs/SCENARIOS.md"
+        )
+    for name in sorted(sections - registered_scenarios):
+        problems.append(
+            f"docs/SCENARIOS.md documents scenario {name!r}, which is "
+            "not registered"
+        )
+    return problems
+
+
+def main() -> int:
+    problems = check()
+    if problems:
+        for problem in problems:
+            print(f"docs-consistency: {problem}", file=sys.stderr)
+        return 1
+    print("docs-consistency: registries and docs agree")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
