@@ -17,6 +17,10 @@ beat (ROADMAP: "fast as the hardware allows"):
 5. **backends** — the ``numpy`` reference vs. the ``fused`` inference
    backend (:mod:`repro.nn.backend`) on batched scoring and on
    end-to-end stream steps, same components and inputs.
+6. **fleet** — rounds/sec of a small device fleet
+   (:mod:`repro.fleet`), serial vs. ``--workers`` fan-out of the
+   per-round device jobs, with the bitwise serial/parallel agreement
+   recorded.
 
 Honors ``REPRO_BENCH_SCALE`` (stream lengths and repeat counts) and
 ``REPRO_BENCH_SEED``.  Run from anywhere::
@@ -55,7 +59,7 @@ from repro.nn.im2col import default_workspace
 from repro.nn.tensor import Tensor, no_grad
 from repro.session import Session, build_components
 
-BENCH_VERSION = 2
+BENCH_VERSION = 3
 
 
 def _time(fn: Callable[[], object], repeats: int, warmup: int = 1) -> Dict[str, float]:
@@ -240,6 +244,53 @@ def bench_backends(scale: float, seed: int) -> Dict[str, object]:
     return result
 
 
+def bench_fleet(scale: float, seed: int, workers: int = 4) -> Dict[str, object]:
+    """Small-fleet rounds/sec: serial vs parallel device fan-out.
+
+    4 devices x 2 rounds of the fleet engine; the per-round device jobs
+    cross :func:`repro.experiments.parallel.run_jobs`, so the parallel
+    run must be bitwise-identical to the serial one
+    (``results_identical``).
+    """
+    from repro.experiments.fleet import run_fleet
+
+    config = default_config(seed=seed).with_(
+        image_size=10,
+        encoder_widths=(8, 16),
+        projection_dim=16,
+        buffer_size=16,
+        # floor of 16 iterations per device so local training dominates
+        # worker startup at the CI smoke scale (same rationale as the
+        # sweep section).
+        total_samples=max(16 * 16, int(round(512 * scale))),
+        probe_train_per_class=10,
+        probe_test_per_class=5,
+        probe_epochs=5,
+    )
+    devices, rounds = 4, 2
+    kwargs = dict(devices=devices, rounds=rounds, aggregator="fedavg")
+
+    t0 = time.perf_counter()
+    serial = run_fleet(config, workers=1, **kwargs)
+    serial_s = time.perf_counter() - t0
+
+    t0 = time.perf_counter()
+    parallel = run_fleet(config, workers=workers, **kwargs)
+    parallel_s = time.perf_counter() - t0
+
+    return {
+        "devices": devices,
+        "rounds": rounds,
+        "workers": workers,
+        "serial_s": serial_s,
+        "parallel_s": parallel_s,
+        "serial_rounds_per_s": rounds / serial_s,
+        "parallel_rounds_per_s": rounds / parallel_s,
+        "speedup": serial_s / parallel_s,
+        "results_identical": serial.fingerprint() == parallel.fingerprint(),
+    }
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument(
@@ -260,10 +311,10 @@ def main(argv=None) -> int:
         action="store_true",
         help="fail (exit 1) when a speedup regresses below its floor: "
         "batched scoring >= 1.3x, fused-backend scoring >= 1.5x over "
-        "numpy, sweep results identical, and — on machines with >= 4 "
-        "logical CPUs — sweep speedup >= 1.5x (headroom under the 2x "
-        "multi-core target, since logical CPUs overstate physical "
-        "cores)",
+        "numpy, sweep and fleet results identical to serial, and — on "
+        "machines with >= 4 logical CPUs — sweep speedup >= 1.5x "
+        "(headroom under the 2x multi-core target, since logical CPUs "
+        "overstate physical cores)",
     )
     args = parser.parse_args(argv)
 
@@ -332,6 +383,19 @@ def main(argv=None) -> int:
                 report["sweep"]["results_identical"],
             )
         )
+        report["fleet"] = bench_fleet(scale, seed, workers=args.workers)
+        print(
+            "  fleet: {} devices x {} rounds, serial {:.2f} rounds/s vs "
+            "{} workers {:.2f} rounds/s -> {:.2f}x (identical={})".format(
+                report["fleet"]["devices"],
+                report["fleet"]["rounds"],
+                report["fleet"]["serial_rounds_per_s"],
+                report["fleet"]["workers"],
+                report["fleet"]["parallel_rounds_per_s"],
+                report["fleet"]["speedup"],
+                report["fleet"]["results_identical"],
+            )
+        )
     report["total_wall_s"] = time.perf_counter() - t0
 
     with open(args.output, "w") as fh:
@@ -391,6 +455,11 @@ def _check_thresholds(report: Dict[str, object]) -> List[str]:
                 "logical CPU(s) (process parallelism is bounded by "
                 "physical cores)"
             )
+    fleet = report.get("fleet")
+    if fleet is not None and not fleet["results_identical"]:
+        # Bitwise contract, CPU-count independent (no speedup floor:
+        # per-round barriers bound the achievable fan-out).
+        failures.append("parallel fleet results differ from serial run")
     return failures
 
 

@@ -16,22 +16,25 @@ per-experiment index in DESIGN.md:
     stream            one Session run of a single policy
     multi-seed        many-seed sweep, mean ± std per policy
     scenario-sweep    (scenario × policy) policy-robustness grid
+    fleet             multi-device rounds + aggregation (docs/FLEET.md)
 
 ``--list`` enumerates the experiment ids together with every policy,
-dataset, encoder, augment, backend, and scenario registered in
-:mod:`repro.registry` (plugins included).  ``--policy`` overrides the
-policy selection of experiments that compare or run policies; any
+dataset, encoder, augment, backend, scenario, and aggregator registered
+in :mod:`repro.registry` (plugins included).  ``--policy`` overrides
+the policy selection of experiments that compare or run policies; any
 registered policy name or alias is accepted.  ``--workers N`` fans
 sweep-shaped experiments (``multi-seed``, ``table2``, ``ablation-stc``,
-``scenario-sweep``, ``fig4a``-``fig6b``) out over N worker processes
-via :mod:`repro.experiments.parallel`; results are identical to the
-serial run.  ``--seeds 0,1,2,3`` sets the seed roster of
+``scenario-sweep``, ``fleet``, ``fig4a``-``fig6b``) out over N worker
+processes via :mod:`repro.experiments.parallel`; results are identical
+to the serial run.  ``--seeds 0,1,2,3`` sets the seed roster of
 ``multi-seed``.  ``--backend NAME`` selects the array-execution backend
 (:mod:`repro.nn.backend`) for the whole invocation — it becomes the
 process default *and* is exported via ``REPRO_BACKEND`` so spawned
 sweep workers inherit it.  ``--scenario NAME`` selects the stream
-scenario (:mod:`repro.data.scenarios`) for ``stream`` runs, or
-restricts ``scenario-sweep`` to one scenario.
+scenario (:mod:`repro.data.scenarios`) for ``stream`` runs, the single
+scenario of ``scenario-sweep``, or the shared device scenario of
+``fleet``.  ``--aggregator``, ``--devices``, and ``--rounds`` shape the
+``fleet`` experiment (any registered aggregator name or alias).
 """
 
 from __future__ import annotations
@@ -63,6 +66,7 @@ from repro.experiments import (
     run_table2,
     scaled_config,
 )
+from repro.experiments.fleet import format_fleet, run_fleet
 from repro.experiments.scenario_sweep import (
     format_scenario_sweep,
     run_scenario_sweep,
@@ -70,6 +74,7 @@ from repro.experiments.scenario_sweep import (
 from repro.experiments.runner import POLICY_NAMES
 from repro.nn.backend import set_backend
 from repro.registry import (
+    AGGREGATORS,
     AUGMENTS,
     BACKENDS,
     DATASETS,
@@ -220,6 +225,34 @@ _run_scenario_sweep.supports_scenario = True
 
 
 @_parallel
+def _run_fleet(
+    seed: int,
+    policy: Optional[str] = None,
+    workers: int = 1,
+    scenario: Optional[str] = None,
+    aggregator: Optional[str] = None,
+    devices: int = 3,
+    rounds: int = 2,
+) -> str:
+    """Multi-device fleet rounds + aggregation vs. one plain device."""
+    config = scaled_config(default_config(seed=seed))
+    result = run_fleet(
+        config,
+        devices=devices,
+        rounds=rounds,
+        aggregator=aggregator if aggregator is not None else "fedavg",
+        policy=policy,
+        scenario=scenario,
+        workers=workers,
+    )
+    return format_fleet(result)
+
+
+_run_fleet.supports_scenario = True
+_run_fleet.supports_fleet = True
+
+
+@_parallel
 def _run_multi_seed_cli(
     seed: int,
     policy: Optional[str] = None,
@@ -255,6 +288,7 @@ EXPERIMENTS: Dict[str, Callable[..., str]] = {
     "stream": _run_stream,
     "multi-seed": _run_multi_seed_cli,
     "scenario-sweep": _run_scenario_sweep,
+    "fleet": _run_fleet,
 }
 
 
@@ -263,7 +297,15 @@ def _format_listing() -> str:
     lines = ["experiments:"]
     lines += [f"  {name}" for name in sorted(EXPERIMENTS)]
     plurals = {"policy": "policies"}
-    for registry in (POLICIES, DATASETS, ENCODERS, AUGMENTS, BACKENDS, SCENARIOS):
+    for registry in (
+        POLICIES,
+        DATASETS,
+        ENCODERS,
+        AUGMENTS,
+        BACKENDS,
+        SCENARIOS,
+        AGGREGATORS,
+    ):
         lines.append(f"{plurals.get(registry.kind, registry.kind + 's')}:")
         for entry in registry.entries():
             alias_note = (
@@ -318,6 +360,24 @@ def main(argv: list[str] | None = None) -> int:
         help="stream scenario (any registered scenario name/alias, e.g. "
         "cyclic-drift or bursty) for stream runs, or the single scenario "
         "of scenario-sweep (default: the full registered roster)",
+    )
+    parser.add_argument(
+        "--aggregator",
+        default=None,
+        help="fleet model-aggregation rule (any registered aggregator "
+        "name/alias, e.g. fedavg or best-of; fleet experiment only)",
+    )
+    parser.add_argument(
+        "--devices",
+        type=int,
+        default=None,
+        help="simulated device count for the fleet experiment (default 3)",
+    )
+    parser.add_argument(
+        "--rounds",
+        type=int,
+        default=None,
+        help="synchronization rounds for the fleet experiment (default 2)",
     )
     parser.add_argument(
         "--list",
@@ -376,6 +436,30 @@ def main(argv: list[str] | None = None) -> int:
                 "(it is not sweep-shaped)"
             )
         extra["workers"] = args.workers
+    fleet_flags = {
+        "--aggregator": args.aggregator,
+        "--devices": args.devices,
+        "--rounds": args.rounds,
+    }
+    for flag, value in fleet_flags.items():
+        if value is not None and not getattr(runner, "supports_fleet", False):
+            parser.error(
+                f"experiment {args.experiment!r} does not take {flag} "
+                "(only fleet does)"
+            )
+    if args.aggregator is not None:
+        try:
+            extra["aggregator"] = AGGREGATORS.get(args.aggregator).name
+        except KeyError as exc:
+            parser.error(str(exc))
+    if args.devices is not None:
+        if args.devices < 1:
+            parser.error(f"--devices must be >= 1, got {args.devices}")
+        extra["devices"] = args.devices
+    if args.rounds is not None:
+        if args.rounds < 1:
+            parser.error(f"--rounds must be >= 1, got {args.rounds}")
+        extra["rounds"] = args.rounds
     if args.seeds is not None:
         if not getattr(runner, "supports_seeds", False):
             parser.error(

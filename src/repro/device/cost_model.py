@@ -29,6 +29,7 @@ __all__ = [
     "DeviceProfile",
     "JETSON_CLASS",
     "MCU_CLASS",
+    "DEVICE_PROFILES",
     "StorageCostReport",
     "storage_cost",
     "ComputeCostReport",
@@ -83,6 +84,13 @@ MCU_CLASS = DeviceProfile(
     compute_pj_per_flop=50.0,
     ram_bytes=512e3,
 )
+
+#: Profiles addressable by name (``DeviceSpec.profile`` in the fleet
+#: engine resolves through this mapping).
+DEVICE_PROFILES: Dict[str, DeviceProfile] = {
+    JETSON_CLASS.name: JETSON_CLASS,
+    MCU_CLASS.name: MCU_CLASS,
+}
 
 
 @dataclass

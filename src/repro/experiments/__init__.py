@@ -59,6 +59,11 @@ from repro.experiments.multi_seed import (
     format_multi_seed,
     run_multi_seed,
 )
+from repro.experiments.fleet import (
+    FleetExperimentResult,
+    format_fleet,
+    run_fleet,
+)
 from repro.experiments.ablations import (
     GradientAblationResult,
     MomentumAblationResult,
@@ -127,4 +132,7 @@ __all__ = [
     "ScenarioSweepResult",
     "run_scenario_sweep",
     "format_scenario_sweep",
+    "FleetExperimentResult",
+    "run_fleet",
+    "format_fleet",
 ]

@@ -15,7 +15,13 @@ from __future__ import annotations
 
 import os
 from dataclasses import dataclass, field, replace
-from typing import Optional, Tuple
+from typing import TYPE_CHECKING, Optional, Tuple
+
+if TYPE_CHECKING:
+    # Imported lazily at runtime (repro.session.config_from_dict):
+    # repro.fleet.coordinator imports this module, so a top-level
+    # import of the fleet package here would cycle.
+    from repro.fleet.spec import FleetConfig
 
 __all__ = [
     "StreamExperimentConfig",
@@ -62,6 +68,13 @@ class StreamExperimentConfig:
     # execution (``backend`` names a repro.registry array backend;
     # None inherits the process default — REPRO_BACKEND env or "numpy")
     backend: Optional[str] = None
+    # fleet simulation (``fleet`` describes the device roster + round
+    # schedule, ``aggregator`` names a repro.registry model-aggregation
+    # rule; both are None for plain single-device runs and, like the
+    # backend/scenario selections, serialize into checkpoints and sweep
+    # payloads)
+    fleet: Optional[FleetConfig] = None
+    aggregator: Optional[str] = None
     # reproducibility
     seed: int = 0
 

@@ -1,0 +1,152 @@
+"""The ``fleet`` experiment: multi-device rounds vs. a single device.
+
+Runs a :class:`~repro.fleet.coordinator.FleetCoordinator` over the
+configured device roster and reports two things:
+
+* the **per-round table** — one row per round with each device's local
+  kNN-probe accuracy and buffer class diversity, plus the aggregated
+  global model's accuracy;
+* the **fleet-vs-single-device gap** — the final global accuracy minus
+  the final accuracy of one plain single-device Session run on the
+  first device's resolved plan (same policy, scenario, seed, stream
+  length, and lazy interval).  A positive gap means coordination beat
+  going it alone on an equal-stream-length budget.
+
+``workers > 1`` fans each round's device jobs over processes through
+the shared :func:`repro.experiments.parallel.run_jobs` engine; every
+deterministic field of the result is bitwise-identical to the serial
+run.  The CLI exposes this as ``repro fleet --devices N --rounds R
+--aggregator NAME``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Any, Dict, Optional, Sequence
+
+from repro.experiments.config import StreamExperimentConfig, default_config
+from repro.experiments.parallel import result_fingerprint
+from repro.experiments.runner import StreamRunResult, run_stream_experiment
+from repro.fleet.spec import DeviceSpec
+from repro.utils.tables import format_table
+
+if TYPE_CHECKING:
+    # Imported lazily at runtime: repro.fleet.coordinator imports
+    # repro.experiments.config, which initializes this package, so a
+    # top-level coordinator import here would cycle.
+    from repro.fleet.coordinator import FleetRunResult
+
+__all__ = [
+    "FleetExperimentResult",
+    "run_fleet",
+    "format_fleet",
+]
+
+
+@dataclass
+class FleetExperimentResult:
+    """The fleet run, its single-device baseline, and the gap."""
+
+    fleet: FleetRunResult
+    single: StreamRunResult
+    fleet_gap: float
+
+    def fingerprint(self) -> Dict[str, Any]:
+        """Deterministic payload (wall-clock timing excluded): the
+        serial and ``workers > 1`` runs must produce equal values."""
+        return {
+            "fleet": self.fleet.fingerprint(),
+            "single": result_fingerprint(self.single),
+            "fleet_gap": self.fleet_gap,
+        }
+
+
+def run_fleet(
+    config: Optional[StreamExperimentConfig] = None,
+    devices: int | Sequence[DeviceSpec] = 3,
+    rounds: int = 2,
+    aggregator: str = "fedavg",
+    policy: Optional[str] = None,
+    scenario: Optional[str] = None,
+    eval_points: int = 1,
+    workers: int = 1,
+) -> FleetExperimentResult:
+    """Run the fleet experiment plus its single-device baseline.
+
+    ``devices`` is a device count (uniform roster, per-device seeds
+    fanning out from ``config.seed``) or an explicit
+    :class:`DeviceSpec` sequence.  ``policy``/``scenario`` apply to the
+    uniform roster *and* the baseline; an explicit roster keeps its own
+    per-device selections (the baseline then uses the first device's
+    policy).  When ``config`` already carries ``fleet``/``aggregator``
+    fields they win over the ``devices``/``rounds``/``aggregator``
+    arguments.
+    """
+    from repro.fleet.coordinator import FleetCoordinator
+
+    base = config if config is not None else default_config()
+    if base.fleet is not None:
+        coordinator = FleetCoordinator(
+            base, eval_points=eval_points, workers=workers
+        )
+    else:
+        if isinstance(devices, int):
+            roster: Sequence[DeviceSpec] = tuple(
+                DeviceSpec(
+                    policy=policy if policy is not None else "contrast-scoring",
+                    scenario=scenario,
+                )
+                for _ in range(devices)
+            )
+        else:
+            roster = tuple(devices)
+        coordinator = FleetCoordinator.build(
+            base,
+            devices=roster,
+            rounds=rounds,
+            aggregator=aggregator,
+            eval_points=eval_points,
+            workers=workers,
+        )
+    fleet_result = coordinator.run()
+
+    # Single-device reference: one plain Session on the first device's
+    # *resolved* plan — same policy, scenario, seed, stream length, and
+    # lazy interval — so the gap is an equal-budget comparison even
+    # when the roster overrides those fields.
+    plan = coordinator.plans[0]
+    single = run_stream_experiment(
+        plan.config,
+        plan.policy,
+        eval_points=eval_points,
+        lazy_interval=plan.lazy_interval,
+    )
+    gap = fleet_result.final_global_knn_accuracy - float(
+        single.info["final_knn_accuracy"]
+    )
+    return FleetExperimentResult(fleet=fleet_result, single=single, fleet_gap=gap)
+
+
+def format_fleet(result: FleetExperimentResult) -> str:
+    """Render the per-round accuracy/diversity table plus the gap."""
+    fleet = result.fleet
+    header = ["round"] + [f"{name} (acc/div)" for name in fleet.device_names] + [
+        "global acc"
+    ]
+    rows = []
+    for stats in fleet.rounds:
+        row = [str(stats.round_index)]
+        for device in stats.devices:
+            row.append(f"{device.knn_accuracy:.3f}/{device.buffer_diversity:.1f}")
+        suffix = "" if stats.synchronized else " (no sync)"
+        row.append(f"{stats.global_knn_accuracy:.3f}{suffix}")
+        rows.append(row)
+    single_knn = float(result.single.info["final_knn_accuracy"])
+    summary = (
+        f"aggregator={fleet.aggregator} devices={len(fleet.device_names)} "
+        f"rounds={len(fleet.rounds)}\n"
+        f"fleet-vs-single-device gap: {result.fleet_gap:+.3f} "
+        f"(fleet global {fleet.final_global_knn_accuracy:.3f} vs "
+        f"single {single_knn:.3f})"
+    )
+    return "\n".join([format_table(header, rows), summary])

@@ -43,7 +43,7 @@ from __future__ import annotations
 import multiprocessing
 import warnings
 from dataclasses import dataclass
-from typing import Any, Dict, List, Optional, Sequence
+from typing import Any, Callable, Dict, List, Optional, Sequence
 
 from repro.experiments.config import StreamExperimentConfig
 from repro.experiments.runner import run_stream_experiment
@@ -52,6 +52,7 @@ from repro.session import StreamRunResult, config_from_dict, config_to_dict
 __all__ = [
     "SweepSpec",
     "run_sweep",
+    "run_jobs",
     "result_fingerprint",
     "default_start_method",
     "TIMING_FIELDS",
@@ -127,6 +128,56 @@ def _worker(payload: Dict[str, Any]) -> Dict[str, Any]:
     return _run_spec(SweepSpec.from_payload(payload)).to_dict()
 
 
+def run_jobs(
+    worker: Callable[[Any], Any],
+    payloads: Sequence[Any],
+    workers: int = 1,
+    start_method: Optional[str] = None,
+) -> List[Any]:
+    """Fan ``worker(payload)`` calls out over processes, in payload order.
+
+    The shared execution engine under :func:`run_sweep` and the fleet
+    coordinator's device rounds.  ``worker`` must be a module-level
+    callable (every start method pickles it by qualified name), and
+    payloads/results should be JSON-compatible so the wire format stays
+    the archival one.
+
+    ``workers=1`` (or a single payload) calls ``worker`` in-process —
+    the same code path, so serial and parallel execution are
+    bitwise-identical whenever ``worker`` is deterministic.  An
+    unavailable multiprocessing substrate degrades to serial with a
+    warning; errors raised by the jobs themselves propagate.
+    """
+    if workers < 1:
+        raise ValueError(f"workers must be >= 1, got {workers}")
+    payloads = list(payloads)
+    if not payloads:
+        return []
+    workers = min(workers, len(payloads))
+    if workers == 1:
+        return [worker(payload) for payload in payloads]
+    try:
+        context = multiprocessing.get_context(
+            start_method if start_method is not None else default_start_method()
+        )
+        pool = context.Pool(processes=workers)
+    except (ImportError, OSError, PermissionError) as exc:
+        # Pool *creation* failing (e.g. missing POSIX semaphores in a
+        # restricted sandbox) degrades to serial.  Errors raised by the
+        # jobs themselves propagate: silently rerunning a failing sweep
+        # serially would double its wall clock and bury the real error.
+        warnings.warn(
+            f"multiprocessing unavailable ({exc}); running jobs serially",
+            RuntimeWarning,
+            stacklevel=2,
+        )
+        return [worker(payload) for payload in payloads]
+    with pool:
+        # map() preserves input order — the ordered merge; chunksize 1
+        # because jobs are long and few, so balance beats batching.
+        return pool.map(worker, payloads, chunksize=1)
+
+
 def run_sweep(
     specs: Sequence[SweepSpec],
     workers: int = 1,
@@ -146,36 +197,19 @@ def run_sweep(
     deterministic field — see :func:`result_fingerprint` — because runs
     share no state and the cross-process round trip is lossless.
     """
-    if workers < 1:
-        raise ValueError(f"workers must be >= 1, got {workers}")
     specs = list(specs)
-    if not specs:
-        return []
-    workers = min(workers, len(specs))
-    if workers == 1:
+    if workers == 1 or len(specs) <= 1:
+        # In-process fast path: skip the payload round trip entirely
+        # (it is lossless, so results are identical either way).
+        if workers < 1:
+            raise ValueError(f"workers must be >= 1, got {workers}")
         return [_run_spec(spec) for spec in specs]
-
-    payloads = [spec.to_payload() for spec in specs]
-    try:
-        context = multiprocessing.get_context(
-            start_method if start_method is not None else default_start_method()
-        )
-        pool = context.Pool(processes=workers)
-    except (ImportError, OSError, PermissionError) as exc:
-        # Pool *creation* failing (e.g. missing POSIX semaphores in a
-        # restricted sandbox) degrades to serial.  Errors raised by the
-        # runs themselves propagate: silently rerunning a failing sweep
-        # serially would double its wall clock and bury the real error.
-        warnings.warn(
-            f"multiprocessing unavailable ({exc}); running sweep serially",
-            RuntimeWarning,
-            stacklevel=2,
-        )
-        return [_run_spec(spec) for spec in specs]
-    with pool:
-        # map() preserves input order — the ordered merge; chunksize 1
-        # because runs are long and few, so balance beats batching.
-        result_payloads = pool.map(_worker, payloads, chunksize=1)
+    result_payloads = run_jobs(
+        _worker,
+        [spec.to_payload() for spec in specs],
+        workers=workers,
+        start_method=start_method,
+    )
     return [StreamRunResult.from_dict(payload) for payload in result_payloads]
 
 

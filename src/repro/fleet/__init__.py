@@ -1,0 +1,49 @@
+"""Multi-device fleet simulation with pluggable model aggregation.
+
+The coordination layer above :class:`repro.session.Session` (see
+docs/FLEET.md and DESIGN.md §10): a :class:`FleetConfig` of
+:class:`DeviceSpec` entries describes N heterogeneous devices, the
+:class:`FleetCoordinator` runs rounds of local Session training
+followed by server-side aggregation, and aggregation rules plug in
+through the ``AGGREGATORS`` registry
+(:func:`repro.registry.register_aggregator`).
+"""
+
+from repro.fleet.aggregators import (
+    Aggregator,
+    BestOf,
+    DeviceRoundReport,
+    FedAvg,
+    FedAvgMomentum,
+    LocalOnly,
+    create_aggregator,
+    weighted_mean_state,
+)
+from repro.fleet.coordinator import (
+    MODEL_PREFIXES,
+    DevicePlan,
+    DeviceRoundStats,
+    FleetCoordinator,
+    FleetRoundStats,
+    FleetRunResult,
+)
+from repro.fleet.spec import DeviceSpec, FleetConfig
+
+__all__ = [
+    "Aggregator",
+    "BestOf",
+    "DevicePlan",
+    "DeviceRoundReport",
+    "DeviceRoundStats",
+    "DeviceSpec",
+    "FedAvg",
+    "FedAvgMomentum",
+    "FleetConfig",
+    "FleetCoordinator",
+    "FleetRoundStats",
+    "FleetRunResult",
+    "LocalOnly",
+    "MODEL_PREFIXES",
+    "create_aggregator",
+    "weighted_mean_state",
+]

@@ -1,0 +1,269 @@
+"""Server-side model aggregation rules — the ``AGGREGATORS`` registry.
+
+After every fleet round the coordinator hands the aggregator one
+:class:`DeviceRoundReport` per device (its model arrays, the number of
+stream samples it consumed this round, and its training-free kNN-probe
+accuracy).  The aggregator returns the new global model state — a dict
+of ``encoder/*`` and ``projector/*`` arrays broadcast back into every
+device — or ``None`` to skip synchronization entirely.
+
+Aggregators register with :func:`repro.registry.register_aggregator`
+and are then accepted by name everywhere (``config.aggregator``, the
+CLI's ``--aggregator`` flag, ``--list``), with the same alias and
+"did you mean" semantics as policies/backends/scenarios.  Stateful
+rules (server momentum) expose ``state_dict``/``load_state_dict`` so
+fleet checkpoints capture them bitwise.
+
+Determinism contract: aggregation always runs in the coordinator
+process, in device order, accumulating in float64 before casting back
+to each array's dtype — so a fleet round is bitwise-reproducible and
+independent of the worker fan-out.  With a single device the
+normalized weight is exactly ``1.0``, making every built-in rule a
+bitwise identity (the fedavg-fleet-of-one == plain-Session guarantee).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from repro.registry import AGGREGATORS, register_aggregator
+
+__all__ = [
+    "DeviceRoundReport",
+    "Aggregator",
+    "FedAvg",
+    "FedAvgMomentum",
+    "BestOf",
+    "LocalOnly",
+    "create_aggregator",
+    "weighted_mean_state",
+]
+
+
+@dataclass
+class DeviceRoundReport:
+    """What one device hands the server after a local round."""
+
+    device: str
+    model_state: Dict[str, np.ndarray]
+    weight: float
+    knn_accuracy: float
+    info: Dict[str, float] = field(default_factory=dict)
+
+
+class Aggregator:
+    """Base class for server-side aggregation rules.
+
+    Subclasses implement :meth:`aggregate`; stateful rules additionally
+    override the ``state_dict``/``load_state_dict`` pair (the defaults
+    describe a stateless rule).
+    """
+
+    def aggregate(
+        self,
+        global_state: Optional[Dict[str, np.ndarray]],
+        reports: Sequence[DeviceRoundReport],
+    ) -> Optional[Dict[str, np.ndarray]]:
+        """Produce the next global model state.
+
+        ``global_state`` is the state this aggregator returned last
+        round (``None`` on the first aggregation).  Returning ``None``
+        means "do not synchronize": the coordinator keeps every device
+        on its local weights.
+        """
+        raise NotImplementedError
+
+    def state_dict(self) -> Dict[str, np.ndarray]:
+        """Server-side state to checkpoint (empty for stateless rules)."""
+        return {}
+
+    def load_state_dict(self, state: Dict[str, np.ndarray]) -> None:
+        """Restore :meth:`state_dict` output (no-op for stateless rules)."""
+        if state:
+            raise ValueError(
+                f"{type(self).__name__} is stateless but the checkpoint "
+                f"carries aggregator state keys: {sorted(state)}"
+            )
+
+
+def weighted_mean_state(
+    reports: Sequence[DeviceRoundReport],
+) -> Dict[str, np.ndarray]:
+    """Sample-weighted mean of the reports' model arrays.
+
+    Weights are normalized first and accumulation happens in float64
+    (cast back to each array's dtype afterwards), so the result depends
+    only on report order — never on worker scheduling — and a single
+    report comes back bitwise-unchanged (its normalized weight is
+    exactly 1.0).  Zero total weight (every stream exhausted) falls
+    back to uniform weights.
+    """
+    if not reports:
+        raise ValueError("need at least one device report to aggregate")
+    keys = list(reports[0].model_state)
+    for report in reports[1:]:
+        if list(report.model_state) != keys:
+            raise ValueError(
+                f"device {report.device!r} reports model keys that differ "
+                f"from device {reports[0].device!r}; fleets must share one "
+                "architecture to average parameters"
+            )
+    raw = np.array([max(float(r.weight), 0.0) for r in reports], dtype=np.float64)
+    total = raw.sum()
+    weights = raw / total if total > 0 else np.full(len(reports), 1.0 / len(reports))
+    out: Dict[str, np.ndarray] = {}
+    for key in keys:
+        first = reports[0].model_state[key]
+        accum = np.zeros(first.shape, dtype=np.float64)
+        for weight, report in zip(weights, reports):
+            accum += weight * report.model_state[key].astype(np.float64)
+        out[key] = accum.astype(first.dtype)
+    return out
+
+
+def create_aggregator(name: str, **options) -> Aggregator:
+    """Construct an aggregation rule by registered name.
+
+    Every key in ``options`` is an explicit caller option (not an
+    offer): a factory that does not accept one raises ``TypeError``,
+    mirroring :func:`repro.registry.create_policy`.
+    """
+    rule = AGGREGATORS.create_with_required(name, tuple(options), **options)
+    if not isinstance(rule, Aggregator):
+        raise TypeError(
+            f"aggregator {name!r} built a {type(rule).__name__}, expected "
+            "an Aggregator (aggregate/state_dict/load_state_dict)"
+        )
+    return rule
+
+
+# ----------------------------------------------------------------------
+# Built-in rules.
+# ----------------------------------------------------------------------
+@register_aggregator(
+    "fedavg",
+    label="Sample-weighted parameter averaging",
+    aliases=("avg", "federated-averaging"),
+)
+class FedAvg(Aggregator):
+    """Classic FedAvg: ``global = sum_d (n_d / n) * model_d``.
+
+    ``n_d`` is the number of stream samples device ``d`` consumed this
+    round, so devices that processed more data pull the average harder.
+    Optimizer moments stay local — only model arrays synchronize.
+    """
+
+    def aggregate(self, global_state, reports):
+        return weighted_mean_state(reports)
+
+
+@register_aggregator(
+    "fedavg-momentum",
+    label="FedAvg with server momentum",
+    aliases=("fedavgm", "server-momentum"),
+)
+class FedAvgMomentum(Aggregator):
+    """FedAvg smoothed by a server-side velocity.
+
+    Update rule (per *parameter* array, float64 accumulation)::
+
+        avg_t    = weighted_mean(device models)
+        v_t      = beta * v_{t-1} + (avg_t - global_{t-1})
+        global_t = global_{t-1} + v_t
+
+    The first aggregation (no previous global) bootstraps with
+    ``global_1 = avg_1`` and a zero velocity.  ``v`` is checkpointed
+    via ``state_dict``, so a resumed fleet continues bitwise.
+
+    BatchNorm running statistics (``running_mean``/``running_var``)
+    take the plain weighted average instead: they are statistics, not
+    optimization variables, and the momentum extrapolation can push
+    ``running_var`` negative — which turns the whole model into NaNs
+    at the next ``1/sqrt(var + eps)``.
+    """
+
+    def __init__(self, beta: float = 0.9) -> None:
+        if not 0.0 <= beta < 1.0:
+            raise ValueError(f"beta must be in [0, 1), got {beta}")
+        self.beta = float(beta)
+        self._velocity: Optional[Dict[str, np.ndarray]] = None
+
+    @staticmethod
+    def _is_statistic(key: str) -> bool:
+        return key.rsplit(".", 1)[-1] in ("running_mean", "running_var")
+
+    def aggregate(self, global_state, reports):
+        average = weighted_mean_state(reports)
+        if global_state is None:
+            self._velocity = {
+                key: np.zeros(value.shape, dtype=np.float64)
+                for key, value in average.items()
+                if not self._is_statistic(key)
+            }
+            return average
+        assert self._velocity is not None  # set with the first global
+        out: Dict[str, np.ndarray] = {}
+        for key, avg in average.items():
+            if self._is_statistic(key):
+                out[key] = avg
+                continue
+            previous = global_state[key].astype(np.float64)
+            delta = avg.astype(np.float64) - previous
+            velocity = self.beta * self._velocity[key] + delta
+            self._velocity[key] = velocity
+            out[key] = (previous + velocity).astype(avg.dtype)
+        return out
+
+    def state_dict(self) -> Dict[str, np.ndarray]:
+        if self._velocity is None:
+            return {}
+        return {f"velocity/{key}": value.copy() for key, value in self._velocity.items()}
+
+    def load_state_dict(self, state: Dict[str, np.ndarray]) -> None:
+        if not state:
+            self._velocity = None
+            return
+        self._velocity = {
+            key[len("velocity/") :]: np.asarray(value, dtype=np.float64).copy()
+            for key, value in state.items()
+            if key.startswith("velocity/")
+        }
+
+
+@register_aggregator(
+    "best-of",
+    label="Broadcast the best kNN-probe device",
+    aliases=("best",),
+)
+class BestOf(Aggregator):
+    """Winner-take-all: the device with the highest kNN-probe accuracy
+    this round becomes the global model (ties go to the lowest device
+    index, keeping selection deterministic)."""
+
+    def aggregate(self, global_state, reports):
+        if not reports:
+            raise ValueError("need at least one device report to aggregate")
+        best = max(
+            range(len(reports)),
+            key=lambda i: (reports[i].knn_accuracy, -i),
+        )
+        return {key: value.copy() for key, value in reports[best].model_state.items()}
+
+
+@register_aggregator(
+    "local-only",
+    label="No synchronization (baseline)",
+    aliases=("none", "no-sync"),
+)
+class LocalOnly(Aggregator):
+    """The no-coordination baseline: every device keeps its own model.
+
+    The round table still reports per-device accuracies, so this is the
+    reference the synchronized rules are measured against.
+    """
+
+    def aggregate(self, global_state, reports):
+        return None

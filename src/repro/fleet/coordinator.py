@@ -1,0 +1,870 @@
+"""The fleet engine: N device Sessions coordinated by a server.
+
+:class:`FleetCoordinator` simulates a device fleet learning from
+private streams with periodic model synchronization — the setting the
+source paper targets (many edge devices adapting on-device) scaled out
+to the ROADMAP's production framing.  One *round* is:
+
+1. **local training** — every device advances its own
+   :class:`~repro.session.Session` by ``~1/rounds`` of its stream.
+   Devices are independent jobs fanned out through
+   :func:`repro.experiments.parallel.run_jobs` (the same engine under
+   ``run_sweep``), so ``workers > 1`` runs them in parallel processes
+   with results bitwise-identical to the serial order;
+2. **aggregation** — the registered aggregator
+   (:mod:`repro.fleet.aggregators`) folds the per-device model arrays
+   into a new global model (or declines, for ``local-only``);
+3. **broadcast** — the global model overwrites every device's encoder
+   and projector arrays (optimizer moments and buffers stay local);
+4. **evaluation** — the global model takes a training-free kNN probe
+   on fixed pools, giving the per-round accuracy column.
+
+Device state crosses rounds (and process boundaries) as the
+``Session.state_dict()`` payload, encoded with a lossless base64 array
+wire format — so a fleet of one ``fedavg`` device is bitwise-identical
+to a plain single-device Session run, and coordinator checkpoints
+(:meth:`FleetCoordinator.save_checkpoint` / ``resume``) continue a
+fleet mid-run with bitwise-identical results.
+
+Every argument is validated eagerly at construction with per-field
+error messages (nothing fails inside the first round).
+"""
+
+from __future__ import annotations
+
+import base64
+import json
+import math
+import os
+from dataclasses import dataclass
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.device.cost_model import DEVICE_PROFILES, iteration_compute_cost
+from repro.experiments.config import StreamExperimentConfig
+from repro.experiments.parallel import result_fingerprint, run_jobs
+from repro.fleet.aggregators import (
+    Aggregator,
+    DeviceRoundReport,
+    create_aggregator,
+)
+from repro.fleet.spec import DeviceSpec, FleetConfig
+from repro.nn.backend import use_backend
+from repro.registry import (
+    AGGREGATORS,
+    BACKENDS,
+    POLICIES,
+    SCENARIOS,
+    UnknownComponentError,
+)
+from repro.session import (
+    Session,
+    StreamRunResult,
+    build_components,
+    config_from_dict,
+    config_to_dict,
+)
+from repro.train.knn import KnnProbe
+
+__all__ = [
+    "DevicePlan",
+    "DeviceRoundStats",
+    "FleetRoundStats",
+    "FleetRunResult",
+    "FleetCoordinator",
+    "MODEL_PREFIXES",
+]
+
+#: Learner state keys that constitute "the model" for aggregation and
+#: broadcast: encoder and projector arrays (parameters + BN statistics).
+#: Optimizer moments, buffer contents, and counters stay device-local.
+MODEL_PREFIXES = ("encoder/", "projector/")
+
+#: Bumped whenever the fleet checkpoint layout changes incompatibly.
+FLEET_CHECKPOINT_VERSION = 1
+
+#: Lazy-interval ladder searched when a device declares a compute
+#: budget (None = eager scoring; see DeviceSpec.compute_budget_mj).
+_BUDGET_LAZY_LADDER: Tuple[Optional[int], ...] = (None, 2, 4, 8, 16, 32, 64)
+
+
+def _none_if_nan(value: float) -> Optional[float]:
+    """NaN -> None so round stats stay strict-JSON."""
+    return None if isinstance(value, float) and np.isnan(value) else value
+
+
+def _nan_if_none(value: Optional[float]) -> float:
+    return float("nan") if value is None else float(value)
+
+
+# ----------------------------------------------------------------------
+# Lossless array wire format (base64 of raw bytes + dtype + shape).
+# ----------------------------------------------------------------------
+def encode_arrays(arrays: Dict[str, np.ndarray]) -> Dict[str, Dict[str, Any]]:
+    """JSON-compatible, bitwise-lossless encoding of an array dict."""
+    out: Dict[str, Dict[str, Any]] = {}
+    for key, value in arrays.items():
+        array = np.asarray(value)
+        # ascontiguousarray promotes 0-d to 1-d, so record the true
+        # shape first; the raw bytes are identical either way.
+        out[key] = {
+            "dtype": array.dtype.str,
+            "shape": list(array.shape),
+            "data": base64.b64encode(
+                np.ascontiguousarray(array).tobytes()
+            ).decode("ascii"),
+        }
+    return out
+
+
+def decode_arrays(payload: Dict[str, Dict[str, Any]]) -> Dict[str, np.ndarray]:
+    """Inverse of :func:`encode_arrays` (exact round trip)."""
+    out: Dict[str, np.ndarray] = {}
+    for key, value in payload.items():
+        flat = np.frombuffer(
+            base64.b64decode(value["data"]), dtype=np.dtype(value["dtype"])
+        )
+        out[key] = flat.reshape(tuple(value["shape"])).copy()
+    return out
+
+
+def _encode_session_state(state: Dict[str, Any]) -> Dict[str, Any]:
+    return {"meta": state["meta"], "learner": encode_arrays(state["learner"])}
+
+
+def _decode_session_state(payload: Dict[str, Any]) -> Dict[str, Any]:
+    return {"meta": payload["meta"], "learner": decode_arrays(payload["learner"])}
+
+
+def _device_round_worker(payload: Dict[str, Any]) -> Dict[str, Any]:
+    """Run one device for one round (module-level so every
+    multiprocessing start method can import it).
+
+    A ``None`` state starts the device fresh from its config; otherwise
+    the session continues from the ``Session.state_dict()`` payload.
+    ``payload["encoded"]`` selects the state representation: the base64
+    wire form when the job crosses a process boundary, the raw array
+    dict when the coordinator runs it in-process (``workers=1``) — the
+    encoding is lossless, so both paths are bitwise-identical (the
+    serial/parallel equivalence tests compare exactly this).
+    """
+    encoded = payload["encoded"]
+    state = payload["state"]
+    if state is None:
+        session = (
+            Session(config_from_dict(payload["config"]), policy=payload["policy"])
+            .with_eval_points(payload["eval_points"])
+            .with_label_fraction(payload["label_fraction"])
+            .with_lazy_interval(payload["lazy_interval"])
+            .with_score_momentum(payload["score_momentum"])
+        )
+    else:
+        if encoded:
+            state = _decode_session_state(state)
+        session = Session.from_state_dict(state)
+    result = session.run(stop_after=payload["stop_after"])
+    out_state = session.state_dict()
+    return {
+        "state": _encode_session_state(out_state) if encoded else out_state,
+        "result": result.to_dict(),
+    }
+
+
+# ----------------------------------------------------------------------
+# Round bookkeeping.
+# ----------------------------------------------------------------------
+@dataclass
+class DeviceRoundStats:
+    """One device's contribution to one round of the fleet table."""
+
+    device: str
+    knn_accuracy: float
+    buffer_diversity: float
+    samples: int
+    loss: float
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "device": self.device,
+            "knn_accuracy": self.knn_accuracy,
+            "buffer_diversity": self.buffer_diversity,
+            "samples": self.samples,
+            "loss": _none_if_nan(self.loss),
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "DeviceRoundStats":
+        return cls(
+            device=data["device"],
+            knn_accuracy=float(data["knn_accuracy"]),
+            buffer_diversity=float(data["buffer_diversity"]),
+            samples=int(data["samples"]),
+            loss=_nan_if_none(data["loss"]),
+        )
+
+
+@dataclass
+class FleetRoundStats:
+    """One row of the per-round fleet table.
+
+    ``devices`` report their *local* models (measured before the
+    broadcast); ``global_knn_accuracy`` scores the aggregated model —
+    for ``local-only`` rounds (``synchronized`` False) it is the mean
+    of the device accuracies instead.
+    """
+
+    round_index: int
+    devices: List[DeviceRoundStats]
+    global_knn_accuracy: float
+    synchronized: bool
+
+    @property
+    def mean_device_accuracy(self) -> float:
+        return float(np.mean([d.knn_accuracy for d in self.devices]))
+
+    @property
+    def mean_buffer_diversity(self) -> float:
+        return float(np.mean([d.buffer_diversity for d in self.devices]))
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "round_index": self.round_index,
+            "devices": [d.to_dict() for d in self.devices],
+            "global_knn_accuracy": self.global_knn_accuracy,
+            "synchronized": self.synchronized,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "FleetRoundStats":
+        return cls(
+            round_index=int(data["round_index"]),
+            devices=[DeviceRoundStats.from_dict(d) for d in data["devices"]],
+            global_knn_accuracy=float(data["global_knn_accuracy"]),
+            synchronized=bool(data["synchronized"]),
+        )
+
+
+@dataclass
+class FleetRunResult:
+    """Outcome of a (possibly partial) fleet run."""
+
+    config: StreamExperimentConfig
+    aggregator: str
+    device_names: List[str]
+    rounds: List[FleetRoundStats]
+    device_results: List[StreamRunResult]
+    final_global_knn_accuracy: float
+
+    @property
+    def mean_device_knn_accuracy(self) -> float:
+        """Mean final-round per-device (local model) kNN accuracy."""
+        return self.rounds[-1].mean_device_accuracy
+
+    def fingerprint(self) -> Dict[str, Any]:
+        """Deterministic payload: everything except wall-clock timing.
+
+        Serial and ``workers > 1`` fleet runs of the same config must
+        produce equal fingerprints (the fleet analogue of
+        :func:`repro.experiments.parallel.result_fingerprint`).
+        """
+        return {
+            "config": config_to_dict(self.config),
+            "aggregator": self.aggregator,
+            "device_names": list(self.device_names),
+            "rounds": [r.to_dict() for r in self.rounds],
+            "device_results": [result_fingerprint(r) for r in self.device_results],
+            "final_global_knn_accuracy": self.final_global_knn_accuracy,
+        }
+
+
+@dataclass(frozen=True)
+class DevicePlan:
+    """One device's fully resolved execution plan.
+
+    What a :class:`~repro.fleet.spec.DeviceSpec` becomes after eager
+    validation: canonical names, inherited fields filled in, the
+    compute budget turned into a lazy interval, and the per-round step
+    count.  Exposed read-only via :attr:`FleetCoordinator.plans` (the
+    ``fleet`` experiment builds its single-device baseline from
+    ``plans[0]``).
+    """
+
+    name: str
+    config: StreamExperimentConfig
+    policy: str
+    lazy_interval: Optional[int]
+    steps_per_round: int
+
+
+# ----------------------------------------------------------------------
+# The coordinator.
+# ----------------------------------------------------------------------
+class FleetCoordinator:
+    """Runs rounds of local training + aggregation over a device fleet.
+
+    Parameters
+    ----------
+    config:
+        A :class:`StreamExperimentConfig` whose ``fleet`` field holds
+        the :class:`~repro.fleet.spec.FleetConfig` (device roster +
+        round count) and whose ``aggregator`` field names the
+        aggregation rule (``None`` selects ``fedavg``).  Both ride the
+        config, so they serialize into fleet checkpoints and sweep
+        payloads like the backend and scenario selections.
+    eval_points, label_fraction:
+        Forwarded to every device Session (probe schedule over the
+        device's *whole* stream, not per round).
+    workers:
+        Device jobs per round are fanned over this many processes via
+        :func:`repro.experiments.parallel.run_jobs`; results are
+        bitwise-identical to ``workers=1``.
+    start_method:
+        Multiprocessing start method (None = platform default).
+
+    All fields are validated here, eagerly, with per-field messages —
+    a misconfigured fleet never reaches the first round.
+    """
+
+    def __init__(
+        self,
+        config: StreamExperimentConfig,
+        *,
+        eval_points: int = 1,
+        label_fraction: float = 1.0,
+        workers: int = 1,
+        start_method: Optional[str] = None,
+    ) -> None:
+        if config.fleet is None:
+            raise ValueError(
+                "config.fleet must be set to run a fleet (build a "
+                "FleetConfig of DeviceSpecs, or use FleetCoordinator.build)"
+            )
+        if eval_points < 1:
+            raise ValueError(f"eval_points must be >= 1, got {eval_points}")
+        if not 0.0 < label_fraction <= 1.0:
+            raise ValueError(
+                f"label_fraction must be in (0, 1], got {label_fraction}"
+            )
+        if workers < 1:
+            raise ValueError(f"workers must be >= 1, got {workers}")
+
+        aggregator_name = config.aggregator if config.aggregator is not None else "fedavg"
+        try:
+            aggregator_name = AGGREGATORS.get(aggregator_name).name
+        except UnknownComponentError as exc:
+            raise ValueError(f"config.aggregator: {exc}") from exc
+
+        base = config.with_(fleet=None, aggregator=None)
+        plans: List[DevicePlan] = []
+        canonical_specs: List[DeviceSpec] = []
+        for index, spec in enumerate(config.fleet.devices):
+            plan, canonical = self._plan_device(index, spec, base, config.fleet.rounds)
+            plans.append(plan)
+            canonical_specs.append(canonical)
+
+        # Store the fully canonicalized selection back on the config so
+        # checkpoints and payloads carry canonical names only.
+        self.config = config.with_(
+            fleet=FleetConfig(
+                devices=tuple(canonical_specs), rounds=config.fleet.rounds
+            ),
+            aggregator=aggregator_name,
+        )
+        self.aggregator_name = aggregator_name
+        self._base_config = base
+        self._plans = plans
+        self._eval_points = int(eval_points)
+        self._label_fraction = float(label_fraction)
+        self._workers = int(workers)
+        self._start_method = start_method
+        self._aggregator: Aggregator = create_aggregator(aggregator_name)
+        # live run state
+        num = len(plans)
+        self._round = 0
+        self._device_states: List[Optional[Dict[str, Any]]] = [None] * num
+        self._last_results: List[Optional[Dict[str, Any]]] = [None] * num
+        self._seen: List[int] = [0] * num
+        self._global_state: Optional[Dict[str, np.ndarray]] = None
+        self._history: List[FleetRoundStats] = []
+        self._eval_pool: Optional[tuple] = None
+
+    # -- construction helpers -------------------------------------------
+    @classmethod
+    def build(
+        cls,
+        config: StreamExperimentConfig,
+        devices: int | Sequence[DeviceSpec] = 3,
+        rounds: int = 2,
+        aggregator: str = "fedavg",
+        **kwargs: Any,
+    ) -> "FleetCoordinator":
+        """Convenience constructor: set the fleet fields and validate.
+
+        ``devices`` is either a device count (uniform specs) or an
+        explicit spec roster.
+        """
+        fleet = (
+            FleetConfig.uniform(devices, rounds=rounds)
+            if isinstance(devices, int)
+            else FleetConfig(devices=tuple(devices), rounds=rounds)
+        )
+        return cls(config.with_(fleet=fleet, aggregator=aggregator), **kwargs)
+
+    def _plan_device(
+        self,
+        index: int,
+        spec: DeviceSpec,
+        base: StreamExperimentConfig,
+        rounds: int,
+    ) -> Tuple[DevicePlan, DeviceSpec]:
+        """Resolve one spec into an executable plan (eager validation)."""
+        where = f"config.fleet.devices[{index}]"
+        try:
+            policy = POLICIES.get(spec.policy).name
+        except UnknownComponentError as exc:
+            raise ValueError(f"{where}.policy: {exc}") from exc
+        scenario = spec.scenario if spec.scenario is not None else base.scenario
+        try:
+            scenario = SCENARIOS.get(scenario).name
+        except UnknownComponentError as exc:
+            raise ValueError(f"{where}.scenario: {exc}") from exc
+        backend = spec.backend if spec.backend is not None else base.backend
+        if spec.backend is not None:
+            try:
+                backend = BACKENDS.get(spec.backend).name
+            except UnknownComponentError as exc:
+                raise ValueError(f"{where}.backend: {exc}") from exc
+        if spec.profile not in DEVICE_PROFILES:
+            raise ValueError(
+                f"{where}.profile: unknown device profile {spec.profile!r}; "
+                f"known: {', '.join(sorted(DEVICE_PROFILES))}"
+            )
+        seed = spec.seed if spec.seed is not None else base.seed + index
+        total = (
+            spec.total_samples if spec.total_samples is not None else base.total_samples
+        )
+        try:
+            device_config = base.with_(
+                scenario=scenario,
+                backend=backend,
+                seed=seed,
+                total_samples=total,
+            )
+        except ValueError as exc:
+            raise ValueError(f"{where}: {exc}") from exc
+        lazy_interval = self._resolve_lazy_interval(where, spec, device_config)
+        name = spec.name if spec.name is not None else f"device{index}"
+        canonical = DeviceSpec(
+            policy=policy,
+            scenario=spec.scenario and scenario,
+            backend=spec.backend and backend,
+            seed=spec.seed,
+            total_samples=spec.total_samples,
+            profile=spec.profile,
+            compute_budget_mj=spec.compute_budget_mj,
+            lazy_interval=spec.lazy_interval,
+            name=spec.name,
+        )
+        plan = DevicePlan(
+            name=name,
+            config=device_config,
+            policy=policy,
+            lazy_interval=lazy_interval,
+            steps_per_round=max(1, math.ceil(device_config.iterations / rounds)),
+        )
+        return plan, canonical
+
+    @staticmethod
+    def _resolve_lazy_interval(
+        where: str, spec: DeviceSpec, device_config: StreamExperimentConfig
+    ) -> Optional[int]:
+        """Turn a per-iteration energy budget into a lazy interval.
+
+        Walks the lazy-interval ladder (eager, 2, 4, ..., 64) and picks
+        the first point whose per-iteration train+scoring energy on the
+        device's profile fits ``compute_budget_mj`` — the
+        :mod:`repro.device.cost_model` Table I analysis applied per
+        device.  Purely a function of the config, so plans (and
+        therefore fleets) stay deterministic.
+        """
+        if spec.lazy_interval is not None:
+            return spec.lazy_interval
+        if spec.compute_budget_mj is None:
+            return None
+        profile = DEVICE_PROFILES[spec.profile]
+        # Shape-only throwaway build: flop counts depend on architecture
+        # alone, and the scratch RngRegistry never touches device state.
+        comp = build_components(device_config)
+        image_size = comp.dataset.image_shape[1]
+        cost = float("inf")
+        for interval in _BUDGET_LAZY_LADDER:
+            report = iteration_compute_cost(
+                profile,
+                comp.encoder,
+                comp.projector,
+                image_size,
+                device_config.buffer_size,
+                lazy_interval=interval,
+            )
+            cost = report.energy_train_mj + report.energy_scoring_lazy_mj
+            if cost <= spec.compute_budget_mj:
+                return interval
+        raise ValueError(
+            f"{where}.compute_budget_mj: {spec.compute_budget_mj} mJ per "
+            f"iteration cannot be met on profile {spec.profile!r} even at "
+            f"lazy interval {_BUDGET_LAZY_LADDER[-1]} "
+            f"(cheapest iteration needs {cost:.3f} mJ)"
+        )
+
+    # -- introspection --------------------------------------------------
+    @property
+    def fleet(self) -> FleetConfig:
+        """The canonicalized fleet description."""
+        assert self.config.fleet is not None
+        return self.config.fleet
+
+    @property
+    def plans(self) -> Tuple[DevicePlan, ...]:
+        """The resolved per-device execution plans (read-only)."""
+        return tuple(self._plans)
+
+    @property
+    def device_names(self) -> List[str]:
+        return [plan.name for plan in self._plans]
+
+    @property
+    def rounds_completed(self) -> int:
+        return self._round
+
+    @property
+    def global_model_state(self) -> Optional[Dict[str, np.ndarray]]:
+        """The current global model arrays (None before the first
+        synchronizing aggregation)."""
+        if self._global_state is None:
+            return None
+        return {key: value.copy() for key, value in self._global_state.items()}
+
+    # -- execution ------------------------------------------------------
+    def run(self, rounds: Optional[int] = None) -> FleetRunResult:
+        """Run ``rounds`` more rounds (default: all remaining).
+
+        Returns the cumulative :class:`FleetRunResult`; call again (or
+        checkpoint/resume in between) to continue — results are
+        bitwise-identical to an uninterrupted run.
+        """
+        if rounds is not None and rounds < 1:
+            # 0 is rejected rather than being a no-op: before the first
+            # round it would leave nothing for result() to report.
+            raise ValueError(f"rounds must be >= 1, got {rounds}")
+        remaining = self.fleet.rounds - self._round
+        count = remaining if rounds is None else min(rounds, remaining)
+        for _ in range(count):
+            self._run_round()
+        return self.result()
+
+    def _run_round(self) -> None:
+        # Jobs run in-process at workers=1, so the (lossless) wire
+        # encoding would be pure overhead there; it is applied exactly
+        # when the payload crosses a process boundary.
+        encode = self._workers > 1
+        payloads = []
+        for i, plan in enumerate(self._plans):
+            if self._device_states[i] is None:
+                payloads.append(
+                    {
+                        "state": None,
+                        "encoded": encode,
+                        "config": config_to_dict(plan.config),
+                        "policy": plan.policy,
+                        "eval_points": self._eval_points,
+                        "label_fraction": self._label_fraction,
+                        "lazy_interval": plan.lazy_interval,
+                        "score_momentum": 0.0,
+                        "stop_after": plan.steps_per_round,
+                    }
+                )
+            else:
+                state = self._device_states[i]
+                payloads.append(
+                    {
+                        "state": _encode_session_state(state) if encode else state,
+                        "encoded": encode,
+                        "stop_after": plan.steps_per_round,
+                    }
+                )
+        outputs = run_jobs(
+            _device_round_worker,
+            payloads,
+            workers=self._workers,
+            start_method=self._start_method,
+        )
+
+        reports: List[DeviceRoundReport] = []
+        round_devices: List[DeviceRoundStats] = []
+        for i, (plan, output) in enumerate(zip(self._plans, outputs)):
+            state = (
+                _decode_session_state(output["state"])
+                if encode
+                else output["state"]
+            )
+            result = StreamRunResult.from_dict(output["result"])
+            seen = int(state["learner"]["seen_inputs"])
+            samples = seen - self._seen[i]
+            self._seen[i] = seen
+            self._device_states[i] = state
+            self._last_results[i] = output["result"]
+            knn = float(result.info["final_knn_accuracy"])
+            model_state = {
+                key: value
+                for key, value in state["learner"].items()
+                if key.startswith(MODEL_PREFIXES)
+            }
+            reports.append(
+                DeviceRoundReport(
+                    device=plan.name,
+                    model_state=model_state,
+                    weight=float(samples),
+                    knn_accuracy=knn,
+                )
+            )
+            round_devices.append(
+                DeviceRoundStats(
+                    device=plan.name,
+                    knn_accuracy=knn,
+                    buffer_diversity=float(result.buffer_class_diversity),
+                    samples=samples,
+                    loss=float(result.final_loss),
+                )
+            )
+
+        new_global = self._aggregator.aggregate(self._global_state, reports)
+        synchronized = new_global is not None
+        if synchronized:
+            self._global_state = {
+                key: np.asarray(value).copy() for key, value in new_global.items()
+            }
+            for state in self._device_states:
+                assert state is not None
+                for key, value in self._global_state.items():
+                    state["learner"][key] = value.copy()
+        if self._global_state is not None:
+            global_accuracy = self._evaluate_global()
+        else:  # local-only: no global model exists; report the fleet mean
+            global_accuracy = float(
+                np.mean([d.knn_accuracy for d in round_devices])
+            )
+        self._history.append(
+            FleetRoundStats(
+                round_index=self._round,
+                devices=round_devices,
+                global_knn_accuracy=global_accuracy,
+                synchronized=synchronized,
+            )
+        )
+        self._round += 1
+
+    def _evaluate_global(self) -> float:
+        """Training-free kNN accuracy of the global model on fixed pools.
+
+        The evaluation components are rebuilt deterministically from the
+        base config (their RngRegistry is independent of every device),
+        and ``knn_predict`` draws no RNG — so this readout never
+        perturbs checkpoint/resume or serial/parallel bitwiseness.
+        """
+        assert self._global_state is not None
+        if self._eval_pool is None:
+            with use_backend(self._base_config.backend):
+                comp = build_components(self._base_config)
+                train_x, train_y = comp.dataset.make_split(
+                    self._base_config.probe_train_per_class,
+                    comp.rngs.get("probe-train-pool"),
+                )
+                test_x, test_y = comp.dataset.make_split(
+                    self._base_config.probe_test_per_class,
+                    comp.rngs.get("probe-test-pool"),
+                )
+            self._eval_pool = (comp, train_x, train_y, test_x, test_y)
+        comp, train_x, train_y, test_x, test_y = self._eval_pool
+        comp.encoder.load_state_dict(
+            {
+                key[len("encoder/") :]: value
+                for key, value in self._global_state.items()
+                if key.startswith("encoder/")
+            }
+        )
+        comp.projector.load_state_dict(
+            {
+                key[len("projector/") :]: value
+                for key, value in self._global_state.items()
+                if key.startswith("projector/")
+            }
+        )
+        with use_backend(self._base_config.backend):
+            accuracy = KnnProbe(comp.encoder).score(
+                train_x,
+                train_y,
+                test_x,
+                test_y,
+                num_classes=comp.dataset.num_classes,
+            )
+        return float(accuracy)
+
+    def result(self) -> FleetRunResult:
+        """The cumulative run outcome (requires >= 1 completed round)."""
+        if not self._history:
+            raise RuntimeError("no rounds have run yet: call run() first")
+        device_results = [
+            StreamRunResult.from_dict(payload)
+            for payload in self._last_results
+            if payload is not None
+        ]
+        return FleetRunResult(
+            config=self.config,
+            aggregator=self.aggregator_name,
+            device_names=self.device_names,
+            rounds=list(self._history),
+            device_results=device_results,
+            final_global_knn_accuracy=self._history[-1].global_knn_accuracy,
+        )
+
+    # -- checkpoint / resume --------------------------------------------
+    def state_dict(self) -> Dict[str, Any]:
+        """The full fleet state: coordinator counters, aggregator state,
+        the global model, and every device's Session state.
+
+        Restoring it (:meth:`load_state_dict` / :meth:`resume`) and
+        running the remaining rounds is bitwise-identical to an
+        uninterrupted run.
+        """
+        arrays: Dict[str, np.ndarray] = {}
+        for i, state in enumerate(self._device_states):
+            if state is None:
+                continue
+            for key, value in state["learner"].items():
+                arrays[f"device{i}/{key}"] = value
+        if self._global_state is not None:
+            for key, value in self._global_state.items():
+                arrays[f"global/{key}"] = value
+        for key, value in self._aggregator.state_dict().items():
+            arrays[f"aggregator/{key}"] = value
+        meta = {
+            "version": FLEET_CHECKPOINT_VERSION,
+            "config": config_to_dict(self.config),
+            "eval_points": self._eval_points,
+            "label_fraction": self._label_fraction,
+            "round": self._round,
+            "seen": list(self._seen),
+            "history": [stats.to_dict() for stats in self._history],
+            "device_results": list(self._last_results),
+            "device_meta": [
+                state["meta"] if state is not None else None
+                for state in self._device_states
+            ],
+            "has_global": self._global_state is not None,
+        }
+        return {"meta": meta, "arrays": arrays}
+
+    def load_state_dict(self, state: Dict[str, Any]) -> None:
+        """Restore the exact state written by :meth:`state_dict`."""
+        meta = state["meta"]
+        version = meta.get("version")
+        if version != FLEET_CHECKPOINT_VERSION:
+            raise ValueError(
+                f"unsupported fleet checkpoint version {version!r} "
+                f"(this build reads version {FLEET_CHECKPOINT_VERSION})"
+            )
+        config = config_from_dict(meta["config"])
+        if config != self.config:
+            raise ValueError(
+                "fleet checkpoint was written for a different config; "
+                "construct the coordinator from the checkpoint "
+                "(FleetCoordinator.resume) or with the matching config"
+            )
+        arrays = state["arrays"]
+        num = len(self._plans)
+        self._round = int(meta["round"])
+        self._seen = [int(v) for v in meta["seen"]]
+        self._history = [
+            FleetRoundStats.from_dict(entry) for entry in meta["history"]
+        ]
+        self._last_results = [
+            dict(entry) if entry is not None else None
+            for entry in meta["device_results"]
+        ]
+        self._device_states = []
+        for i in range(num):
+            device_meta = meta["device_meta"][i]
+            if device_meta is None:
+                self._device_states.append(None)
+                continue
+            prefix = f"device{i}/"
+            learner = {
+                key[len(prefix) :]: np.asarray(value).copy()
+                for key, value in arrays.items()
+                if key.startswith(prefix)
+            }
+            self._device_states.append({"meta": device_meta, "learner": learner})
+        if meta["has_global"]:
+            self._global_state = {
+                key[len("global/") :]: np.asarray(value).copy()
+                for key, value in arrays.items()
+                if key.startswith("global/")
+            }
+        else:
+            self._global_state = None
+        self._aggregator.load_state_dict(
+            {
+                key[len("aggregator/") :]: np.asarray(value).copy()
+                for key, value in arrays.items()
+                if key.startswith("aggregator/")
+            }
+        )
+        self._eval_pool = None  # rebuilt deterministically on demand
+
+    def save_checkpoint(self, path: str) -> str:
+        """Write the fleet state to ``path`` (a single ``.npz``)."""
+        if not path.endswith(".npz"):
+            path += ".npz"  # np.savez would append it silently otherwise
+        state = self.state_dict()
+        directory = os.path.dirname(os.path.abspath(path))
+        os.makedirs(directory, exist_ok=True)
+        np.savez(path, meta=np.array(json.dumps(state["meta"])), **state["arrays"])
+        return path
+
+    @classmethod
+    def resume(
+        cls,
+        path: str,
+        *,
+        workers: int = 1,
+        start_method: Optional[str] = None,
+    ) -> "FleetCoordinator":
+        """Rebuild a coordinator from :meth:`save_checkpoint` output;
+        :meth:`run` continues the remaining rounds bitwise-identically.
+
+        ``workers`` is an execution choice, not state, so it is chosen
+        fresh at resume time (parallelism never changes results).
+        """
+        if not path.endswith(".npz"):
+            path += ".npz"  # mirror save_checkpoint's normalization
+        with np.load(path, allow_pickle=False) as archive:
+            meta = json.loads(str(archive["meta"]))
+            arrays = {
+                key: archive[key].copy() for key in archive.files if key != "meta"
+            }
+        version = meta.get("version")
+        if version != FLEET_CHECKPOINT_VERSION:
+            raise ValueError(
+                f"unsupported fleet checkpoint version {version!r} "
+                f"(this build reads version {FLEET_CHECKPOINT_VERSION})"
+            )
+        coordinator = cls(
+            config_from_dict(meta["config"]),
+            eval_points=int(meta["eval_points"]),
+            label_fraction=float(meta["label_fraction"]),
+            workers=workers,
+            start_method=start_method,
+        )
+        coordinator.load_state_dict({"meta": meta, "arrays": arrays})
+        return coordinator

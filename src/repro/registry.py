@@ -2,7 +2,8 @@
 
 Every pluggable ingredient of the framework (replacement policies,
 dataset recipes, encoder architectures, augmentation pipelines, array
-execution backends, stream scenarios) is registered by name in one of
+execution backends, stream scenarios, fleet model aggregators) is
+registered by name in one of
 the module-level registries below.  New
 components plug in with a decorator and zero edits to ``repro``
 internals::
@@ -46,12 +47,14 @@ __all__ = [
     "AUGMENTS",
     "BACKENDS",
     "SCENARIOS",
+    "AGGREGATORS",
     "register_policy",
     "register_dataset",
     "register_encoder",
     "register_augment",
     "register_backend",
     "register_scenario",
+    "register_aggregator",
     "create_policy",
     "canonical_policy_names",
     "policy_names",
@@ -61,6 +64,7 @@ __all__ = [
     "augment_names",
     "backend_names",
     "scenario_names",
+    "aggregator_names",
 ]
 
 #: Valid component names: lowercase kebab-case, digits allowed.
@@ -377,12 +381,17 @@ def _ensure_scenarios() -> None:
     import repro.data.scenarios  # noqa: F401  (registers the built-in streams)
 
 
+def _ensure_aggregators() -> None:
+    import repro.fleet.aggregators  # noqa: F401  (registers the built-in rules)
+
+
 POLICIES = Registry("policy", ensure=_ensure_policies)
 DATASETS = Registry("dataset", ensure=_ensure_datasets)
 ENCODERS = Registry("encoder", ensure=_ensure_encoders)
 AUGMENTS = Registry("augment", ensure=_ensure_augments)
 BACKENDS = Registry("backend", ensure=_ensure_backends)
 SCENARIOS = Registry("scenario", ensure=_ensure_scenarios)
+AGGREGATORS = Registry("aggregator", ensure=_ensure_aggregators)
 
 register_policy = POLICIES.register
 register_dataset = DATASETS.register
@@ -390,6 +399,7 @@ register_encoder = ENCODERS.register
 register_augment = AUGMENTS.register
 register_backend = BACKENDS.register
 register_scenario = SCENARIOS.register
+register_aggregator = AGGREGATORS.register
 
 
 def create_policy(
@@ -473,3 +483,8 @@ def backend_names() -> List[str]:
 def scenario_names() -> List[str]:
     """Sorted names of all registered stream scenarios."""
     return SCENARIOS.names()
+
+
+def aggregator_names() -> List[str]:
+    """Sorted names of all registered fleet model aggregators."""
+    return AGGREGATORS.names()

@@ -131,15 +131,21 @@ def config_to_dict(config: StreamExperimentConfig) -> Dict[str, Any]:
     """A JSON-serializable dict round-trippable via :func:`config_from_dict`."""
     out = asdict(config)
     out["encoder_widths"] = list(out["encoder_widths"])
+    # asdict() flattens the nested FleetConfig/DeviceSpec dataclasses but
+    # keeps the devices tuple; normalize to the strict-JSON shape.
+    out["fleet"] = config.fleet.to_dict() if config.fleet is not None else None
     return out
 
 
 def config_from_dict(data: Dict[str, Any]) -> StreamExperimentConfig:
     """Inverse of :func:`config_to_dict`."""
     from repro.experiments.config import StreamExperimentConfig
+    from repro.fleet.spec import FleetConfig
 
     data = dict(data)
     data["encoder_widths"] = tuple(data["encoder_widths"])
+    if data.get("fleet") is not None:
+        data["fleet"] = FleetConfig.from_dict(data["fleet"])
     return StreamExperimentConfig(**data)
 
 
@@ -593,17 +599,19 @@ class Session:
         return result
 
     # -- checkpoint / resume --------------------------------------------
-    def save_checkpoint(self, path: Optional[str] = None) -> str:
-        """Write the live run state to ``path`` (a single ``.npz``).
+    def state_dict(self) -> Dict[str, Any]:
+        """The live run state as an in-memory checkpoint.
 
-        Only meaningful during or after :meth:`run` (the learner must
-        exist).  Returns the path written.
+        Returns ``{"meta": <JSON-serializable dict>, "learner":
+        {name: ndarray}}`` — exactly the content
+        :meth:`save_checkpoint` persists, without touching disk.  A
+        session rebuilt from it (:meth:`from_state_dict` /
+        :meth:`load_state_dict`) continues the run with
+        bitwise-identical step statistics; the fleet coordinator uses
+        this to carry per-device state across rounds and process
+        boundaries.  Only meaningful during or after :meth:`run` (the
+        learner must exist).
         """
-        path = path if path is not None else self._checkpoint_path
-        if path is None:
-            raise ValueError("no checkpoint path: pass one or use with_checkpointing")
-        if not path.endswith(".npz"):
-            path += ".npz"  # np.savez would append it silently otherwise
         if self._learner is None or self._components is None or self._stream is None:
             raise RuntimeError("nothing to checkpoint: run() has not started")
 
@@ -637,13 +645,72 @@ class Session:
                 else 0.0
             ),
         }
+        return {"meta": meta, "learner": self._learner.state_dict()}
+
+    def load_state_dict(self, state: Dict[str, Any]) -> None:
+        """Point this session at a state written by :meth:`state_dict`.
+
+        Replaces the config, policy selection, and run options with the
+        checkpointed ones; the next :meth:`run` call continues the
+        original run bitwise-identically.
+        """
+        meta = state["meta"]
+        version = meta.get("version")
+        if version != CHECKPOINT_VERSION:
+            raise ValueError(
+                f"unsupported checkpoint version {version!r} "
+                f"(this build reads version {CHECKPOINT_VERSION})"
+            )
+        self.config = config_from_dict(meta["config"])
+        self._policy_name = meta["policy"]
+        self._eval_points = int(meta["eval_points"])
+        self._label_fraction = float(meta["label_fraction"])
+        self._lazy_interval = meta["lazy_interval"]
+        self._score_momentum = float(meta["score_momentum"])
+        self._checkpoint_every = meta.get("checkpoint_every")
+        self._resume_state = {
+            "meta": meta,
+            "learner": {
+                key: np.asarray(value).copy()
+                for key, value in state["learner"].items()
+            },
+        }
+
+    @classmethod
+    def from_state_dict(cls, state: Dict[str, Any]) -> "Session":
+        """A fresh session continuing the run captured by
+        :meth:`state_dict` (the in-memory analogue of :meth:`resume`)."""
+        meta = state["meta"]
+        version = meta.get("version")
+        if version != CHECKPOINT_VERSION:
+            # Checked before the config parse: an incompatible layout
+            # must fail with the version message, not a config error.
+            raise ValueError(
+                f"unsupported checkpoint version {version!r} "
+                f"(this build reads version {CHECKPOINT_VERSION})"
+            )
+        session = cls(config_from_dict(meta["config"]), policy=meta["policy"])
+        session.load_state_dict(state)
+        return session
+
+    def save_checkpoint(self, path: Optional[str] = None) -> str:
+        """Write the live run state to ``path`` (a single ``.npz``).
+
+        Only meaningful during or after :meth:`run` (the learner must
+        exist).  Returns the path written.
+        """
+        path = path if path is not None else self._checkpoint_path
+        if path is None:
+            raise ValueError("no checkpoint path: pass one or use with_checkpointing")
+        if not path.endswith(".npz"):
+            path += ".npz"  # np.savez would append it silently otherwise
+        state = self.state_dict()
         arrays = {
-            f"learner/{key}": value
-            for key, value in self._learner.state_dict().items()
+            f"learner/{key}": value for key, value in state["learner"].items()
         }
         directory = os.path.dirname(os.path.abspath(path))
         os.makedirs(directory, exist_ok=True)
-        np.savez(path, meta=np.array(json.dumps(meta)), **arrays)
+        np.savez(path, meta=np.array(json.dumps(state["meta"])), **arrays)
         return path
 
     @classmethod
@@ -660,20 +727,8 @@ class Session:
                 for key in archive.files
                 if key.startswith("learner/")
             }
-        version = meta.get("version")
-        if version != CHECKPOINT_VERSION:
-            raise ValueError(
-                f"unsupported checkpoint version {version!r} "
-                f"(this build reads version {CHECKPOINT_VERSION})"
-            )
-        session = cls(config_from_dict(meta["config"]), policy=meta["policy"])
-        session._eval_points = int(meta["eval_points"])
-        session._label_fraction = float(meta["label_fraction"])
-        session._lazy_interval = meta["lazy_interval"]
-        session._score_momentum = float(meta["score_momentum"])
+        session = cls.from_state_dict({"meta": meta, "learner": arrays})
         session._checkpoint_path = path
-        session._checkpoint_every = meta.get("checkpoint_every")
-        session._resume_state = {"meta": meta, "learner": arrays}
         return session
 
     def _apply_resume_state(

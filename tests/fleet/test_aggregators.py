@@ -1,0 +1,220 @@
+"""Aggregation rules: registry semantics, update-rule math, identity
+guarantees, and state round trips."""
+
+import numpy as np
+import pytest
+
+from repro.fleet.aggregators import (
+    Aggregator,
+    DeviceRoundReport,
+    create_aggregator,
+    weighted_mean_state,
+)
+from repro.registry import AGGREGATORS, UnknownComponentError, register_aggregator
+
+
+def report(name, arrays, weight=1.0, knn=0.5):
+    return DeviceRoundReport(
+        device=name, model_state=arrays, weight=weight, knn_accuracy=knn
+    )
+
+
+def toy(values, dtype=np.float32):
+    return {"encoder/w": np.asarray(values, dtype=dtype)}
+
+
+class TestRegistry:
+    def test_builtins_registered(self):
+        assert set(AGGREGATORS.names()) >= {
+            "fedavg",
+            "fedavg-momentum",
+            "best-of",
+            "local-only",
+        }
+
+    def test_aliases_resolve(self):
+        assert AGGREGATORS.get("avg").name == "fedavg"
+        assert AGGREGATORS.get("fedavgm").name == "fedavg-momentum"
+        assert AGGREGATORS.get("best").name == "best-of"
+        assert AGGREGATORS.get("no-sync").name == "local-only"
+
+    def test_did_you_mean(self):
+        with pytest.raises(UnknownComponentError, match="did you mean 'fedavg'"):
+            AGGREGATORS.get("fedavgg")
+
+    def test_create_rejects_unknown_option(self):
+        with pytest.raises(TypeError, match="does not accept"):
+            create_aggregator("fedavg", beta=0.5)
+
+    def test_create_accepts_factory_option(self):
+        rule = create_aggregator("fedavg-momentum", beta=0.5)
+        assert rule.beta == 0.5
+
+    def test_create_type_checks(self):
+        @register_aggregator("not-an-aggregator-test")
+        def bad():
+            return object()
+
+        try:
+            with pytest.raises(TypeError, match="expected"):
+                create_aggregator("not-an-aggregator-test")
+        finally:
+            AGGREGATORS.unregister("not-an-aggregator-test")
+
+    def test_plugin_rule_usable(self):
+        @register_aggregator("plugin-mean-test")
+        class PluginMean(Aggregator):
+            def aggregate(self, global_state, reports):
+                return weighted_mean_state(reports)
+
+        try:
+            rule = create_aggregator("plugin-mean-test")
+            out = rule.aggregate(None, [report("d0", toy([2.0]))])
+            assert out["encoder/w"] == np.float32(2.0)
+        finally:
+            AGGREGATORS.unregister("plugin-mean-test")
+
+
+class TestWeightedMean:
+    def test_weighted_average(self):
+        out = weighted_mean_state(
+            [
+                report("d0", toy([0.0]), weight=1.0),
+                report("d1", toy([3.0]), weight=3.0),
+            ]
+        )
+        np.testing.assert_allclose(out["encoder/w"], [2.25])
+
+    def test_single_report_is_bitwise_identity(self):
+        values = np.array([0.1, -1.7, 3.3e-7], dtype=np.float32)
+        out = weighted_mean_state([report("d0", {"encoder/w": values})])
+        assert out["encoder/w"].dtype == np.float32
+        assert np.array_equal(
+            out["encoder/w"].view(np.uint32), values.view(np.uint32)
+        )
+
+    def test_zero_weights_fall_back_to_uniform(self):
+        out = weighted_mean_state(
+            [
+                report("d0", toy([0.0]), weight=0.0),
+                report("d1", toy([4.0]), weight=0.0),
+            ]
+        )
+        np.testing.assert_allclose(out["encoder/w"], [2.0])
+
+    def test_mismatched_keys_rejected(self):
+        with pytest.raises(ValueError, match="share one"):
+            weighted_mean_state(
+                [
+                    report("d0", {"encoder/w": np.zeros(1, np.float32)}),
+                    report("d1", {"encoder/b": np.zeros(1, np.float32)}),
+                ]
+            )
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError, match="at least one"):
+            weighted_mean_state([])
+
+    def test_preserves_dtype(self):
+        out = weighted_mean_state(
+            [report("d0", toy([1.0], dtype=np.float64), weight=2.0)]
+        )
+        assert out["encoder/w"].dtype == np.float64
+
+
+class TestFedAvgMomentum:
+    def test_first_aggregation_bootstraps_to_average(self):
+        rule = create_aggregator("fedavg-momentum", beta=0.5)
+        out = rule.aggregate(None, [report("d0", toy([2.0]))])
+        np.testing.assert_allclose(out["encoder/w"], [2.0])
+
+    def test_update_rule(self):
+        rule = create_aggregator("fedavg-momentum", beta=0.5)
+        g1 = rule.aggregate(None, [report("d0", toy([2.0]))])
+        # round 2: avg=4 -> delta=2, v=0.5*0+2=2, g=2+2=4
+        g2 = rule.aggregate(g1, [report("d0", toy([4.0]))])
+        np.testing.assert_allclose(g2["encoder/w"], [4.0])
+        # round 3: avg=4 -> delta=0, v=0.5*2+0=1, g=4+1=5 (momentum overshoots)
+        g3 = rule.aggregate(g2, [report("d0", toy([4.0]))])
+        np.testing.assert_allclose(g3["encoder/w"], [5.0])
+
+    def test_state_round_trip_continues_bitwise(self):
+        a = create_aggregator("fedavg-momentum", beta=0.9)
+        b = create_aggregator("fedavg-momentum", beta=0.9)
+        g1 = a.aggregate(None, [report("d0", toy([2.0]))])
+        b.aggregate(None, [report("d0", toy([2.0]))])
+        b.load_state_dict(a.state_dict())
+        ga = a.aggregate(g1, [report("d0", toy([7.0]))])
+        gb = b.aggregate(g1, [report("d0", toy([7.0]))])
+        assert np.array_equal(ga["encoder/w"], gb["encoder/w"])
+
+    def test_empty_state_means_fresh(self):
+        rule = create_aggregator("fedavg-momentum")
+        rule.load_state_dict({})
+        assert rule.state_dict() == {}
+
+    def test_rejects_bad_beta(self):
+        with pytest.raises(ValueError, match="beta"):
+            create_aggregator("fedavg-momentum", beta=1.0)
+
+    def test_bn_statistics_are_averaged_not_extrapolated(self):
+        """running_var must never go negative: momentum applies to
+        parameters only, statistics take the plain weighted mean."""
+        rule = create_aggregator("fedavg-momentum", beta=0.9)
+
+        def model(weight, var):
+            return {
+                "encoder/stem_bn.gamma": np.asarray([weight], dtype=np.float32),
+                "encoder/stem_bn.running_var": np.asarray([var], dtype=np.float32),
+            }
+
+        g = rule.aggregate(None, [report("d0", model(2.0, 1.0))])
+        # shrinking variance across rounds: extrapolation would
+        # overshoot below zero, the plain average cannot
+        for var in (0.5, 0.1, 0.01, 0.01):
+            g = rule.aggregate(g, [report("d0", model(2.0, var))])
+            assert g["encoder/stem_bn.running_var"][0] == np.float32(var)
+        assert all(
+            not rule._is_statistic(key) for key in rule.state_dict()
+        )
+
+
+class TestBestOf:
+    def test_picks_highest_accuracy(self):
+        rule = create_aggregator("best-of")
+        out = rule.aggregate(
+            None,
+            [
+                report("d0", toy([1.0]), knn=0.2),
+                report("d1", toy([2.0]), knn=0.9),
+                report("d2", toy([3.0]), knn=0.5),
+            ],
+        )
+        np.testing.assert_allclose(out["encoder/w"], [2.0])
+
+    def test_tie_goes_to_lowest_index(self):
+        rule = create_aggregator("best-of")
+        out = rule.aggregate(
+            None,
+            [report("d0", toy([1.0]), knn=0.5), report("d1", toy([2.0]), knn=0.5)],
+        )
+        np.testing.assert_allclose(out["encoder/w"], [1.0])
+
+    def test_returns_copies(self):
+        rule = create_aggregator("best-of")
+        source = toy([1.0])
+        out = rule.aggregate(None, [report("d0", source)])
+        out["encoder/w"][0] = 99.0
+        assert source["encoder/w"][0] == 1.0
+
+
+class TestLocalOnly:
+    def test_never_synchronizes(self):
+        rule = create_aggregator("local-only")
+        assert rule.aggregate(None, [report("d0", toy([1.0]))]) is None
+
+    def test_stateless_rejects_foreign_state(self):
+        rule = create_aggregator("local-only")
+        rule.load_state_dict({})
+        with pytest.raises(ValueError, match="stateless"):
+            rule.load_state_dict({"velocity/x": np.zeros(1)})

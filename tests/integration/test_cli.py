@@ -25,6 +25,7 @@ class TestCliRegistry:
             "stream",
             "multi-seed",
             "scenario-sweep",
+            "fleet",
         }
         assert set(EXPERIMENTS) == expected
 
@@ -223,6 +224,60 @@ class TestScenarioFlag:
         assert "temporal" in out  # alias resolved to the canonical row
         assert "fifo" in out
         assert "robustness gap" in out
+
+
+class TestFleetFlags:
+    @pytest.mark.parametrize("flag", ["--aggregator", "--devices", "--rounds"])
+    def test_fleet_flags_rejected_outside_fleet(self, capsys, flag):
+        value = "fedavg" if flag == "--aggregator" else "2"
+        with pytest.raises(SystemExit):
+            main(["stream", flag, value])
+        assert f"does not take {flag}" in capsys.readouterr().err
+
+    def test_unknown_aggregator_rejected_with_suggestion(self, capsys):
+        with pytest.raises(SystemExit):
+            main(["fleet", "--aggregator", "fedav"])
+        captured = capsys.readouterr()
+        assert "unknown aggregator" in captured.err
+        assert "did you mean" in captured.err
+
+    @pytest.mark.parametrize("flag", ["--devices", "--rounds"])
+    def test_fleet_counts_must_be_positive(self, capsys, flag):
+        with pytest.raises(SystemExit):
+            main(["fleet", flag, "0"])
+        assert f"{flag} must be >= 1" in capsys.readouterr().err
+
+    def test_list_shows_aggregators(self, capsys):
+        code = main(["--list"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "aggregators:" in out
+        assert "fedavg" in out and "fedavg-momentum" in out
+        assert "best-of" in out and "local-only" in out
+        assert "Sample-weighted parameter averaging" in out
+
+    def test_fleet_runs_with_alias_and_workers(self, capsys, monkeypatch):
+        """`fleet` honors aggregator aliases, --devices/--rounds, and
+        fans rounds over --workers."""
+        _tiny(monkeypatch)
+        code = main(
+            [
+                "fleet",
+                "--devices",
+                "2",
+                "--rounds",
+                "2",
+                "--aggregator",
+                "avg",
+                "--workers",
+                "2",
+            ]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "aggregator=fedavg devices=2 rounds=2" in out
+        assert "fleet-vs-single-device gap" in out
+        assert "device0" in out and "device1" in out
 
 
 class TestBackendFlag:

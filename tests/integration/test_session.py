@@ -170,6 +170,30 @@ class TestCheckpointResume:
         assert resumed.final_accuracy == full.final_accuracy
         assert resumed.rescoring_fraction == full.rescoring_fraction
 
+    def test_in_memory_state_dict_resume_is_bitwise(self, tiny_config):
+        """state_dict/from_state_dict continue a run without touching
+        disk, bitwise-identically (the fleet engine's device path)."""
+        from repro.experiments.parallel import result_fingerprint
+
+        full = Session(tiny_config, "contrast-scoring").with_eval_points(3).run()
+        part = Session(tiny_config, "contrast-scoring").with_eval_points(3)
+        part.run(stop_after=4)
+        state = part.state_dict()
+        resumed = Session.from_state_dict(state).run()
+        assert result_fingerprint(resumed) == result_fingerprint(full)
+
+    def test_state_dict_before_run_raises(self, tiny_config):
+        with pytest.raises(RuntimeError, match="nothing to checkpoint"):
+            Session(tiny_config, "fifo").state_dict()
+
+    def test_from_state_dict_rejects_bad_version(self, tiny_config):
+        session = Session(tiny_config, "fifo").with_eval_points(1)
+        session.run(stop_after=1)
+        state = session.state_dict()
+        state["meta"]["version"] = 99
+        with pytest.raises(ValueError, match="version"):
+            Session.from_state_dict(state)
+
     def test_wall_seconds_accumulates_across_resume(self, tiny_config, tmp_path):
         part = Session(tiny_config, "fifo").with_eval_points(1)
         partial = part.run(stop_after=4)

@@ -45,6 +45,27 @@ def test_checker_detects_missing_name(checker, monkeypatch):
     assert any("SCENARIOS.md" in p for p in problems)
 
 
+def test_checker_detects_missing_aggregator(checker):
+    """Both directions for the AGGREGATORS registry too: an
+    undocumented aggregator surfaces in the docs/API.md inventory and
+    as a missing docs/FLEET.md section."""
+    from repro.registry import register_aggregator, AGGREGATORS
+    from repro.fleet.aggregators import Aggregator
+
+    @register_aggregator("undocumented-agg-test")
+    class Undocumented(Aggregator):
+        def aggregate(self, global_state, reports):
+            return None
+
+    try:
+        problems = checker.check()
+    finally:
+        AGGREGATORS.unregister("undocumented-agg-test")
+    assert any("undocumented-agg-test" in p for p in problems)
+    assert any("inventory" in p and "undocumented-agg-test" in p for p in problems)
+    assert any("FLEET.md" in p and "undocumented-agg-test" in p for p in problems)
+
+
 def test_inventory_parser_reads_backticked_names(checker):
     inventories = checker.parse_inventories(
         "x <!-- inventory:backends -->`numpy` and `fused`<!-- /inventory --> y"

@@ -3,12 +3,16 @@
 Asserts, in both directions:
 
 * every experiment id (``repro.cli.EXPERIMENTS``), backend
-  (``BACKENDS``), and scenario (``SCENARIOS``) appears in the matching
+  (``BACKENDS``), scenario (``SCENARIOS``), and aggregator
+  (``AGGREGATORS``) appears in the matching
   ``<!-- inventory:KIND -->`` block of docs/API.md, and every name
   listed there is actually registered;
 * every registered scenario has a ``## `name` `` section in
   docs/SCENARIOS.md, and every such section names a registered
-  scenario.
+  scenario;
+* every registered aggregator has a ``## `name` `` section in
+  docs/FLEET.md, and every such section names a registered
+  aggregator.
 
 Run from the repo root (CI does)::
 
@@ -27,12 +31,14 @@ from typing import Dict, List, Set
 ROOT = pathlib.Path(__file__).resolve().parent.parent
 API_MD = ROOT / "docs" / "API.md"
 SCENARIOS_MD = ROOT / "docs" / "SCENARIOS.md"
+FLEET_MD = ROOT / "docs" / "FLEET.md"
 
 INVENTORY_RE = re.compile(
     r"<!--\s*inventory:([a-z-]+)\s*-->(.*?)<!--\s*/inventory\s*-->", re.S
 )
 BACKTICKED_RE = re.compile(r"`([a-z0-9]+(?:-[a-z0-9]+)*)`")
-SCENARIO_SECTION_RE = re.compile(r"^## `([a-z0-9-]+)`", re.M)
+SECTION_RE = re.compile(r"^## `([a-z0-9-]+)`", re.M)
+SCENARIO_SECTION_RE = SECTION_RE  # kept: pre-fleet name of the pattern
 
 
 def parse_inventories(text: str) -> Dict[str, Set[str]]:
@@ -46,12 +52,13 @@ def parse_inventories(text: str) -> Dict[str, Set[str]]:
 def registered_names() -> Dict[str, Set[str]]:
     """The live registry contents the docs must mirror."""
     from repro.cli import EXPERIMENTS
-    from repro.registry import BACKENDS, SCENARIOS
+    from repro.registry import AGGREGATORS, BACKENDS, SCENARIOS
 
     return {
         "experiments": set(EXPERIMENTS),
         "backends": set(BACKENDS.names()),
         "scenarios": set(SCENARIOS.names()),
+        "aggregators": set(AGGREGATORS.names()),
     }
 
 
@@ -78,19 +85,33 @@ def check() -> List[str]:
                 "but not registered"
             )
 
-    scenario_text = SCENARIOS_MD.read_text()
-    sections = set(SCENARIO_SECTION_RE.findall(scenario_text))
-    from repro.registry import SCENARIOS
+    from repro.registry import AGGREGATORS, SCENARIOS
 
-    registered_scenarios = set(SCENARIOS.names())
-    for name in sorted(registered_scenarios - sections):
+    problems += _check_sections(
+        SCENARIOS_MD, "scenario", set(SCENARIOS.names())
+    )
+    problems += _check_sections(
+        FLEET_MD, "aggregator", set(AGGREGATORS.names())
+    )
+    return problems
+
+
+def _check_sections(
+    doc: pathlib.Path, kind: str, registered: Set[str]
+) -> List[str]:
+    """Per-component ``## `name` `` sections must mirror a registry."""
+    problems: List[str] = []
+    if not doc.exists():
+        return [f"{doc.relative_to(ROOT)} is missing"]
+    sections = set(SECTION_RE.findall(doc.read_text()))
+    for name in sorted(registered - sections):
         problems.append(
-            f"scenario {name!r} is registered but has no '## `{name}`' "
-            "section in docs/SCENARIOS.md"
+            f"{kind} {name!r} is registered but has no '## `{name}`' "
+            f"section in {doc.relative_to(ROOT)}"
         )
-    for name in sorted(sections - registered_scenarios):
+    for name in sorted(sections - registered):
         problems.append(
-            f"docs/SCENARIOS.md documents scenario {name!r}, which is "
+            f"{doc.relative_to(ROOT)} documents {kind} {name!r}, which is "
             "not registered"
         )
     return problems
