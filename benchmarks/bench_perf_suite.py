@@ -21,6 +21,11 @@ beat (ROADMAP: "fast as the hardware allows"):
    (:mod:`repro.fleet`), serial vs. ``--workers`` fan-out of the
    per-round device jobs, with the bitwise serial/parallel agreement
    recorded.
+7. **serve** — the micro-batching scoring service (:mod:`repro.serve`):
+   sustained samples/sec and p99 latency of a concurrent request
+   stream, micro-batched vs. request-at-a-time throughput, cache-cold
+   vs. cache-warm repeat scoring, and the bitwise replay-determinism
+   contract (``decisions_identical``).
 
 Honors ``REPRO_BENCH_SCALE`` (stream lengths and repeat counts) and
 ``REPRO_BENCH_SEED``.  Run from anywhere::
@@ -59,7 +64,7 @@ from repro.nn.im2col import default_workspace
 from repro.nn.tensor import Tensor, no_grad
 from repro.session import Session, build_components
 
-BENCH_VERSION = 3
+BENCH_VERSION = 4
 
 
 def _time(fn: Callable[[], object], repeats: int, warmup: int = 1) -> Dict[str, float]:
@@ -291,6 +296,125 @@ def bench_fleet(scale: float, seed: int, workers: int = 4) -> Dict[str, object]:
     }
 
 
+def bench_serve(scale: float, seed: int) -> Dict[str, object]:
+    """Micro-batching scoring service vs request-at-a-time serving.
+
+    Two uncached servers that differ only in ``max_batch`` score the
+    same request stream: one micro-batches a concurrent stream
+    (``score_stream``), the other handles it request-at-a-time
+    (``score_sequential``, every forward a batch of one).  Both get a
+    warmup pass and best-of timing, so ``batched_speedup`` is the
+    batching benefit alone.  A third, cached server measures the
+    cache-cold pass vs the fully warm repeat (``warm_speedup``), and
+    re-running its stream on a freshly built server must reproduce
+    every decision fingerprint bitwise (``decisions_identical``).
+    """
+    import asyncio
+
+    from repro.fleet.coordinator import MODEL_PREFIXES
+    from repro.serve import EmbeddingCache, InprocClient, ModelRegistry, ScoringServer
+
+    config = default_config(seed=seed)
+    comp = build_components(config)
+    rng = comp.rngs.get("bench-serve")
+    requests = max(64, int(round(256 * scale)))
+    max_batch = 32
+    repeats = 3
+    labels = rng.integers(0, comp.dataset.num_classes, size=requests)
+    images = comp.dataset.sample(labels, rng)
+    samples = list(images)
+
+    models = ModelRegistry()
+    state = {}
+    for prefix, module in zip(MODEL_PREFIXES, (comp.scorer.encoder, comp.scorer.projector)):
+        for key, value in module.state_dict().items():
+            state[prefix + key] = value
+    models.publish(state, source="bench")
+
+    def make_server(**overrides):
+        fresh = build_components(config)
+        kwargs = dict(
+            max_batch=max_batch,
+            max_wait_ms=0.0,  # drain opportunistically; no straggler wait
+            queue_depth=requests,
+            cache=None,
+        )
+        kwargs.update(overrides)
+        return ScoringServer(fresh.scorer, models, **kwargs)
+
+    def best_of(server, method_name):
+        """Warmup pass + best-of-``repeats`` wall time of one stream pass."""
+
+        async def drive():
+            async with server:
+                client = InprocClient(server)
+                method = getattr(client, method_name)
+                await method(samples)  # warmup (BLAS, im2col workspaces)
+                best = None
+                for _ in range(repeats):
+                    t0 = time.perf_counter()
+                    await method(samples)
+                    elapsed = time.perf_counter() - t0
+                    best = elapsed if best is None else min(best, elapsed)
+                return best
+
+        return asyncio.run(drive())
+
+    unbatched_s = best_of(make_server(max_batch=1), "score_sequential")
+    batched_s = best_of(make_server(), "score_stream")
+
+    # cache-cold pass vs the fully warm repeat, on a cached server
+    server = make_server(cache=EmbeddingCache(2 * requests))
+
+    async def cold_and_warm():
+        async with server:
+            client = InprocClient(server)
+            t0 = time.perf_counter()
+            cold = await client.score_stream(samples)
+            cold_s = time.perf_counter() - t0
+            warm, warm_s = None, None
+            for _ in range(repeats):  # repeats never invalidate the cache
+                t0 = time.perf_counter()
+                warm = await client.score_stream(samples)
+                elapsed = time.perf_counter() - t0
+                warm_s = elapsed if warm_s is None else min(warm_s, elapsed)
+            return cold, cold_s, warm, warm_s
+
+    cold, cold_s, warm, warm_s = asyncio.run(cold_and_warm())
+    stats = server.stats()
+    latencies = np.asarray([d.latency_ms for d in cold])
+
+    # determinism: the identical stream on a freshly built cached server
+    # must reproduce every decision bitwise (scores, verdicts, versions)
+    async def replay_stream(replay_server):
+        async with replay_server:
+            return await InprocClient(replay_server).score_stream(samples)
+
+    replay = asyncio.run(replay_stream(make_server(cache=EmbeddingCache(2 * requests))))
+    decisions_identical = [d.fingerprint() for d in cold] == [
+        d.fingerprint() for d in replay
+    ]
+
+    return {
+        "requests": requests,
+        "max_batch": max_batch,
+        "unbatched_s": unbatched_s,
+        "unbatched_samples_per_s": requests / unbatched_s,
+        "batched_s": batched_s,
+        "batched_samples_per_s": requests / batched_s,
+        "batched_speedup": unbatched_s / batched_s,
+        "p50_ms": float(np.percentile(latencies, 50)),
+        "p99_ms": float(np.percentile(latencies, 99)),
+        "mean_batch": stats["mean_batch"],
+        "cold_s": cold_s,
+        "warm_s": warm_s,
+        "warm_samples_per_s": requests / warm_s,
+        "warm_speedup": cold_s / warm_s,
+        "warm_all_hits": all(d.cache_hit for d in warm),
+        "decisions_identical": decisions_identical,
+    }
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument(
@@ -311,10 +435,11 @@ def main(argv=None) -> int:
         action="store_true",
         help="fail (exit 1) when a speedup regresses below its floor: "
         "batched scoring >= 1.3x, fused-backend scoring >= 1.5x over "
-        "numpy, sweep and fleet results identical to serial, and — on "
-        "machines with >= 4 logical CPUs — sweep speedup >= 1.5x "
-        "(headroom under the 2x multi-core target, since logical CPUs "
-        "overstate physical cores)",
+        "numpy, serve micro-batching >= 2x over unbatched with a >= 5x "
+        "warm cache and bitwise-identical replay decisions, sweep and "
+        "fleet results identical to serial, and — on machines with >= 4 "
+        "logical CPUs — sweep speedup >= 1.5x (headroom under the 2x "
+        "multi-core target, since logical CPUs overstate physical cores)",
     )
     args = parser.parse_args(argv)
 
@@ -369,6 +494,18 @@ def main(argv=None) -> int:
             report["backends"]["stream_numpy"]["mean_step_s"],
             report["backends"]["stream_fused"]["mean_step_s"],
             report["backends"]["stream_step_speedup"],
+        )
+    )
+    report["serve"] = bench_serve(scale, seed)
+    print(
+        "  serve: batched {:.0f} samples/s vs unbatched {:.0f} -> {:.2f}x; "
+        "warm cache {:.2f}x; p99 {:.1f}ms (identical={})".format(
+            report["serve"]["batched_samples_per_s"],
+            report["serve"]["unbatched_samples_per_s"],
+            report["serve"]["batched_speedup"],
+            report["serve"]["warm_speedup"],
+            report["serve"]["p99_ms"],
+            report["serve"]["decisions_identical"],
         )
     )
     if not args.skip_sweep:
@@ -460,6 +597,24 @@ def _check_thresholds(report: Dict[str, object]) -> List[str]:
         # Bitwise contract, CPU-count independent (no speedup floor:
         # per-round barriers bound the achievable fan-out).
         failures.append("parallel fleet results differ from serial run")
+    serve = report.get("serve")
+    if serve is not None:
+        # Single-process comparisons, CPU-count independent (ISSUE 6
+        # acceptance bars).
+        if serve["batched_speedup"] < 2.0:
+            failures.append(
+                "serve micro-batched throughput "
+                f"{serve['batched_speedup']:.2f}x < 2x floor over unbatched"
+            )
+        if serve["warm_speedup"] < 5.0:
+            failures.append(
+                "serve warm-cache repeat scoring "
+                f"{serve['warm_speedup']:.2f}x < 5x floor over cold"
+            )
+        if not serve["decisions_identical"]:
+            failures.append(
+                "serve decisions not bitwise-identical on a fresh-server replay"
+            )
     return failures
 
 

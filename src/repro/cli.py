@@ -17,6 +17,7 @@ per-experiment index in DESIGN.md:
     multi-seed        many-seed sweep, mean ± std per policy
     scenario-sweep    (scenario × policy) policy-robustness grid
     fleet             multi-device rounds + aggregation (docs/FLEET.md)
+    serve             micro-batching scoring service (docs/SERVE.md)
 
 ``--list`` enumerates the experiment ids together with every policy,
 dataset, encoder, augment, backend, scenario, and aggregator registered
@@ -35,6 +36,12 @@ scenario (:mod:`repro.data.scenarios`) for ``stream`` runs, the single
 scenario of ``scenario-sweep``, or the shared device scenario of
 ``fleet``.  ``--aggregator``, ``--devices``, and ``--rounds`` shape the
 ``fleet`` experiment (any registered aggregator name or alias).
+``--serve-policy``, ``--requests``, and ``--port`` shape the ``serve``
+experiment: the admission-control policy of the scoring service (any
+registered serve-policy name or alias — block/shed/degrade), the
+request-stream length, and an optional TCP loopback port (``--port``
+adds a JSON-lines TCP echo pass; the default is purely in-process).
+``--devices`` sets its simulated device-id count.
 """
 
 from __future__ import annotations
@@ -67,6 +74,7 @@ from repro.experiments import (
     scaled_config,
 )
 from repro.experiments.fleet import format_fleet, run_fleet
+from repro.experiments.serve import format_serve, run_serve
 from repro.experiments.scenario_sweep import (
     format_scenario_sweep,
     run_scenario_sweep,
@@ -81,6 +89,7 @@ from repro.registry import (
     ENCODERS,
     POLICIES,
     SCENARIOS,
+    SERVE_POLICIES,
 )
 from repro.session import Session
 from repro.utils.tables import format_table
@@ -250,6 +259,34 @@ def _run_fleet(
 
 _run_fleet.supports_scenario = True
 _run_fleet.supports_fleet = True
+_run_fleet.supports_devices = True
+
+
+@_fixed_roster
+def _run_serve_cli(
+    seed: int,
+    policy: Optional[str] = None,
+    workers: int = 1,
+    devices: int = 3,
+    serve_policy: Optional[str] = None,
+    requests: int = 64,
+    port: Optional[int] = None,
+) -> str:
+    """Micro-batching scoring service: cold/warm/repeat passes, a
+    mid-stream model-version bump, and the determinism replay."""
+    config = scaled_config(default_config(seed=seed))
+    result = run_serve(
+        config,
+        requests=requests,
+        devices=devices,
+        policy=serve_policy,
+        port=port,
+    )
+    return format_serve(result)
+
+
+_run_serve_cli.supports_devices = True
+_run_serve_cli.supports_serve = True
 
 
 @_parallel
@@ -289,6 +326,7 @@ EXPERIMENTS: Dict[str, Callable[..., str]] = {
     "multi-seed": _run_multi_seed_cli,
     "scenario-sweep": _run_scenario_sweep,
     "fleet": _run_fleet,
+    "serve": _run_serve_cli,
 }
 
 
@@ -296,7 +334,7 @@ def _format_listing() -> str:
     """The --list report: experiment ids and every registry's contents."""
     lines = ["experiments:"]
     lines += [f"  {name}" for name in sorted(EXPERIMENTS)]
-    plurals = {"policy": "policies"}
+    plurals = {"policy": "policies", "serve policy": "serve policies"}
     for registry in (
         POLICIES,
         DATASETS,
@@ -305,6 +343,7 @@ def _format_listing() -> str:
         BACKENDS,
         SCENARIOS,
         AGGREGATORS,
+        SERVE_POLICIES,
     ):
         lines.append(f"{plurals.get(registry.kind, registry.kind + 's')}:")
         for entry in registry.entries():
@@ -380,6 +419,26 @@ def main(argv: list[str] | None = None) -> int:
         help="synchronization rounds for the fleet experiment (default 2)",
     )
     parser.add_argument(
+        "--serve-policy",
+        default=None,
+        help="admission-control policy of the scoring service (any "
+        "registered serve-policy name/alias: block, shed, degrade; "
+        "serve experiment only; default: config.serve or block)",
+    )
+    parser.add_argument(
+        "--requests",
+        type=int,
+        default=None,
+        help="request-stream length for the serve experiment (default 64)",
+    )
+    parser.add_argument(
+        "--port",
+        type=int,
+        default=None,
+        help="TCP loopback port for the serve experiment's JSON-lines "
+        "echo pass (0 = ephemeral; omit for purely in-process serving)",
+    )
+    parser.add_argument(
         "--list",
         action="store_true",
         help="list experiment ids and registered policies/datasets/"
@@ -438,7 +497,6 @@ def main(argv: list[str] | None = None) -> int:
         extra["workers"] = args.workers
     fleet_flags = {
         "--aggregator": args.aggregator,
-        "--devices": args.devices,
         "--rounds": args.rounds,
     }
     for flag, value in fleet_flags.items():
@@ -447,6 +505,11 @@ def main(argv: list[str] | None = None) -> int:
                 f"experiment {args.experiment!r} does not take {flag} "
                 "(only fleet does)"
             )
+    if args.devices is not None and not getattr(runner, "supports_devices", False):
+        parser.error(
+            f"experiment {args.experiment!r} does not take --devices "
+            "(only fleet and serve do)"
+        )
     if args.aggregator is not None:
         try:
             extra["aggregator"] = AGGREGATORS.get(args.aggregator).name
@@ -460,6 +523,30 @@ def main(argv: list[str] | None = None) -> int:
         if args.rounds < 1:
             parser.error(f"--rounds must be >= 1, got {args.rounds}")
         extra["rounds"] = args.rounds
+    serve_flags = {
+        "--serve-policy": args.serve_policy,
+        "--requests": args.requests,
+        "--port": args.port,
+    }
+    for flag, value in serve_flags.items():
+        if value is not None and not getattr(runner, "supports_serve", False):
+            parser.error(
+                f"experiment {args.experiment!r} does not take {flag} "
+                "(only serve does)"
+            )
+    if args.serve_policy is not None:
+        try:
+            extra["serve_policy"] = SERVE_POLICIES.get(args.serve_policy).name
+        except KeyError as exc:
+            parser.error(str(exc))
+    if args.requests is not None:
+        if args.requests < 4:
+            parser.error(f"--requests must be >= 4, got {args.requests}")
+        extra["requests"] = args.requests
+    if args.port is not None:
+        if not 0 <= args.port <= 65535:
+            parser.error(f"--port must be in [0, 65535], got {args.port}")
+        extra["port"] = args.port
     if args.seeds is not None:
         if not getattr(runner, "supports_seeds", False):
             parser.error(

@@ -64,6 +64,11 @@ from repro.experiments.fleet import (
     format_fleet,
     run_fleet,
 )
+from repro.experiments.serve import (
+    ServeExperimentResult,
+    format_serve,
+    run_serve,
+)
 from repro.experiments.ablations import (
     GradientAblationResult,
     MomentumAblationResult,
@@ -135,4 +140,7 @@ __all__ = [
     "FleetExperimentResult",
     "run_fleet",
     "format_fleet",
+    "ServeExperimentResult",
+    "run_serve",
+    "format_serve",
 ]

@@ -75,6 +75,10 @@ class StreamExperimentConfig:
     # payloads)
     fleet: Optional[FleetConfig] = None
     aggregator: Optional[str] = None
+    # serving (``serve`` names a repro.registry admission-control
+    # policy for the scoring service — block/shed/degrade; None means
+    # the experiment/CLI default, "block")
+    serve: Optional[str] = None
     # reproducibility
     seed: int = 0
 

@@ -388,6 +388,7 @@ class FleetCoordinator:
         self._global_state: Optional[Dict[str, np.ndarray]] = None
         self._history: List[FleetRoundStats] = []
         self._eval_pool: Optional[tuple] = None
+        self._on_broadcast: List[Any] = []
 
     # -- construction helpers -------------------------------------------
     @classmethod
@@ -545,6 +546,20 @@ class FleetCoordinator:
             return None
         return {key: value.copy() for key, value in self._global_state.items()}
 
+    def on_broadcast(self, fn: Any) -> None:
+        """Register ``fn(model_state)`` to run after every synchronizing
+        broadcast, with a copy of the new global model arrays
+        (``encoder/*`` + ``projector/*``).
+
+        Local-only rounds (no aggregation) do not fire.  This is how
+        the serving tier tracks the fleet: a
+        :meth:`repro.serve.ModelRegistry.attach` subscription publishes
+        each broadcast as a new model version (docs/SERVE.md).
+        Subscribers run synchronously inside the round, in registration
+        order, and must not raise.
+        """
+        self._on_broadcast.append(fn)
+
     # -- execution ------------------------------------------------------
     def run(self, rounds: Optional[int] = None) -> FleetRunResult:
         """Run ``rounds`` more rounds (default: all remaining).
@@ -648,6 +663,10 @@ class FleetCoordinator:
                 assert state is not None
                 for key, value in self._global_state.items():
                     state["learner"][key] = value.copy()
+            for fn in self._on_broadcast:
+                # Each subscriber gets its own copy: publishing must not
+                # alias (or let anyone mutate) the live global arrays.
+                fn({key: value.copy() for key, value in self._global_state.items()})
         if self._global_state is not None:
             global_accuracy = self._evaluate_global()
         else:  # local-only: no global model exists; report the fleet mean

@@ -2,7 +2,8 @@
 
 Every pluggable ingredient of the framework (replacement policies,
 dataset recipes, encoder architectures, augmentation pipelines, array
-execution backends, stream scenarios, fleet model aggregators) is
+execution backends, stream scenarios, fleet model aggregators, serve
+admission policies) is
 registered by name in one of
 the module-level registries below.  New
 components plug in with a decorator and zero edits to ``repro``
@@ -48,6 +49,7 @@ __all__ = [
     "BACKENDS",
     "SCENARIOS",
     "AGGREGATORS",
+    "SERVE_POLICIES",
     "register_policy",
     "register_dataset",
     "register_encoder",
@@ -55,6 +57,7 @@ __all__ = [
     "register_backend",
     "register_scenario",
     "register_aggregator",
+    "register_serve_policy",
     "create_policy",
     "canonical_policy_names",
     "policy_names",
@@ -65,6 +68,7 @@ __all__ = [
     "backend_names",
     "scenario_names",
     "aggregator_names",
+    "serve_policy_names",
 ]
 
 #: Valid component names: lowercase kebab-case, digits allowed.
@@ -385,6 +389,10 @@ def _ensure_aggregators() -> None:
     import repro.fleet.aggregators  # noqa: F401  (registers the built-in rules)
 
 
+def _ensure_serve_policies() -> None:
+    import repro.serve.policies  # noqa: F401  (registers block/shed/degrade)
+
+
 POLICIES = Registry("policy", ensure=_ensure_policies)
 DATASETS = Registry("dataset", ensure=_ensure_datasets)
 ENCODERS = Registry("encoder", ensure=_ensure_encoders)
@@ -392,6 +400,7 @@ AUGMENTS = Registry("augment", ensure=_ensure_augments)
 BACKENDS = Registry("backend", ensure=_ensure_backends)
 SCENARIOS = Registry("scenario", ensure=_ensure_scenarios)
 AGGREGATORS = Registry("aggregator", ensure=_ensure_aggregators)
+SERVE_POLICIES = Registry("serve policy", ensure=_ensure_serve_policies)
 
 register_policy = POLICIES.register
 register_dataset = DATASETS.register
@@ -400,6 +409,7 @@ register_augment = AUGMENTS.register
 register_backend = BACKENDS.register
 register_scenario = SCENARIOS.register
 register_aggregator = AGGREGATORS.register
+register_serve_policy = SERVE_POLICIES.register
 
 
 def create_policy(
@@ -488,3 +498,8 @@ def scenario_names() -> List[str]:
 def aggregator_names() -> List[str]:
     """Sorted names of all registered fleet model aggregators."""
     return AGGREGATORS.names()
+
+
+def serve_policy_names() -> List[str]:
+    """Sorted names of all registered serve admission policies."""
+    return SERVE_POLICIES.names()

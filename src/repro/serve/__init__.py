@@ -1,0 +1,35 @@
+"""The serve engine: an async micro-batching scoring service.
+
+The production front door of the selective-contrast scorer
+(docs/SERVE.md, DESIGN.md §11).  Requests — one sample + device id —
+accumulate in a bounded queue; a batcher fuses them into batched
+forwards on a size-or-deadline trigger and answers each with a
+selection :class:`Decision`.  Around that core: a content-addressed
+score cache with publish-driven invalidation
+(:class:`EmbeddingCache`), per-device model versioning fed by fleet
+broadcasts (:class:`ModelRegistry`), registered admission-control
+policies (``SERVE_POLICIES``: block / shed / degrade), and an optional
+JSON-lines TCP transport (:func:`serve_tcp` / :class:`TcpClient`).
+
+>>> models = ModelRegistry()
+>>> models.publish_session(session)
+1
+>>> async with ScoringServer(scorer, models, cache=EmbeddingCache()) as server:
+...     decisions = await InprocClient(server, "device-0").score_stream(samples)
+"""
+
+from repro.serve.cache import EmbeddingCache
+from repro.serve.models import ModelRegistry
+from repro.serve.net import TcpClient, serve_tcp
+from repro.serve.server import Decision, InprocClient, ScoreRequest, ScoringServer
+
+__all__ = [
+    "Decision",
+    "EmbeddingCache",
+    "InprocClient",
+    "ModelRegistry",
+    "ScoreRequest",
+    "ScoringServer",
+    "TcpClient",
+    "serve_tcp",
+]

@@ -1,0 +1,98 @@
+"""Admission-control policies for the scoring server.
+
+What happens when the server's bounded queue is full — and when a
+request's per-request deadline lapses before its micro-batch runs — is
+a registered, named policy (``SERVE_POLICIES``; ``config.serve`` /
+``repro serve --serve-policy``), mirroring the backend / scenario /
+aggregator registries.
+
+A policy implements two hooks, both called by the server:
+
+``on_full(request, server) -> Optional[Decision]``
+    The queue is at ``queue_depth``.  Return a :class:`Decision` to
+    answer the request immediately without admitting it, or None to
+    wait for queue space (backpressure).
+
+``on_expired(request, server) -> Decision``
+    The request was admitted but its ``deadline_ms`` lapsed before its
+    batch executed.  Must return the request's final decision.
+
+Built-ins (docs/SERVE.md):
+
+* ``block`` — never reject: callers wait for queue space.  The default;
+  right for in-process and benchmark use where losing work is worse
+  than waiting.
+* ``shed`` — reject at the door when full (``status="shed"``,
+  never selected).  Keeps tail latency bounded under overload.
+* ``degrade`` — answer from the cache when the queue is full or the
+  deadline lapsed: a cached score at the request's resolved version
+  yields a real ``degraded`` decision, otherwise a scoreless fail-open
+  (or fail-closed) verdict.  Graceful degradation: decisions keep
+  flowing at full overload, at reduced fidelity.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.registry import register_serve_policy
+from repro.serve.server import Decision, ScoreRequest, ScoringServer
+
+__all__ = ["BlockPolicy", "ShedPolicy", "DegradePolicy"]
+
+
+@register_serve_policy(
+    "block",
+    aliases=("backpressure",),
+    label="Wait for queue space; expired requests are rejected",
+)
+class BlockPolicy:
+    """Backpressure: admission waits however long queue space takes."""
+
+    def on_full(self, request: ScoreRequest, server: ScoringServer) -> Optional[Decision]:
+        return None  # wait for space
+
+    def on_expired(self, request: ScoreRequest, server: ScoringServer) -> Decision:
+        return server.rejection_decision(request, "expired")
+
+
+@register_serve_policy(
+    "shed",
+    aliases=("reject",),
+    label="Reject immediately when the queue is full",
+)
+class ShedPolicy:
+    """Load shedding: a full queue answers ``shed`` at the door."""
+
+    def on_full(self, request: ScoreRequest, server: ScoringServer) -> Optional[Decision]:
+        return server.rejection_decision(request, "shed")
+
+    def on_expired(self, request: ScoreRequest, server: ScoringServer) -> Decision:
+        return server.rejection_decision(request, "expired")
+
+
+@register_serve_policy(
+    "degrade",
+    aliases=("fallback",),
+    label="Fall back to a cached (or fail-open) decision under overload",
+)
+class DegradePolicy:
+    """Graceful degradation: overload answers from the cache.
+
+    Parameters
+    ----------
+    fail_open:
+        The ``selected`` verdict when no cached score exists.  True
+        (default) keeps unknown samples — the conservative choice for a
+        selection service, since the score measures what the model has
+        *not* learned yet; False drops them.
+    """
+
+    def __init__(self, fail_open: bool = True) -> None:
+        self.fail_open = bool(fail_open)
+
+    def on_full(self, request: ScoreRequest, server: ScoringServer) -> Optional[Decision]:
+        return server.fallback_decision(request, fail_open=self.fail_open)
+
+    def on_expired(self, request: ScoreRequest, server: ScoringServer) -> Decision:
+        return server.fallback_decision(request, fail_open=self.fail_open)

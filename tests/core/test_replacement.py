@@ -134,7 +134,9 @@ class TestLazyIntegration:
             weak = const_images([0.01, 0.02])
             scorer.calls.clear()
             r = policy.select(buf, weak, it)
-            if scorer.calls and scorer.calls[0] == 2 and len(scorer.calls) == 2:
+            # score_batches pools same-shape segments into one score call:
+            # [4] = buffer re-scored with the incoming, [2] = incoming only.
+            if scorer.calls == [4]:
                 rescored_at.append(it)
             pool = np.concatenate([buf.images, weak])
             buf.replace(pool, r.keep_indices, r.pool_scores, it)

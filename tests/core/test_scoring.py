@@ -220,3 +220,138 @@ class TestScoreBatchesFallback:
         images = rng.uniform(0, 1, size=(6, 3, 8, 8)).astype(np.float32)
         (fused,) = score_batches(scorer, [images])
         np.testing.assert_allclose(fused, scorer.score(images), atol=1e-6)
+
+
+class TestScoreBatchesFusedFallback:
+    """Satellite fix: duck-typed scorers without score_many get a single
+    concatenated forward when the batch shapes match."""
+
+    class CountingStub:
+        def __init__(self):
+            self.calls = []
+
+        def score(self, images):
+            self.calls.append(images.shape[0])
+            return images.mean(axis=(1, 2, 3)).astype(np.float64)
+
+    def test_matching_shapes_fuse_into_one_forward(self):
+        from repro.core.scoring import score_batches
+
+        stub = self.CountingStub()
+        rng = np.random.default_rng(3)
+        batches = [
+            rng.random((4, 3, 4, 4), dtype=np.float32),
+            rng.random((2, 3, 4, 4), dtype=np.float32),
+            rng.random((3, 3, 4, 4), dtype=np.float32),
+        ]
+        out = score_batches(stub, batches)
+        assert stub.calls == [9]  # one concatenated forward
+        assert [o.shape for o in out] == [(4,), (2,), (3,)]
+        for images, scores in zip(batches, out):
+            np.testing.assert_allclose(
+                scores, images.mean(axis=(1, 2, 3)), rtol=1e-6
+            )
+
+    def test_mixed_shapes_fall_back_per_batch(self):
+        from repro.core.scoring import score_batches
+
+        stub = self.CountingStub()
+        rng = np.random.default_rng(4)
+        batches = [
+            rng.random((4, 3, 4, 4), dtype=np.float32),
+            rng.random((2, 3, 8, 8), dtype=np.float32),  # different HW
+        ]
+        out = score_batches(stub, batches)
+        assert stub.calls == [4, 2]
+        assert [o.shape for o in out] == [(4,), (2,)]
+
+    def test_empty_batches_interleaved(self):
+        from repro.core.scoring import score_batches
+
+        stub = self.CountingStub()
+        empty = np.zeros((0, 3, 4, 4), dtype=np.float32)
+        batch = np.ones((2, 3, 4, 4), dtype=np.float32)
+        out = score_batches(stub, [empty, batch, empty])
+        assert [o.shape for o in out] == [(0,), (2,), (0,)]
+        assert stub.calls == [2]
+
+    def test_all_empty(self):
+        from repro.core.scoring import score_batches
+
+        stub = self.CountingStub()
+        empty = np.zeros((0, 3, 4, 4), dtype=np.float32)
+        out = score_batches(stub, [empty, empty])
+        assert [o.shape for o in out] == [(0,), (0,)]
+        assert stub.calls == []
+
+
+class TestContentHash:
+    def test_chw_and_nchw_agree(self, images):
+        from repro.core.scoring import content_hash
+
+        assert content_hash(images[0]) == [content_hash(images)[0]]
+
+    def test_distinct_content_distinct_digest(self, images):
+        from repro.core.scoring import content_hash
+
+        digests = content_hash(images)
+        assert len(set(digests)) == len(digests)
+
+    def test_equal_content_equal_digest(self, images):
+        from repro.core.scoring import content_hash
+
+        twice = np.concatenate([images[:1], images[:1].copy()])
+        d = content_hash(twice)
+        assert d[0] == d[1]
+
+    def test_dtype_and_shape_are_part_of_the_key(self):
+        from repro.core.scoring import content_hash
+
+        zeros32 = np.zeros((1, 3, 4, 4), dtype=np.float32)
+        zeros64 = np.zeros((1, 3, 4, 4), dtype=np.float64)
+        zeros_big = np.zeros((1, 3, 8, 8), dtype=np.float32)
+        assert content_hash(zeros32) != content_hash(zeros64)
+        assert content_hash(zeros32) != content_hash(zeros_big)
+
+    def test_non_contiguous_input(self, images):
+        from repro.core.scoring import content_hash
+
+        flipped = images[:, :, :, ::-1]  # a view, not contiguous
+        assert content_hash(flipped) == content_hash(
+            np.ascontiguousarray(flipped)
+        )
+
+
+class TestScorerCacheHook:
+    def test_cache_hit_is_bitwise_identical_to_miss(self, scorer, images):
+        from repro.serve import EmbeddingCache
+
+        cache = EmbeddingCache()
+        scorer.with_score_cache(cache)
+        cold = scorer.score(images)
+        warm = scorer.score(images)
+        assert cold.tobytes() == warm.tobytes()  # bitwise, not approx
+        assert cache.hits == len(images)
+
+    def test_cached_matches_uncached_exactly(self, scorer, images):
+        from repro.serve import EmbeddingCache
+
+        plain = scorer.score(images)
+        scorer.with_score_cache(EmbeddingCache())
+        cached = scorer.score(images)
+        assert plain.tobytes() == cached.tobytes()
+
+    def test_duplicate_rows_forward_once(self, scorer, images):
+        from repro.serve import EmbeddingCache
+
+        cache = EmbeddingCache()
+        scorer.with_score_cache(cache)
+        batch = np.concatenate([images[:2], images[:2].copy()])
+        scores = scorer.score(batch)
+        np.testing.assert_array_equal(scores[:2], scores[2:])
+        assert len(cache) == 2
+
+    def test_with_score_cache_returns_scorer(self, scorer):
+        from repro.serve import EmbeddingCache
+
+        assert scorer.with_score_cache(EmbeddingCache()) is scorer

@@ -26,6 +26,7 @@ class TestCliRegistry:
             "multi-seed",
             "scenario-sweep",
             "fleet",
+            "serve",
         }
         assert set(EXPERIMENTS) == expected
 

@@ -1,0 +1,192 @@
+"""ModelRegistry: publishing, pinning, pruning, fleet attachment."""
+
+import numpy as np
+import pytest
+
+from repro.experiments.config import StreamExperimentConfig
+from repro.fleet import DeviceSpec, FleetConfig, FleetCoordinator
+from repro.serve import EmbeddingCache, ModelRegistry
+from repro.session import Session
+
+
+def model_state(value=0.0):
+    return {
+        "encoder/w": np.full((2, 2), value, dtype=np.float64),
+        "projector/w": np.full((3,), value, dtype=np.float64),
+    }
+
+
+def tiny_config(**overrides):
+    base = dict(
+        dataset="cifar10",
+        image_size=8,
+        stc=8,
+        total_samples=32,
+        buffer_size=8,
+        encoder_widths=(8, 16),
+        projection_dim=8,
+        probe_train_per_class=2,
+        probe_test_per_class=2,
+        probe_epochs=2,
+        seed=0,
+    )
+    base.update(overrides)
+    return StreamExperimentConfig(**base)
+
+
+class TestPublish:
+    def test_versions_are_monotonic_and_current_advances(self):
+        models = ModelRegistry()
+        assert models.current_version is None
+        v1 = models.publish(model_state(1.0), source="a")
+        v2 = models.publish(model_state(2.0), source="b")
+        assert (v1, v2) == (1, 2)
+        assert models.current_version == 2
+        assert models.versions() == [1, 2]
+        assert models.source(1) == "a" and models.source(2) == "b"
+        assert len(models) == 2
+
+    def test_empty_state_rejected(self):
+        with pytest.raises(ValueError, match="empty"):
+            ModelRegistry().publish({})
+
+    def test_non_model_keys_rejected(self):
+        with pytest.raises(ValueError, match="prefixes"):
+            ModelRegistry().publish({"optimizer/m": np.zeros(2)})
+
+    def test_keep_validated(self):
+        with pytest.raises(ValueError, match="keep"):
+            ModelRegistry(keep=0)
+
+    def test_snapshots_are_defensive_copies(self):
+        models = ModelRegistry()
+        state = model_state(1.0)
+        models.publish(state)
+        state["encoder/w"][:] = 99.0  # publisher mutates afterwards
+        served = models.get(1)
+        assert float(served["encoder/w"][0, 0]) == 1.0
+        served["encoder/w"][:] = -1.0  # consumer mutates the copy
+        assert float(models.get(1)["encoder/w"][0, 0]) == 1.0
+
+    def test_require_and_get_unknown_version(self):
+        models = ModelRegistry()
+        models.publish(model_state())
+        with pytest.raises(KeyError, match="not retained"):
+            models.require(7)
+        with pytest.raises(KeyError):
+            models.get(7)
+
+    def test_on_publish_sees_post_prune_roster(self):
+        models = ModelRegistry(keep=1)
+        seen = []
+        models.on_publish(lambda v, m: seen.append((v, m.versions())))
+        models.publish(model_state(1.0))
+        models.publish(model_state(2.0))
+        assert seen == [(1, [1]), (2, [2])]
+
+
+class TestPruning:
+    def test_oldest_unprotected_versions_pruned(self):
+        models = ModelRegistry(keep=2)
+        for value in (1.0, 2.0, 3.0):
+            models.publish(model_state(value))
+        assert models.versions() == [2, 3]
+
+    def test_pinned_versions_survive_pruning(self):
+        models = ModelRegistry(keep=1)
+        v1 = models.publish(model_state(1.0))
+        models.pin("canary", v1)
+        models.publish(model_state(2.0))
+        models.publish(model_state(3.0))
+        assert v1 in models.versions()
+        assert models.resolve("canary") == v1
+
+
+class TestPinning:
+    def test_resolve_prefers_pin_then_current(self):
+        models = ModelRegistry()
+        v1 = models.publish(model_state(1.0))
+        v2 = models.publish(model_state(2.0))
+        models.pin("dev-a", v1)
+        assert models.resolve("dev-a") == v1
+        assert models.resolve("dev-b") == v2
+        models.unpin("dev-a")
+        assert models.resolve("dev-a") == v2
+        models.unpin("dev-a")  # idempotent
+
+    def test_pin_requires_retained_version(self):
+        models = ModelRegistry()
+        models.publish(model_state())
+        with pytest.raises(KeyError, match="not retained"):
+            models.pin("dev", 9)
+
+    def test_resolve_before_any_publish_raises(self):
+        with pytest.raises(RuntimeError, match="publish"):
+            ModelRegistry().resolve("dev")
+
+    def test_pins_returns_copy(self):
+        models = ModelRegistry()
+        v1 = models.publish(model_state())
+        models.pin("dev", v1)
+        pins = models.pins()
+        pins["dev"] = 999
+        assert models.pins() == {"dev": v1}
+
+
+class TestSessionAndFleet:
+    def test_publish_session_filters_to_model_slice(self):
+        config = tiny_config()
+        session = Session(config)
+        session.run(stop_after=1)
+        models = ModelRegistry()
+        version = models.publish_session(session)
+        state = models.get(version)
+        assert state, "expected a non-empty model slice"
+        assert all(
+            key.startswith(("encoder/", "projector/")) for key in state
+        )
+        # the learner holds more than the model slice (optimizer etc.)
+        learner = session.state_dict()["learner"]
+        assert len(state) < len(learner)
+
+    def test_attach_publishes_every_synchronizing_broadcast(self):
+        config = tiny_config().with_(
+            fleet=FleetConfig(
+                devices=(DeviceSpec(), DeviceSpec()), rounds=2
+            ),
+            aggregator="fedavg",
+        )
+        coordinator = FleetCoordinator(config)
+        models = ModelRegistry()
+        cache = EmbeddingCache()
+        cache.put("pre-broadcast-bare-key", 0.5)
+        models.on_publish(
+            lambda v, m: cache.invalidate_stale(m.versions())
+        )
+        models.attach(coordinator)
+        coordinator.run()
+        # two synchronizing rounds -> two published versions
+        assert models.versions() == [1, 2]
+        assert models.source(2) == "fleet-broadcast"
+        assert models.current_version == 2
+        # the broadcast-driven publish invalidated the stale entry
+        assert "pre-broadcast-bare-key" not in cache
+        # the published arrays match the coordinator's global model
+        global_state = coordinator.global_model_state
+        served = models.get(2)
+        assert set(served) == set(global_state)
+        for key in served:
+            np.testing.assert_array_equal(served[key], global_state[key])
+
+    def test_local_only_rounds_do_not_publish(self):
+        config = tiny_config().with_(
+            fleet=FleetConfig(
+                devices=(DeviceSpec(), DeviceSpec()), rounds=1
+            ),
+            aggregator="local-only",
+        )
+        coordinator = FleetCoordinator(config)
+        models = ModelRegistry()
+        models.attach(coordinator)
+        coordinator.run()
+        assert models.versions() == []

@@ -1,0 +1,66 @@
+"""Serve admission policies: registry contract and hook behavior."""
+
+import pytest
+
+from repro.registry import SERVE_POLICIES, UnknownComponentError, serve_policy_names
+from repro.serve.policies import BlockPolicy, DegradePolicy, ShedPolicy
+
+
+class TestRegistry:
+    def test_builtins_registered(self):
+        assert serve_policy_names() == ["block", "degrade", "shed"]
+
+    def test_aliases_resolve(self):
+        assert SERVE_POLICIES.get("backpressure").name == "block"
+        assert SERVE_POLICIES.get("reject").name == "shed"
+        assert SERVE_POLICIES.get("fallback").name == "degrade"
+
+    def test_unknown_name_suggests(self):
+        with pytest.raises(UnknownComponentError, match="blok"):
+            SERVE_POLICIES.get("blok")
+
+    def test_factories_build_the_policy_classes(self):
+        assert isinstance(SERVE_POLICIES.get("block").factory(), BlockPolicy)
+        assert isinstance(SERVE_POLICIES.get("shed").factory(), ShedPolicy)
+        assert isinstance(SERVE_POLICIES.get("degrade").factory(), DegradePolicy)
+
+
+class _FakeServer:
+    """Stands in for ScoringServer: the policies only call these two."""
+
+    def __init__(self, cached=None):
+        self.cached = cached
+        self.calls = []
+
+    def rejection_decision(self, request, status):
+        self.calls.append(("reject", status))
+        return ("rejection", status)
+
+    def fallback_decision(self, request, *, fail_open):
+        self.calls.append(("fallback", fail_open))
+        return ("fallback", fail_open)
+
+
+class TestHooks:
+    def test_block_waits_on_full_and_expires(self):
+        policy = BlockPolicy()
+        server = _FakeServer()
+        assert policy.on_full(object(), server) is None
+        assert policy.on_expired(object(), server) == ("rejection", "expired")
+
+    def test_shed_rejects_on_full(self):
+        policy = ShedPolicy()
+        server = _FakeServer()
+        assert policy.on_full(object(), server) == ("rejection", "shed")
+        assert policy.on_expired(object(), server) == ("rejection", "expired")
+
+    def test_degrade_falls_back_both_ways(self):
+        policy = DegradePolicy()
+        server = _FakeServer()
+        assert policy.on_full(object(), server) == ("fallback", True)
+        assert policy.on_expired(object(), server) == ("fallback", True)
+
+    def test_degrade_fail_closed(self):
+        policy = DegradePolicy(fail_open=False)
+        server = _FakeServer()
+        assert policy.on_full(object(), server) == ("fallback", False)

@@ -3,16 +3,19 @@
 Asserts, in both directions:
 
 * every experiment id (``repro.cli.EXPERIMENTS``), backend
-  (``BACKENDS``), scenario (``SCENARIOS``), and aggregator
-  (``AGGREGATORS``) appears in the matching
-  ``<!-- inventory:KIND -->`` block of docs/API.md, and every name
-  listed there is actually registered;
+  (``BACKENDS``), scenario (``SCENARIOS``), aggregator
+  (``AGGREGATORS``), and serve admission policy (``SERVE_POLICIES``)
+  appears in the matching ``<!-- inventory:KIND -->`` block of
+  docs/API.md, and every name listed there is actually registered;
 * every registered scenario has a ``## `name` `` section in
   docs/SCENARIOS.md, and every such section names a registered
   scenario;
 * every registered aggregator has a ``## `name` `` section in
   docs/FLEET.md, and every such section names a registered
-  aggregator.
+  aggregator;
+* every registered serve admission policy has a ``## `name` ``
+  section in docs/SERVE.md, and every such section names a registered
+  serve policy.
 
 Run from the repo root (CI does)::
 
@@ -32,6 +35,7 @@ ROOT = pathlib.Path(__file__).resolve().parent.parent
 API_MD = ROOT / "docs" / "API.md"
 SCENARIOS_MD = ROOT / "docs" / "SCENARIOS.md"
 FLEET_MD = ROOT / "docs" / "FLEET.md"
+SERVE_MD = ROOT / "docs" / "SERVE.md"
 
 INVENTORY_RE = re.compile(
     r"<!--\s*inventory:([a-z-]+)\s*-->(.*?)<!--\s*/inventory\s*-->", re.S
@@ -52,13 +56,14 @@ def parse_inventories(text: str) -> Dict[str, Set[str]]:
 def registered_names() -> Dict[str, Set[str]]:
     """The live registry contents the docs must mirror."""
     from repro.cli import EXPERIMENTS
-    from repro.registry import AGGREGATORS, BACKENDS, SCENARIOS
+    from repro.registry import AGGREGATORS, BACKENDS, SCENARIOS, SERVE_POLICIES
 
     return {
         "experiments": set(EXPERIMENTS),
         "backends": set(BACKENDS.names()),
         "scenarios": set(SCENARIOS.names()),
         "aggregators": set(AGGREGATORS.names()),
+        "serve-policies": set(SERVE_POLICIES.names()),
     }
 
 
@@ -85,13 +90,16 @@ def check() -> List[str]:
                 "but not registered"
             )
 
-    from repro.registry import AGGREGATORS, SCENARIOS
+    from repro.registry import AGGREGATORS, SCENARIOS, SERVE_POLICIES
 
     problems += _check_sections(
         SCENARIOS_MD, "scenario", set(SCENARIOS.names())
     )
     problems += _check_sections(
         FLEET_MD, "aggregator", set(AGGREGATORS.names())
+    )
+    problems += _check_sections(
+        SERVE_MD, "serve policy", set(SERVE_POLICIES.names())
     )
     return problems
 
