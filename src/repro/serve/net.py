@@ -16,7 +16,8 @@ Operations (``{"op": ...}`` per line):
 * ``ping`` — liveness → ``{"ok": true, "pong": true}``.
 
 Errors come back as ``{"ok": false, "error": "..."}`` on the same
-line; malformed JSON closes the connection.  Concurrent requests on
+line; malformed framing (invalid JSON, or a line that is not a JSON
+object) closes the connection.  Concurrent requests on
 one connection are served in submission order per line read, but each
 ``score`` is awaited independently, so several connections (or
 pipelined lines) micro-batch together exactly like in-process callers.
@@ -85,7 +86,7 @@ async def serve_tcp(
     async def safe_handle(message: Dict[str, Any]) -> Dict[str, Any]:
         try:
             return await _handle_line(server, message)
-        except (KeyError, ValueError, RuntimeError) as exc:
+        except Exception as exc:  # noqa: BLE001 - answer on the wire, keep serving
             return {"ok": False, "error": str(exc)}
 
     async def handle(
@@ -119,13 +120,19 @@ async def serve_tcp(
                     message = json.loads(line)
                 except (json.JSONDecodeError, UnicodeDecodeError):
                     break  # malformed framing: drop the connection
+                if not isinstance(message, dict):
+                    break  # valid JSON, but not a request object: same deal
                 pending.put_nowait(loop.create_task(safe_handle(message)))
         finally:
             pending.put_nowait(None)
-            await responder
-            # close() without wait_closed(): the loop tears the transport
-            # down; awaiting here races loop shutdown and only adds noise.
-            writer.close()
+            try:
+                await responder
+            finally:
+                # close() runs even if the responder raised, so the
+                # connection is never wedged open; no wait_closed() —
+                # the loop tears the transport down and awaiting here
+                # races loop shutdown and only adds noise.
+                writer.close()
 
     return await asyncio.start_server(handle, host, port, limit=_MAX_LINE)
 

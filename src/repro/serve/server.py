@@ -212,8 +212,10 @@ class ScoringServer:
         self.cache = cache
         self._queue: Optional[asyncio.Queue] = None
         self._batcher: Optional[asyncio.Task] = None
+        self._closed = False
         self._loaded_version: Optional[int] = None
         self._counts: Dict[str, int] = {status: 0 for status in DECISION_STATUSES}
+        self._errors = 0
         self._batches = 0
         self._batched_requests = 0
         self._forwarded = 0
@@ -224,13 +226,19 @@ class ScoringServer:
         """Start the batcher task (idempotent; requires a running loop)."""
         if self._batcher is None:
             self._queue = asyncio.Queue(maxsize=self.queue_depth)
+            self._closed = False
             self._batcher = asyncio.get_running_loop().create_task(self._run())
         return self
 
     async def stop(self) -> None:
-        """Drain every admitted request, then stop the batcher."""
+        """Drain every admitted request, then stop the batcher.
+
+        Admissions racing with ``stop`` fail fast (``RuntimeError``)
+        instead of landing behind the sentinel and awaiting forever.
+        """
         if self._batcher is None:
             return
+        self._closed = True
         await self._queue.put(_SENTINEL)
         await self._batcher
         self._batcher = None
@@ -254,7 +262,10 @@ class ScoringServer:
 
         The model version is resolved *now* (explicit argument > device
         pin > current), so a publish that lands after admission does not
-        retroactively change what this request is scored against.
+        retroactively change what this request is scored against — with
+        one exception: if a racing publish *prunes* the resolved version
+        before the batch executes, the request re-resolves (pin >
+        current) at execution instead of failing.
         """
         request = self._admit(sample, device_id, model_version, deadline_ms)
         fallback = await self._enqueue(request)
@@ -301,6 +312,8 @@ class ScoringServer:
         current) into a queued-but-not-yet-enqueued request."""
         if self._queue is None:
             raise RuntimeError("server is not running: call start() first")
+        if self._closed:
+            raise RuntimeError("server is stopping: not accepting new requests")
         sample = np.asarray(sample)
         if sample.ndim != 3:
             raise ValueError(f"expected one CHW sample, got shape {sample.shape}")
@@ -366,7 +379,16 @@ class ScoringServer:
                         stopping = True
                         break
                     batch.append(nxt)
-            self._execute(batch)
+            try:
+                self._execute(batch)
+            except Exception as exc:  # noqa: BLE001 - the batcher must outlive any batch
+                self._fail(batch, exc)
+        # Anything that raced into the queue behind the stop sentinel
+        # fails fast instead of leaving its caller awaiting forever.
+        while not queue.empty():
+            straggler = queue.get_nowait()
+            if straggler is not _SENTINEL:
+                self._fail([straggler], RuntimeError("server stopped"))
 
     def _execute(self, batch: List[ScoreRequest]) -> None:
         """Resolve one micro-batch: expire, group by version, fuse, answer."""
@@ -379,24 +401,39 @@ class ScoringServer:
                 self._resolve(request, self.policy.on_expired(request, self))
             else:
                 live.append(request)
-        # Group by resolved version in order of first appearance so one
-        # mixed batch loads each version at most once, deterministically.
-        groups: Dict[int, List[ScoreRequest]] = {}
+        # Group by (resolved version, sample shape/dtype) in order of
+        # first appearance: one mixed batch loads each version at most
+        # once, deterministically, and every group stacks homogeneously
+        # (an odd-shaped sample rides in its own group instead of
+        # breaking np.stack for its batch-mates).
+        retained = set(self.models.versions())
+        groups: Dict[tuple, List[ScoreRequest]] = {}
         for request in live:
-            groups.setdefault(request.model_version, []).append(request)
-        for version, group in groups.items():
-            self._score_group(version, group)
+            if request.model_version not in retained:
+                # A publish pruned the version this request resolved at
+                # admission; re-resolve (pin > current) rather than let
+                # the registry lookup escape into the batcher task.
+                request.model_version = self.models.resolve(request.device_id)
+            key = (
+                request.model_version,
+                request.sample.shape,
+                request.sample.dtype.str,
+            )
+            groups.setdefault(key, []).append(request)
+        for (version, _, _), group in groups.items():
+            try:
+                self._score_group(version, group)
+            except Exception as exc:  # noqa: BLE001 - fail the group, not the batcher
+                self._fail(group, exc)
 
     def _score_group(self, version: int, group: List[ScoreRequest]) -> None:
-        # One batched digest call when shapes/dtypes agree (the common
-        # case) amortizes the per-call overhead across the whole group;
-        # a heterogeneous group falls back to per-sample digests.
-        if len(group) > 1 and (
-            len({(r.sample.shape, r.sample.dtype) for r in group}) == 1
-        ):
+        # Grouping in _execute guarantees homogeneous shape/dtype, so
+        # one batched digest call amortizes the per-call overhead
+        # across the whole group.
+        if len(group) > 1:
             digests = content_hash(np.stack([r.sample for r in group], axis=0))
         else:
-            digests = [content_hash(request.sample)[0] for request in group]
+            digests = [content_hash(group[0].sample)[0]]
         scores: List[Optional[float]] = [None] * len(group)
         hit = [False] * len(group)
         miss_rows: List[int] = []
@@ -412,8 +449,8 @@ class ScoringServer:
             elif digest in first_row:
                 # Duplicate content inside the batch: forward once, the
                 # extra rows are answered from that single computation.
+                # Not a cache hit — the value never came from the cache.
                 first_row[digest].append(i)
-                hit[i] = True
             else:
                 first_row[digest] = [i]
                 miss_rows.append(i)
@@ -450,6 +487,14 @@ class ScoringServer:
         self._counts[decision.status] += 1
         if not request.future.done():
             request.future.set_result(decision)
+
+    def _fail(self, requests: Sequence[ScoreRequest], error: BaseException) -> None:
+        """Answer failed requests with the exception itself — the
+        batcher never dies with futures left pending."""
+        for request in requests:
+            if not request.future.done():
+                self._errors += 1
+                request.future.set_exception(error)
 
     # -- model activation / invalidation --------------------------------
     def _activate(self, version: int) -> None:
@@ -529,6 +574,7 @@ class ScoringServer:
         out: Dict[str, Any] = {
             "policy": self.policy_name,
             "decisions": dict(self._counts),
+            "errors": self._errors,
             "batches": self._batches,
             "mean_batch": (
                 self._batched_requests / self._batches if self._batches else 0.0

@@ -155,7 +155,9 @@ class TestBatchingAndDecisions:
         decisions, stats = asyncio.run(run())
         assert stats["forwarded"] == 1
         assert len({d.score for d in decisions}) == 1
-        assert [d.cache_hit for d in decisions] == [False, True, True, True]
+        # In-batch dedup is not a cache hit: no value came from a cache
+        # (there is none here) — the duplicates rode the one forward.
+        assert [d.cache_hit for d in decisions] == [False, False, False, False]
 
     def test_fingerprint_excludes_timing(self):
         a = Decision("d", 1, 0.5, True, "ok", batch_size=4, latency_ms=1.0)
@@ -353,6 +355,103 @@ class TestAdmission:
         assert all(d.status == "ok" for d in decisions)
 
 
+class TestRobustness:
+    """The batcher must outlive bad requests, races, and scorer faults."""
+
+    def test_mixed_shapes_in_one_batch_all_answered(self, published):
+        # Two valid CHW samples with different shapes fused into one
+        # micro-batch must not kill the batcher (sub-grouped by shape).
+        small, big = make_samples(1, size=8)[0], make_samples(1, size=16)[0]
+
+        async def run():
+            async with make_server(published, max_batch=8, cache=None) as server:
+                first = await asyncio.gather(
+                    server.submit(small), server.submit(big)
+                )
+                later = await server.submit(small)  # batcher still alive
+                return first, later
+
+        (a, b), later = asyncio.run(run())
+        assert a.status == b.status == later.status == "ok"
+        assert later.score == a.score
+
+    def test_scorer_fault_fails_request_not_server(self, published):
+        samples = make_samples(2)
+
+        async def run():
+            async with make_server(published, cache=None) as server:
+                original = server.scorer.score
+                server.scorer.score = lambda batch: (_ for _ in ()).throw(
+                    RuntimeError("boom")
+                )
+                try:
+                    with pytest.raises(RuntimeError, match="boom"):
+                        await server.submit(samples[0])
+                finally:
+                    server.scorer.score = original
+                decision = await server.submit(samples[1])
+                return decision, server.stats()
+
+        decision, stats = asyncio.run(run())
+        assert decision.status == "ok"
+        assert stats["errors"] == 1
+
+    def test_pruned_version_re_resolves_instead_of_crashing(self, published):
+        config, _, _ = published
+        session = Session(config)
+        session.run(stop_after=1)
+        models = ModelRegistry(keep=1)
+        models.publish_session(session)
+        comp = build_components(config)
+        server = ScoringServer(comp.scorer, models, max_batch=4, max_wait_ms=0.5)
+        sample = make_samples(1)[0]
+
+        async def run():
+            async with server:
+                # Admit at v1, then let a publish prune v1 before the
+                # batch executes: the request re-resolves to current.
+                request = server._admit(sample, "dev", None, None)
+                models.publish_session(session)  # keep=1 prunes v1
+                server._execute([request])
+                return await request.future
+
+        decision = asyncio.run(run())
+        assert decision.status == "ok"
+        assert decision.model_version == 2
+
+    def test_requests_behind_stop_sentinel_fail_fast(self, published):
+        from repro.serve.server import _SENTINEL
+
+        sample = make_samples(1)[0]
+
+        async def run():
+            server = make_server(published)
+            await server.start()
+            request = server._admit(sample, "dev", None, None)
+            server._queue.put_nowait(_SENTINEL)
+            server._queue.put_nowait(request)  # raced in behind the sentinel
+            await server._batcher
+            with pytest.raises(RuntimeError, match="server stopped"):
+                await request.future
+            await server.stop()
+
+        asyncio.run(run())
+
+    def test_submit_after_stop_initiated_fails_fast(self, published):
+        sample = make_samples(1)[0]
+
+        async def run():
+            server = make_server(published)
+            await server.start()
+            server._closed = True  # what stop() sets before the sentinel
+            with pytest.raises(RuntimeError, match="stopping"):
+                await server.submit(sample)
+            server._closed = False
+            await server.stop()
+
+        asyncio.run(run())
+
+
 class TestClientsAndTcp:
     def test_inproc_client_stream_and_sequential_agree(self, published):
         samples = make_samples(6)
@@ -411,6 +510,45 @@ class TestClientsAndTcp:
                             make_samples(1)[0], model_version=1234
                         )
                     assert await client.ping()  # connection survives errors
+                finally:
+                    await client.close()
+                    tcp.close()
+                    await tcp.wait_closed()
+
+        asyncio.run(run())
+
+    def test_tcp_non_object_line_closes_connection(self, published):
+        # Valid JSON that is not an object is malformed framing: the
+        # server closes the connection instead of wedging it open.
+        async def run():
+            async with make_server(published) as server:
+                tcp = await serve_tcp(server)
+                port = tcp.sockets[0].getsockname()[1]
+                reader, writer = await asyncio.open_connection("127.0.0.1", port)
+                try:
+                    writer.write(b"5\n")
+                    await writer.drain()
+                    assert await reader.readline() == b""  # EOF, not a hang
+                finally:
+                    writer.close()
+                    tcp.close()
+                    await tcp.wait_closed()
+
+        asyncio.run(run())
+
+    def test_tcp_bad_payload_answers_error_and_survives(self, published):
+        # A dict message with a non-dict sample raises TypeError inside
+        # the handler; it must come back as an error line, not kill the
+        # responder or leak the connection.
+        async def run():
+            async with make_server(published) as server:
+                tcp = await serve_tcp(server)
+                port = tcp.sockets[0].getsockname()[1]
+                client = await TcpClient.connect("127.0.0.1", port)
+                try:
+                    with pytest.raises(RuntimeError, match="server error"):
+                        await client._roundtrip({"op": "score", "sample": 42})
+                    assert await client.ping()  # connection survives
                 finally:
                     await client.close()
                     tcp.close()
