@@ -80,6 +80,7 @@ from repro.experiments.scenario_sweep import (
     run_scenario_sweep,
 )
 from repro.experiments.runner import POLICY_NAMES
+from repro.data.scenarios import canonical_scenario
 from repro.nn.backend import set_backend
 from repro.registry import (
     AGGREGATORS,
@@ -330,6 +331,12 @@ EXPERIMENTS: Dict[str, Callable[..., str]] = {
 }
 
 
+def _entry_line(entry) -> str:
+    alias_note = f" (aliases: {', '.join(entry.aliases)})" if entry.aliases else ""
+    label = "" if entry.display_label == entry.name else entry.display_label
+    return f"  {entry.name:<18} {label}{alias_note}".rstrip()
+
+
 def _format_listing() -> str:
     """The --list report: experiment ids and every registry's contents."""
     lines = ["experiments:"]
@@ -345,13 +352,25 @@ def _format_listing() -> str:
         AGGREGATORS,
         SERVE_POLICIES,
     ):
-        lines.append(f"{plurals.get(registry.kind, registry.kind + 's')}:")
-        for entry in registry.entries():
-            alias_note = (
-                f" (aliases: {', '.join(entry.aliases)})" if entry.aliases else ""
+        if registry is SCENARIOS:
+            # Base streams and composable wrappers are different things:
+            # wrappers stack over any scenario via composition syntax.
+            wrappers = [
+                e for e in registry.entries() if e.metadata.get("kind") == "wrapper"
+            ]
+            bases = [
+                e for e in registry.entries() if e.metadata.get("kind") != "wrapper"
+            ]
+            lines.append("scenarios:")
+            lines += [_entry_line(e) for e in bases]
+            lines.append("scenario wrappers (compose over any scenario):")
+            lines += [_entry_line(e) for e in wrappers]
+            lines.append(
+                '  composition syntax: --scenario "corrupted(bursty(imbalanced))"'
             )
-            label = "" if entry.display_label == entry.name else entry.display_label
-            lines.append(f"  {entry.name:<18} {label}{alias_note}".rstrip())
+            continue
+        lines.append(f"{plurals.get(registry.kind, registry.kind + 's')}:")
+        lines += [_entry_line(entry) for entry in registry.entries()]
     return "\n".join(lines)
 
 
@@ -397,8 +416,9 @@ def main(argv: list[str] | None = None) -> int:
         "--scenario",
         default=None,
         help="stream scenario (any registered scenario name/alias, e.g. "
-        "cyclic-drift or bursty) for stream runs, or the single scenario "
-        "of scenario-sweep (default: the full registered roster)",
+        "cyclic-drift or bursty, or a wrapper composition such as "
+        '"corrupted(bursty(imbalanced))") for stream runs, or the single '
+        "scenario of scenario-sweep (default: the full registered roster)",
     )
     parser.add_argument(
         "--aggregator",
@@ -485,8 +505,9 @@ def main(argv: list[str] | None = None) -> int:
                 "(its stream shape is fixed by the paper's protocol)"
             )
         try:
-            extra["scenario"] = SCENARIOS.get(args.scenario).name
-        except KeyError as exc:
+            # resolves aliases, validates composition structure eagerly
+            extra["scenario"] = canonical_scenario(args.scenario)
+        except (KeyError, ValueError) as exc:
             parser.error(str(exc))
     if args.workers != 1:
         if not getattr(runner, "supports_workers", False):

@@ -23,10 +23,11 @@ from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
+from repro.data.scenarios import canonical_scenario
 from repro.experiments.config import StreamExperimentConfig, default_config
 from repro.experiments.parallel import SweepSpec, run_sweep
 from repro.experiments.runner import StreamRunResult
-from repro.registry import SCENARIOS, canonical_policy_names, scenario_names
+from repro.registry import canonical_policy_names, scenario_names
 from repro.utils.tables import format_table
 
 __all__ = [
@@ -75,8 +76,11 @@ def run_scenario_sweep(
     """Run every (scenario, policy, seed) cell and aggregate the grid.
 
     ``scenarios`` defaults to *every* registered scenario (plugins
-    included); names and aliases resolve through the ``SCENARIOS``
-    registry.  ``workers > 1`` fans the grid out over processes; the
+    included); names, aliases, and wrapper compositions
+    (``"corrupted(bursty(imbalanced))"``) all resolve through
+    :func:`~repro.data.scenarios.canonical_scenario`, so a composition
+    is one more grid row.  ``workers > 1`` fans the grid out over
+    processes; the
     merged result is identical to the serial one on every deterministic
     field.
     """
@@ -86,9 +90,10 @@ def run_scenario_sweep(
     roster = scenario_names() if scenarios is None else list(scenarios)
     if not roster:
         raise ValueError("need at least one scenario")
-    # canonicalize, then dedupe (an alias plus its canonical name must
-    # not double a grid row), keeping first-mention order
-    roster = tuple(dict.fromkeys(SCENARIOS.get(name).name for name in roster))
+    # canonicalize (aliases collapse, compositions re-render in canonical
+    # form), then dedupe — an alias plus its canonical spelling must not
+    # double a grid row — keeping first-mention order
+    roster = tuple(dict.fromkeys(canonical_scenario(name) for name in roster))
     policies = tuple(dict.fromkeys(canonical_policy_names(policies)))
     if not policies:
         raise ValueError("need at least one policy")

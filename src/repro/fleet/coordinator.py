@@ -42,6 +42,7 @@ from typing import Any, Dict, List, Optional, Sequence, Tuple
 import numpy as np
 
 from repro.device.cost_model import DEVICE_PROFILES, iteration_compute_cost
+from repro.data.scenarios import canonical_scenario
 from repro.experiments.config import StreamExperimentConfig
 from repro.experiments.parallel import result_fingerprint, run_jobs
 from repro.fleet.aggregators import (
@@ -55,7 +56,6 @@ from repro.registry import (
     AGGREGATORS,
     BACKENDS,
     POLICIES,
-    SCENARIOS,
     UnknownComponentError,
 )
 from repro.session import (
@@ -427,8 +427,8 @@ class FleetCoordinator:
             raise ValueError(f"{where}.policy: {exc}") from exc
         scenario = spec.scenario if spec.scenario is not None else base.scenario
         try:
-            scenario = SCENARIOS.get(scenario).name
-        except UnknownComponentError as exc:
+            scenario = canonical_scenario(scenario)
+        except (UnknownComponentError, ValueError) as exc:
             raise ValueError(f"{where}.scenario: {exc}") from exc
         backend = spec.backend if spec.backend is not None else base.backend
         if spec.backend is not None:

@@ -67,6 +67,8 @@ __all__ = [
     "augment_names",
     "backend_names",
     "scenario_names",
+    "scenario_wrapper_names",
+    "scenario_base_names",
     "aggregator_names",
     "serve_policy_names",
 ]
@@ -493,6 +495,30 @@ def backend_names() -> List[str]:
 def scenario_names() -> List[str]:
     """Sorted names of all registered stream scenarios."""
     return SCENARIOS.names()
+
+
+def scenario_wrapper_names() -> List[str]:
+    """Sorted names of scenarios registered as wrappers.
+
+    Wrappers pass ``kind="wrapper"`` metadata at registration and
+    compose over any scenario via composition syntax
+    (``"corrupted(bursty(imbalanced))"``); see
+    :mod:`repro.data.scenarios`.
+    """
+    return [
+        entry.name
+        for entry in SCENARIOS.entries()
+        if entry.metadata.get("kind") == "wrapper"
+    ]
+
+
+def scenario_base_names() -> List[str]:
+    """Sorted names of scenarios that are base streams (not wrappers)."""
+    return [
+        entry.name
+        for entry in SCENARIOS.entries()
+        if entry.metadata.get("kind") != "wrapper"
+    ]
 
 
 def aggregator_names() -> List[str]:

@@ -40,11 +40,17 @@ def greedy_k_center(features: np.ndarray, k: int) -> np.ndarray:
     first = int(np.linalg.norm(features - centroid, axis=1).argmin())
     centers = [first]
     min_dist = np.linalg.norm(features - features[first], axis=1)
+    # Chosen centers are marked -inf so they can never be re-picked: a
+    # pool with exact duplicates (bursty streams repeat frames) drives
+    # every remaining min_dist to 0 once the distinct points are
+    # exhausted, and a plain argmax would then return index 0 again.
+    min_dist[first] = -np.inf
     for _ in range(k - 1):
         nxt = int(min_dist.argmax())
         centers.append(nxt)
         dist = np.linalg.norm(features - features[nxt], axis=1)
         min_dist = np.minimum(min_dist, dist)
+        min_dist[nxt] = -np.inf
     return np.array(sorted(centers), dtype=np.int64)
 
 

@@ -43,11 +43,11 @@ import numpy as np
 from repro.core.framework import OnDeviceContrastiveLearner, StepStats
 from repro.core.replacement import ContrastScoringPolicy
 from repro.core.scoring import ContrastScorer
-from repro.data.scenarios import StreamSource, create_scenario
+from repro.data.scenarios import StreamSource, canonical_scenario, create_scenario
 from repro.metrics.curves import LearningCurve
 from repro.nn.backend import use_backend
 from repro.nn.projection import ProjectionHead
-from repro.registry import AUGMENTS, ENCODERS, POLICIES, SCENARIOS, create_policy
+from repro.registry import AUGMENTS, ENCODERS, POLICIES, create_policy
 from repro.selection.base import ReplacementPolicy
 from repro.train.classifier import evaluate_encoder
 from repro.train.knn import KnnProbe
@@ -425,7 +425,7 @@ class Session:
         # ("cs", "cyclic", ...) were selected.
         self._policy_name = POLICIES.get(self._policy_name).name
         self.config = self.config.with_(
-            scenario=SCENARIOS.get(self.config.scenario).name
+            scenario=canonical_scenario(self.config.scenario)
         )
         config = self.config
         if (

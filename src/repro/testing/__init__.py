@@ -1,0 +1,30 @@
+"""Generative correctness harnesses for the framework.
+
+The first resident is the scenario fuzzer
+(:mod:`repro.testing.scenario_fuzzer`): seeded random wrapper
+compositions driven through stream invariants and short policy
+Sessions, with a committed regression corpus replayed by tier-1
+(``tests/property/scenario_corpus.json``).
+"""
+
+from repro.testing.scenario_fuzzer import (
+    CliffReport,
+    FuzzFinding,
+    FuzzReport,
+    check_stream_invariants,
+    fuzz_campaign,
+    generate_composition,
+    replay_case,
+    tiny_fuzz_config,
+)
+
+__all__ = [
+    "CliffReport",
+    "FuzzFinding",
+    "FuzzReport",
+    "check_stream_invariants",
+    "fuzz_campaign",
+    "generate_composition",
+    "replay_case",
+    "tiny_fuzz_config",
+]

@@ -1,0 +1,13 @@
+"""``python -m repro.testing`` — the scenario fuzz campaign CLI.
+
+Delegates to :func:`repro.testing.scenario_fuzzer._main`; running the
+package (rather than the submodule) avoids importing the fuzzer twice
+under two module names.
+"""
+
+import sys
+
+from repro.testing.scenario_fuzzer import _main
+
+if __name__ == "__main__":
+    sys.exit(_main())

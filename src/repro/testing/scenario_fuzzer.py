@@ -1,0 +1,713 @@
+"""Generative scenario fuzzer: property-test every policy against the
+composition space.
+
+The scenario algebra (:mod:`repro.data.scenarios`) makes the space of
+streams combinatorial — any stack of wrappers over any base, each node
+with options.  The six hand-built scenarios only ever exercised six
+points of that space; the interesting failures live in the
+cross-products nobody wrote a test for.  This module generates seeded
+random compositions and checks the invariants that must hold for *any*
+of them:
+
+``build``
+    ``create_scenario`` constructs the composition without crashing and
+    the result satisfies the :class:`~repro.data.scenarios.StreamSource`
+    protocol.
+``canonical-round-trip``
+    ``canonical_scenario`` is idempotent and its output survives a JSON
+    round trip bitwise (the checkpoint / sweep wire-payload property).
+``eager-validation``
+    ``segments()`` rejects bad arguments at the call, not on first
+    iteration, no matter how deep the composition.
+``label-contract``
+    Every wrapper layer honors its declared
+    :attr:`~repro.data.scenarios.StreamWrapper.label_contract`:
+    ``bitwise`` layers pass labels through untouched; ``subset`` layers
+    emit only genuine (image, label) pairs produced by their base.
+``resume-bitwise``
+    A mid-stream ``state_dict`` (JSON round-tripped) plus the driving
+    RNG state reproduces the continuation bitwise.
+``session``
+    Every registered policy runs a short :class:`~repro.session.Session`
+    through the composition without crashing, returning a sane kNN
+    accuracy.
+``sweep-fingerprint``
+    ``run_sweep`` over the composition is bitwise identical serial vs
+    parallel (``result_fingerprint``).
+
+A separate *cliff detector* compares each (composition, policy) final
+kNN accuracy against the same policy's flat-``temporal`` baseline:
+falling below ``cliff_floor`` of the baseline is *reported* (a
+:class:`CliffReport`), not failed — catastrophic forgetting under an
+adversarial stream is a finding about the policy, not a bug in the
+framework.
+
+Falsified compositions must land in the committed regression corpus
+(``tests/property/scenario_corpus.json``), which tier-1 replays as
+named cases forever (:func:`replay_case`).  The module doubles as the
+nightly CI entry point::
+
+    python -m repro.testing --count 200 --seed 0 --out fuzz_findings.json
+
+exits non-zero when any invariant is falsified and writes the failing
+cases in corpus-entry format, ready to be appended to the corpus.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.data.composition import ScenarioExpr, format_scenario, parse_scenario
+from repro.data.scenarios import (
+    StreamWrapper,
+    canonical_scenario,
+    create_scenario,
+)
+from repro.data.stream import StreamSegment
+from repro.data.synthetic import SyntheticConfig, SyntheticImageDataset
+from repro.experiments.config import StreamExperimentConfig
+from repro.experiments.parallel import SweepSpec, result_fingerprint, run_sweep
+from repro.registry import policy_names
+from repro.session import Session
+
+__all__ = [
+    "BASE_SPACE",
+    "WRAPPER_SPACE",
+    "CliffReport",
+    "FuzzFinding",
+    "FuzzReport",
+    "check_label_contracts",
+    "check_stream_invariants",
+    "fuzz_campaign",
+    "generate_composition",
+    "replay_case",
+    "tiny_fuzz_config",
+]
+
+#: Option spaces the generator draws from.  Values are chosen to stay
+#: *valid* — the fuzzer hunts for crashes on well-formed compositions;
+#: malformed inputs are covered by the deterministic error-path tests.
+BASE_SPACE: Dict[str, Dict[str, list]] = {
+    "temporal": {},
+    "drift": {"num_phases": [2, 3]},
+    "cyclic-drift": {"num_environments": [2, 3], "cycles": [2]},
+    "bursty": {"burst_prob": [0.0, 0.25, 0.75], "burst_stc": [8, 16]},
+    "imbalanced": {"imbalance": [0.05, 0.3, 1.0]},
+}
+
+WRAPPER_SPACE: Dict[str, Dict[str, list]] = {
+    "corrupted": {
+        "noise_std": [0.0, 0.1, 0.3],
+        "corruption_levels": [2, 3],
+        "blur": [True, False],
+        "corruption_phase_length": [4, 8, 16],
+    },
+    "label-shift": {
+        "num_phases": [2, 3],
+        "shift": [0.05, 0.2, 1.0],
+        "shift_phase_length": [4, 8, 16],
+    },
+    "adversarial": {
+        "lookahead": [2, 3, 4],
+        "adversarial_phase_length": [4, 8],
+    },
+    # bursty composes as a re-timing wrapper when given a child
+    "bursty": {"burst_prob": [0.0, 0.25, 0.75], "burst_stc": [8, 16]},
+}
+
+#: Fraction of a policy's flat-temporal baseline below which a
+#: composition's final kNN accuracy is reported as a forgetting cliff.
+DEFAULT_CLIFF_FLOOR = 0.5
+
+
+@dataclass(frozen=True)
+class FuzzFinding:
+    """One falsified invariant: the composition, what broke, and how."""
+
+    scenario: str
+    seed: int
+    invariant: str
+    detail: str
+    policy: Optional[str] = None
+
+    def corpus_entry(self) -> dict:
+        """The JSON shape the regression corpus commits."""
+        entry = {
+            "name": f"fuzz-seed{self.seed}-{self.invariant}",
+            "scenario": self.scenario,
+            "seed": self.seed,
+            "reason": f"{self.invariant}: {self.detail}",
+        }
+        if self.policy is not None:
+            entry["policies"] = [self.policy]
+        return entry
+
+
+@dataclass(frozen=True)
+class CliffReport:
+    """A catastrophic-forgetting cliff: reported, never failed."""
+
+    scenario: str
+    policy: str
+    seed: int
+    accuracy: float
+    baseline: float
+    floor: float
+
+    def to_dict(self) -> dict:
+        return {
+            "scenario": self.scenario,
+            "policy": self.policy,
+            "seed": self.seed,
+            "accuracy": self.accuracy,
+            "baseline": self.baseline,
+            "floor": self.floor,
+        }
+
+
+@dataclass
+class FuzzReport:
+    """Everything one campaign did: compositions, findings, cliffs."""
+
+    seed: int
+    compositions: List[str] = field(default_factory=list)
+    findings: List[FuzzFinding] = field(default_factory=list)
+    cliffs: List[CliffReport] = field(default_factory=list)
+    sessions_run: int = 0
+    sweeps_checked: int = 0
+
+    @property
+    def ok(self) -> bool:
+        """True when no invariant was falsified (cliffs don't fail)."""
+        return not self.findings
+
+    def to_dict(self) -> dict:
+        return {
+            "seed": self.seed,
+            "compositions": list(self.compositions),
+            "sessions_run": self.sessions_run,
+            "sweeps_checked": self.sweeps_checked,
+            "findings": [f.corpus_entry() for f in self.findings],
+            "cliffs": [c.to_dict() for c in self.cliffs],
+        }
+
+
+def tiny_fuzz_config(seed: int = 0) -> StreamExperimentConfig:
+    """The short-Session operating point the fuzzer drives policies at.
+
+    Small enough that a (composition × policy) cell costs well under a
+    second; big enough that the stream crosses several wrapper phases.
+    """
+    return StreamExperimentConfig(
+        dataset="cifar10",
+        image_size=8,
+        stc=4,
+        total_samples=64,
+        buffer_size=8,
+        encoder_widths=(8, 16),
+        encoder_blocks=1,
+        projection_dim=8,
+        probe_train_per_class=2,
+        probe_test_per_class=2,
+        probe_epochs=2,
+        seed=seed,
+    )
+
+
+# ----------------------------------------------------------------------
+# Composition generation.
+# ----------------------------------------------------------------------
+def _draw_options(rng: np.random.Generator, space: Dict[str, list]) -> tuple:
+    options = []
+    for key, values in space.items():
+        if rng.random() < 0.5:
+            options.append((key, values[int(rng.integers(0, len(values)))]))
+    return tuple(options)
+
+
+def generate_composition(
+    rng: np.random.Generator, max_depth: int = 3
+) -> str:
+    """Draw one random canonical composition string.
+
+    The base scenario, wrapper stack depth (0..``max_depth``), wrapper
+    order, and every node's options are all drawn from ``rng``, so a
+    campaign seed reproduces its exact composition sequence.
+    """
+    bases = sorted(BASE_SPACE)
+    wrappers = sorted(WRAPPER_SPACE)
+    base = bases[int(rng.integers(0, len(bases)))]
+    expr = ScenarioExpr(base, options=_draw_options(rng, BASE_SPACE[base]))
+    depth = int(rng.integers(0, max_depth + 1))
+    for _ in range(depth):
+        wrapper = wrappers[int(rng.integers(0, len(wrappers)))]
+        expr = ScenarioExpr(
+            wrapper,
+            child=expr,
+            options=_draw_options(rng, WRAPPER_SPACE[wrapper]),
+        )
+    return format_scenario(expr)
+
+
+# ----------------------------------------------------------------------
+# Stream-level invariants.
+# ----------------------------------------------------------------------
+def _fuzz_dataset(seed: int) -> SyntheticImageDataset:
+    return SyntheticImageDataset(
+        SyntheticConfig(
+            name="fuzz", num_classes=10, image_size=8, content_seed=seed
+        )
+    )
+
+
+def _build(scenario: str, seed: int, total_samples: int = 64):
+    dataset = _fuzz_dataset(seed)
+    rng = np.random.default_rng(seed)
+    return create_scenario(
+        scenario, dataset=dataset, stc=4, rng=rng, total_samples=total_samples
+    )
+
+
+def _pair_key(image: np.ndarray, label: int) -> tuple:
+    return (int(label), image.tobytes())
+
+
+def check_label_contracts(
+    stream, segment_size: int = 16, num_segments: int = 4
+) -> List[str]:
+    """Verify every wrapper layer's declared label contract.
+
+    Each layer boundary gets a recording shim on ``base.next_segment``;
+    one streaming pass then yields, for every wrapper, both its inputs
+    (what its base produced) and its outputs (what the next-outer
+    boundary recorded).  Returns human-readable violation strings.
+    """
+    layers: List[StreamWrapper] = []
+    node = stream
+    while isinstance(node, StreamWrapper):
+        layers.append(node)
+        node = node.base
+    if not layers:
+        return []
+
+    records: Dict[int, List[StreamSegment]] = {i: [] for i in range(len(layers))}
+    originals: List[Callable] = []
+    for i, layer in enumerate(layers):
+        original = layer.base.next_segment
+
+        def shim(size, _original=original, _i=i):
+            segment = _original(size)
+            records[_i].append(segment)
+            return segment
+
+        originals.append(original)
+        layer.base.next_segment = shim
+
+    try:
+        outputs = [stream.next_segment(segment_size) for _ in range(num_segments)]
+    finally:
+        for layer in layers:
+            del layer.base.next_segment  # uncover the bound method
+
+    problems: List[str] = []
+    for i, layer in enumerate(layers):
+        produced = outputs if i == 0 else records[i - 1]
+        consumed = records[i]
+        name = type(layer).__name__
+        if layer.label_contract == "bitwise":
+            if len(produced) != len(consumed):
+                problems.append(
+                    f"{name}: bitwise contract but {len(consumed)} base calls "
+                    f"for {len(produced)} emitted segments"
+                )
+                continue
+            for out, inp in zip(produced, consumed):
+                if not np.array_equal(out.labels, inp.labels):
+                    problems.append(
+                        f"{name}: labels changed across a bitwise layer at "
+                        f"start_index {out.start_index}"
+                    )
+                    break
+        elif layer.label_contract == "subset":
+            known = set()
+            for inp in consumed:
+                for image, label in zip(inp.images, inp.labels):
+                    known.add(_pair_key(image, label))
+            for out in produced:
+                for image, label in zip(out.images, out.labels):
+                    if _pair_key(image, label) not in known:
+                        problems.append(
+                            f"{name}: emitted a (image, label={int(label)}) "
+                            "pair its base never produced"
+                        )
+                        break
+                else:
+                    continue
+                break
+        else:
+            problems.append(
+                f"{name}: unknown label_contract {layer.label_contract!r}"
+            )
+    return problems
+
+
+def check_stream_invariants(scenario: str, seed: int) -> List[FuzzFinding]:
+    """Run every stream-level invariant on one composition."""
+    findings: List[FuzzFinding] = []
+
+    def fail(invariant: str, detail: str) -> None:
+        findings.append(
+            FuzzFinding(
+                scenario=scenario, seed=seed, invariant=invariant, detail=detail
+            )
+        )
+
+    # canonical round trip (pure string level, no construction needed)
+    try:
+        canonical = canonical_scenario(scenario)
+        again = canonical_scenario(canonical)
+        if again != canonical:
+            fail(
+                "canonical-round-trip",
+                f"not idempotent: {canonical!r} -> {again!r}",
+            )
+        wired = json.loads(json.dumps(canonical))
+        if wired != canonical:
+            fail("canonical-round-trip", "JSON round trip changed the string")
+        if parse_scenario(canonical) != parse_scenario(scenario):
+            fail("canonical-round-trip", "canonical form parses differently")
+    except Exception as error:  # noqa: BLE001 - the fuzzer reports, not raises
+        fail("canonical-round-trip", f"{type(error).__name__}: {error}")
+        return findings
+
+    # construction
+    try:
+        stream = _build(scenario, seed)
+    except Exception as error:  # noqa: BLE001
+        fail("build", f"{type(error).__name__}: {error}")
+        return findings
+
+    # eager segments() validation survives any nesting depth
+    for bad_args, expected in (((0, 16), "segment_size"), ((4, -1), "total_samples")):
+        try:
+            stream.segments(*bad_args)
+            fail(
+                "eager-validation",
+                f"segments{bad_args} did not raise at the call",
+            )
+        except ValueError as error:
+            if expected not in str(error):
+                fail(
+                    "eager-validation",
+                    f"segments{bad_args} raised without naming {expected}: "
+                    f"{error}",
+                )
+        except Exception as error:  # noqa: BLE001
+            fail(
+                "eager-validation",
+                f"segments{bad_args} raised {type(error).__name__}, expected "
+                f"ValueError: {error}",
+            )
+
+    # per-layer label contracts
+    try:
+        for problem in check_label_contracts(_build(scenario, seed)):
+            fail("label-contract", problem)
+    except Exception as error:  # noqa: BLE001
+        fail("label-contract", f"{type(error).__name__}: {error}")
+
+    # bitwise mid-stream resume through a JSON-serialized state_dict
+    try:
+        stream = _build(scenario, seed)
+        stream.next_segment(13)
+        state = json.loads(json.dumps(stream.state_dict()))
+        rng_state = stream.rng.bit_generator.state
+        first = stream.next_segment(17)
+        stream.load_state_dict(state)
+        stream.rng.bit_generator.state = rng_state
+        second = stream.next_segment(17)
+        if not (
+            np.array_equal(first.images, second.images)
+            and np.array_equal(first.labels, second.labels)
+            and first.start_index == second.start_index
+        ):
+            fail("resume-bitwise", "continuation diverged after state restore")
+    except Exception as error:  # noqa: BLE001
+        fail("resume-bitwise", f"{type(error).__name__}: {error}")
+
+    return findings
+
+
+# ----------------------------------------------------------------------
+# Session-level checks.
+# ----------------------------------------------------------------------
+def _run_session(
+    scenario: str, policy: str, config: StreamExperimentConfig
+) -> float:
+    result = (
+        Session(config, policy).with_scenario(scenario).with_eval_points(1).run()
+    )
+    return float(result.info["final_knn_accuracy"])
+
+
+def check_policies(
+    scenario: str,
+    seed: int,
+    policies: Sequence[str],
+    config: StreamExperimentConfig,
+    baselines: Dict[str, float],
+    cliff_floor: float = DEFAULT_CLIFF_FLOOR,
+) -> Tuple[List[FuzzFinding], List[CliffReport]]:
+    """Drive every policy through a short Session on the composition."""
+    findings: List[FuzzFinding] = []
+    cliffs: List[CliffReport] = []
+    for policy in policies:
+        try:
+            accuracy = _run_session(scenario, policy, config)
+        except Exception as error:  # noqa: BLE001
+            findings.append(
+                FuzzFinding(
+                    scenario=scenario,
+                    seed=seed,
+                    invariant="session",
+                    detail=f"{type(error).__name__}: {error}",
+                    policy=policy,
+                )
+            )
+            continue
+        if not 0.0 <= accuracy <= 1.0:
+            findings.append(
+                FuzzFinding(
+                    scenario=scenario,
+                    seed=seed,
+                    invariant="session",
+                    detail=f"final kNN accuracy out of range: {accuracy}",
+                    policy=policy,
+                )
+            )
+            continue
+        baseline = baselines.get(policy)
+        if baseline is not None and accuracy < cliff_floor * baseline:
+            cliffs.append(
+                CliffReport(
+                    scenario=scenario,
+                    policy=policy,
+                    seed=seed,
+                    accuracy=accuracy,
+                    baseline=baseline,
+                    floor=cliff_floor,
+                )
+            )
+    return findings, cliffs
+
+
+def check_sweep_fingerprint(
+    scenario: str,
+    seed: int,
+    policies: Sequence[str],
+    config: StreamExperimentConfig,
+) -> List[FuzzFinding]:
+    """Serial == parallel sweep fingerprints over the composition."""
+    specs = [
+        SweepSpec(
+            config=config.with_(scenario=scenario),
+            policy=policy,
+            eval_points=1,
+            tag=f"fuzz/{scenario}/{policy}",
+        )
+        for policy in policies
+    ]
+    try:
+        serial = run_sweep(specs, workers=1)
+        parallel = run_sweep(specs, workers=2)
+        for policy, left, right in zip(policies, serial, parallel):
+            if result_fingerprint(left) != result_fingerprint(right):
+                return [
+                    FuzzFinding(
+                        scenario=scenario,
+                        seed=seed,
+                        invariant="sweep-fingerprint",
+                        detail="serial and parallel fingerprints differ",
+                        policy=policy,
+                    )
+                ]
+    except Exception as error:  # noqa: BLE001
+        return [
+            FuzzFinding(
+                scenario=scenario,
+                seed=seed,
+                invariant="sweep-fingerprint",
+                detail=f"{type(error).__name__}: {error}",
+            )
+        ]
+    return []
+
+
+# ----------------------------------------------------------------------
+# The campaign driver and corpus replay.
+# ----------------------------------------------------------------------
+def fuzz_campaign(
+    num_compositions: int = 200,
+    seed: int = 0,
+    policies: Optional[Sequence[str]] = None,
+    max_depth: int = 3,
+    session_stride: int = 1,
+    sweep_stride: int = 0,
+    cliff_floor: float = DEFAULT_CLIFF_FLOOR,
+    config: Optional[StreamExperimentConfig] = None,
+    progress: Optional[Callable[[str], None]] = None,
+) -> FuzzReport:
+    """Generate ``num_compositions`` seeded compositions and check them.
+
+    Stream-level invariants run on *every* composition.  Policy
+    Sessions run on every ``session_stride``-th composition (1 = all;
+    the tier-1 smoke raises the stride to stay fast), and the
+    serial==parallel sweep check on every ``sweep_stride``-th (0 =
+    never).  Returns a :class:`FuzzReport`; falsified cases belong in
+    ``tests/property/scenario_corpus.json``.
+    """
+    if num_compositions < 1:
+        raise ValueError(
+            f"num_compositions must be >= 1, got {num_compositions}"
+        )
+    if session_stride < 1:
+        raise ValueError(f"session_stride must be >= 1, got {session_stride}")
+    policies = tuple(policy_names() if policies is None else policies)
+    config = tiny_fuzz_config(seed) if config is None else config
+    report = FuzzReport(seed=seed)
+
+    baselines: Dict[str, float] = {}
+    for policy in policies:
+        try:
+            baselines[policy] = _run_session("temporal", policy, config)
+        except Exception as error:  # noqa: BLE001
+            report.findings.append(
+                FuzzFinding(
+                    scenario="temporal",
+                    seed=seed,
+                    invariant="session",
+                    detail=f"baseline run failed: {type(error).__name__}: "
+                    f"{error}",
+                    policy=policy,
+                )
+            )
+    report.sessions_run += len(baselines)
+
+    rng = np.random.default_rng(seed)
+    for index in range(num_compositions):
+        scenario = generate_composition(rng, max_depth=max_depth)
+        report.compositions.append(scenario)
+        case_seed = seed + index
+        if progress is not None:
+            progress(f"[{index + 1}/{num_compositions}] {scenario}")
+        report.findings.extend(check_stream_invariants(scenario, case_seed))
+        if index % session_stride == 0:
+            findings, cliffs = check_policies(
+                scenario,
+                case_seed,
+                policies,
+                config,
+                baselines,
+                cliff_floor=cliff_floor,
+            )
+            report.findings.extend(findings)
+            report.cliffs.extend(cliffs)
+            report.sessions_run += len(policies)
+        if sweep_stride and index % sweep_stride == 0:
+            report.findings.extend(
+                check_sweep_fingerprint(
+                    scenario, case_seed, policies[:2], config
+                )
+            )
+            report.sweeps_checked += 1
+    return report
+
+
+def replay_case(
+    case: dict, policies: Optional[Sequence[str]] = None
+) -> List[FuzzFinding]:
+    """Re-check one committed corpus entry (the tier-1 replay harness).
+
+    ``case`` is an entry of ``tests/property/scenario_corpus.json``:
+    ``{"name", "scenario", "seed", "policies"?, "reason"?}``.  Runs the
+    full stream-invariant battery plus a Session per listed policy and
+    returns any findings (empty = the regression stays fixed).
+    """
+    scenario = case["scenario"]
+    seed = int(case.get("seed", 0))
+    findings = check_stream_invariants(scenario, seed)
+    roster = case.get("policies") if policies is None else list(policies)
+    if roster:
+        config = tiny_fuzz_config(seed)
+        session_findings, _ = check_policies(
+            scenario, seed, roster, config, baselines={}
+        )
+        findings.extend(session_findings)
+    return findings
+
+
+def _main(argv: Optional[Sequence[str]] = None) -> int:
+    import argparse
+
+    parser = argparse.ArgumentParser(
+        prog="repro.testing",
+        description="Fuzz the scenario composition space (nightly CI job).",
+    )
+    parser.add_argument("--count", type=int, default=200)
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("--max-depth", type=int, default=3)
+    parser.add_argument(
+        "--session-stride",
+        type=int,
+        default=1,
+        help="drive policy Sessions on every Nth composition (1 = all)",
+    )
+    parser.add_argument(
+        "--sweep-stride",
+        type=int,
+        default=0,
+        help="serial==parallel sweep check on every Nth composition "
+        "(0 = never)",
+    )
+    parser.add_argument(
+        "--out",
+        default=None,
+        help="write the full report (findings in corpus-entry format) here",
+    )
+    args = parser.parse_args(argv)
+
+    report = fuzz_campaign(
+        num_compositions=args.count,
+        seed=args.seed,
+        max_depth=args.max_depth,
+        session_stride=args.session_stride,
+        sweep_stride=args.sweep_stride,
+        progress=print,
+    )
+    print(
+        f"checked {len(report.compositions)} compositions, "
+        f"{report.sessions_run} sessions, {report.sweeps_checked} sweep "
+        f"checks: {len(report.findings)} falsified, "
+        f"{len(report.cliffs)} forgetting cliffs"
+    )
+    for finding in report.findings:
+        print(f"FALSIFIED {finding.scenario}: {finding.invariant}: "
+              f"{finding.detail}")
+    for cliff in report.cliffs:
+        print(
+            f"cliff: {cliff.policy} on {cliff.scenario}: "
+            f"{cliff.accuracy:.3f} < {cliff.floor} * {cliff.baseline:.3f}"
+        )
+    if args.out:
+        with open(args.out, "w", encoding="utf-8") as handle:
+            json.dump(report.to_dict(), handle, indent=2)
+        print(f"report written to {args.out}")
+    return 0 if report.ok else 1
+
+
+if __name__ == "__main__":  # pragma: no cover - CI entry point
+    raise SystemExit(_main())

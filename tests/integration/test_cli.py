@@ -227,6 +227,84 @@ class TestScenarioFlag:
         assert "robustness gap" in out
 
 
+class TestScenarioComposition:
+    def test_list_splits_bases_from_wrappers(self, capsys):
+        code = main(["--list"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "scenario wrappers (compose over any scenario):" in out
+        assert "composition syntax:" in out
+        assert 'corrupted(bursty(imbalanced))' in out
+        # wrappers listed under the wrapper section, not scenarios:
+        bases = out.split("scenario wrappers")[0]
+        wrappers = out.split("scenario wrappers")[1]
+        assert "label-shift" in wrappers and "adversarial" in wrappers
+        assert "label-shift" not in bases.split("policies:")[-1]
+
+    def test_stream_runs_composition_end_to_end(self, capsys, monkeypatch):
+        """The flagship composition survives the full CLI path: parse,
+        canonicalize, Session run, summary line."""
+        _tiny(monkeypatch)
+        code = main(
+            [
+                "stream",
+                "--policy",
+                "fifo",
+                "--scenario",
+                "corrupted(bursty(imbalanced))",
+            ]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "scenario=corrupted(bursty(imbalanced))" in out
+        assert "seen inputs" in out
+
+    def test_composition_canonicalized_before_run(self, capsys, monkeypatch):
+        """Aliases and spacing normalize to the canonical composition."""
+        _tiny(monkeypatch)
+        code = main(
+            [
+                "stream",
+                "--policy",
+                "fifo",
+                "--scenario",
+                " noisy( bursty( long-tail ) ) ",
+            ]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "scenario=corrupted(bursty(imbalanced))" in out
+
+    def test_malformed_composition_rejected_before_run(self, capsys):
+        with pytest.raises(SystemExit):
+            main(["stream", "--scenario", "corrupted(bursty("])
+        captured = capsys.readouterr()
+        assert "invalid scenario composition" in captured.err
+        assert "== stream" not in captured.out
+
+    def test_bad_wrapper_structure_rejected_with_path(self, capsys):
+        with pytest.raises(SystemExit):
+            main(["stream", "--scenario", "corrupted(temporal(bursty))"])
+        err = capsys.readouterr().err
+        assert "is a base scenario, not a wrapper" in err
+
+    def test_scenario_sweep_accepts_composition_rows(self, capsys, monkeypatch):
+        _tiny(monkeypatch)
+        code = main(
+            [
+                "scenario-sweep",
+                "--policy",
+                "fifo",
+                "--scenario",
+                "corrupted(bursty)",
+            ]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "corrupted(bursty)" in out
+        assert "robustness gap" in out
+
+
 class TestFleetFlags:
     @pytest.mark.parametrize("flag", ["--aggregator", "--devices", "--rounds"])
     def test_fleet_flags_rejected_outside_fleet(self, capsys, flag):

@@ -81,7 +81,10 @@ class TestSessionScenario:
         del payload["scenario"]
         assert config_from_dict(payload).scenario == "temporal"
 
-    @pytest.mark.parametrize("scenario", ["cyclic-drift", "corrupted"])
+    @pytest.mark.parametrize(
+        "scenario",
+        ["cyclic-drift", "corrupted", "corrupted(bursty(imbalanced))"],
+    )
     def test_checkpoint_resume_bitwise_with_scenario(
         self, tiny_config, tmp_path, scenario
     ):
@@ -191,6 +194,39 @@ class TestScenarioSweep:
         (roundtripped,) = run_sweep([restored])
         assert result_fingerprint(direct) == result_fingerprint(roundtripped)
         assert direct.config.scenario == "imbalanced"
+
+    def test_composition_rides_spec_payload_across_the_wire(self, tiny_config):
+        """Composition strings serialize into sweep payloads bitwise —
+        the canonical string comes back through a JSON round trip and
+        the run fingerprint is unchanged."""
+        composition = "corrupted(bursty(imbalanced),noise_std=0.3)"
+        spec = SweepSpec(
+            config=tiny_config.with_(scenario=composition), policy="fifo"
+        )
+        restored = SweepSpec.from_payload(
+            json.loads(json.dumps(spec.to_payload()))
+        )
+        assert restored.config.scenario == composition
+        (direct,) = run_sweep([spec])
+        (roundtripped,) = run_sweep([restored])
+        assert result_fingerprint(direct) == result_fingerprint(roundtripped)
+        assert direct.config.scenario == composition
+
+    def test_composition_grid_rows_parallel_equals_serial(self, tiny_config):
+        kwargs = dict(
+            scenarios=("corrupted(bursty)", "label-shift(imbalanced)"),
+            policies=("fifo",),
+            seeds=(0,),
+        )
+        serial = run_scenario_sweep(tiny_config, workers=1, **kwargs)
+        parallel = run_scenario_sweep(tiny_config, workers=2, **kwargs)
+        assert serial.scenarios == (
+            "corrupted(bursty)",
+            "label-shift(imbalanced)",
+        )
+        for key in serial.runs:
+            for a, b in zip(serial.runs[key], parallel.runs[key]):
+                assert result_fingerprint(a) == result_fingerprint(b)
 
     def test_format_renders_the_grid(self, tiny_config):
         result = run_scenario_sweep(

@@ -1,0 +1,222 @@
+"""Algebra laws for scenario composition.
+
+The wrapper-RNG derivation scheme (each layer seeds its own generator
+from a *cloned* probe of the offered rng, never advancing it) is what
+makes these laws hold; these tests pin them:
+
+* **label order-independence** — wrapping a base with any stack of
+  ``bitwise``-contract wrappers leaves the emitted label sequence
+  exactly the base's.
+* **identity** — a zero-severity ``corrupted`` wrapper is bitwise
+  invisible: images and labels equal the bare base.
+* **resume** — depth-3 nestings round-trip ``state_dict`` bitwise
+  mid-stream, under both nn backends.
+* **path errors** — a failing node deep in a composition names its
+  position with the outermost-first path prefix.
+"""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.data.scenarios import (
+    CorruptedStream,
+    StreamWrapper,
+    canonical_scenario,
+    create_scenario,
+)
+from repro.data.stream import TemporalStream
+from repro.data.synthetic import SyntheticConfig, SyntheticImageDataset
+from repro.nn.backend import use_backend
+
+
+@pytest.fixture
+def dataset():
+    return SyntheticImageDataset(
+        SyntheticConfig("algebra-test", num_classes=8, image_size=8)
+    )
+
+
+def make(name, dataset, seed=0, stc=4, total=64, **options):
+    return create_scenario(
+        name,
+        dataset=dataset,
+        stc=stc,
+        rng=np.random.default_rng(seed),
+        total_samples=total,
+        **options,
+    )
+
+
+def collect(source, segment_size=8, total=48):
+    segments = list(source.segments(segment_size, total))
+    return (
+        np.concatenate([s.images for s in segments]),
+        np.concatenate([s.labels for s in segments]),
+    )
+
+
+class TestLabelOrderIndependence:
+    """A bitwise-contract wrapper must not perturb the base label
+    process: the derived wrapper rng never advances the shared one."""
+
+    @pytest.mark.parametrize(
+        "base", ["temporal", "drift", "cyclic-drift", "bursty", "imbalanced"]
+    )
+    def test_corrupted_leaves_base_labels_untouched(self, dataset, base):
+        _, bare = collect(make(base, dataset, seed=11))
+        _, wrapped = collect(make(f"corrupted({base})", dataset, seed=11))
+        np.testing.assert_array_equal(bare, wrapped)
+
+    def test_stacked_corruption_still_bitwise_on_labels(self, dataset):
+        _, bare = collect(make("imbalanced", dataset, seed=4))
+        _, wrapped = collect(
+            make("corrupted(corrupted(imbalanced))", dataset, seed=4)
+        )
+        np.testing.assert_array_equal(bare, wrapped)
+
+
+class TestIdentityComposition:
+    def test_zero_severity_corruption_is_bitwise_identity(self, dataset):
+        bare_images, bare_labels = collect(make("imbalanced", dataset, seed=7))
+        wrapped_images, wrapped_labels = collect(
+            make(
+                "corrupted(imbalanced,noise_std=0.0,blur=false)",
+                dataset,
+                seed=7,
+            )
+        )
+        np.testing.assert_array_equal(bare_labels, wrapped_labels)
+        np.testing.assert_array_equal(bare_images, wrapped_images)
+
+    def test_burst_prob_zero_wrapper_is_bitwise_identity(self, dataset):
+        # a never-stretching bursty wrapper emits exactly what its base
+        # produces when pulled at stc granularity (the wrapper's probe
+        # size), bitwise and in order
+        bare_images, bare_labels = collect(
+            make("drift", dataset, seed=2), segment_size=4
+        )
+        wrapped_images, wrapped_labels = collect(
+            make("bursty(drift,burst_prob=0.0)", dataset, seed=2)
+        )
+        np.testing.assert_array_equal(bare_labels, wrapped_labels)
+        np.testing.assert_array_equal(bare_images, wrapped_images)
+
+
+class TestNestedLabelPassThrough:
+    """Regression: CorruptedStream nested N layers deep still passes
+    every label array through bitwise (the recording-shim check from the
+    single-layer test, generalized)."""
+
+    @pytest.mark.parametrize("layers", [1, 2, 3])
+    def test_n_layer_corruption_passes_labels_through(self, dataset, layers):
+        rng = np.random.default_rng(9)
+        base = TemporalStream(dataset, 4, rng)
+        emitted = []
+        original = base.next_segment
+
+        def recording(segment_size):
+            segment = original(segment_size)
+            emitted.append(segment.labels.copy())
+            return segment
+
+        base.next_segment = recording
+        stream = base
+        for _ in range(layers):
+            stream = CorruptedStream(stream, rng, phase_length=8, noise_std=0.2)
+        outputs = [stream.next_segment(8).labels for _ in range(6)]
+        assert len(emitted) == 6
+        for got, want in zip(outputs, emitted):
+            np.testing.assert_array_equal(got, want)
+
+
+DEPTH3 = [
+    "corrupted(bursty(imbalanced))",
+    "adversarial(corrupted(label-shift(temporal)))",
+    "label-shift(bursty(cyclic-drift,burst_prob=0.75),shift=0.2)",
+]
+
+
+class TestDeepStateRoundTrip:
+    @pytest.mark.parametrize("backend", ["numpy", "fused"])
+    @pytest.mark.parametrize("scenario", DEPTH3)
+    def test_depth3_state_dict_resumes_bitwise(self, dataset, backend, scenario):
+        with use_backend(backend):
+            source = make(scenario, dataset, seed=13)
+            source.next_segment(13)
+            state = json.loads(json.dumps(source.state_dict()))
+            rng_state = source.rng.bit_generator.state
+            after = source.next_segment(16)
+
+            clone = make(scenario, dataset, seed=13)
+            clone.load_state_dict(state)
+            clone.rng.bit_generator.state = rng_state
+            replay = clone.next_segment(16)
+        np.testing.assert_array_equal(after.labels, replay.labels)
+        np.testing.assert_array_equal(after.images, replay.images)
+        assert after.start_index == replay.start_index
+
+    @pytest.mark.parametrize("scenario", DEPTH3)
+    def test_rng_property_reaches_innermost_base(self, dataset, scenario):
+        source = make(scenario, dataset)
+        node = source
+        while isinstance(node, StreamWrapper):
+            node = node.base
+        assert source.rng is node.rng
+
+
+class TestCompositionPathErrors:
+    """A failing node names its position in the composition: the path is
+    rendered outermost-first, eliding layers below the failure."""
+
+    def test_failing_leaf_shows_full_path(self, dataset):
+        with pytest.raises(
+            ValueError,
+            match=r"corrupted\(bursty\(imbalanced\)\): imbalance must be in \(0, 1\], got 7",
+        ):
+            make("corrupted(bursty(imbalanced(imbalance=7)))", dataset)
+
+    def test_failing_wrapper_validation_keeps_prefix(self, dataset):
+        with pytest.raises(
+            ValueError,
+            match=r"adversarial\(bursty\): lookahead must be >= 2",
+        ):
+            make("adversarial(bursty,lookahead=1)", dataset)
+
+    def test_unknown_option_names_owning_node(self, dataset):
+        with pytest.raises(
+            TypeError,
+            match=r"corrupted\(bursty\(imbalanced\)\): scenario 'bursty' does not accept option\(s\): nope",
+        ):
+            make("corrupted(bursty(imbalanced,nope=1))", dataset)
+
+    def test_base_scenario_cannot_compose(self, dataset):
+        with pytest.raises(
+            ValueError,
+            match=r"'temporal' is a base scenario, not a wrapper",
+        ):
+            make("corrupted(temporal(bursty))", dataset)
+
+    def test_plain_name_calls_keep_bare_messages(self, dataset):
+        # back-compat: kwargs passed programmatically (no composition
+        # syntax) keep the original unprefixed message shape
+        with pytest.raises(ValueError, match=r"^imbalance must be in"):
+            make("imbalanced", dataset, imbalance=7)
+
+    def test_canonical_scenario_rejects_bad_compositions_eagerly(self):
+        with pytest.raises(ValueError, match="is a base scenario, not a wrapper"):
+            canonical_scenario("corrupted(temporal(bursty))")
+        # inside composition syntax the unknown-name error is re-wrapped
+        # as a plain ValueError carrying the path prefix
+        with pytest.raises(ValueError, match="unknown scenario"):
+            canonical_scenario("corrupted(not-a-scenario)")
+        # plain names keep the legacy UnknownComponentError (a KeyError)
+        with pytest.raises(KeyError, match="did you mean"):
+            canonical_scenario("cyclic-drif")
+
+    def test_canonical_scenario_normalizes_aliases_and_spacing(self):
+        assert (
+            canonical_scenario(" noisy( bursty( long-tail ) , noise_std = 0.50 ) ")
+            == "corrupted(bursty(imbalanced),noise_std=0.5)"
+        )

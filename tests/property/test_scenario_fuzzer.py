@@ -1,0 +1,240 @@
+"""Tests for the scenario fuzzer itself, plus the two jobs it performs
+in tier-1: a small always-on fuzz smoke over the composition space and
+the replay of the committed regression corpus as named cases.
+
+The "harness bites" tests register deliberately broken wrappers and
+check the invariant battery actually reports them — a fuzzer that can't
+fail is worse than no fuzzer."""
+
+import json
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from repro.data.scenarios import (
+    StreamWrapper,
+    create_scenario,
+    derive_wrapper_rng,
+)
+from repro.data.stream import StreamSegment, TemporalStream
+from repro.data.synthetic import SyntheticConfig, SyntheticImageDataset
+from repro.registry import SCENARIOS, register_scenario
+from repro.testing import (
+    FuzzReport,
+    check_stream_invariants,
+    fuzz_campaign,
+    generate_composition,
+    replay_case,
+)
+from repro.testing.scenario_fuzzer import check_label_contracts
+
+CORPUS_PATH = Path(__file__).parent / "scenario_corpus.json"
+CORPUS = json.loads(CORPUS_PATH.read_text(encoding="utf-8"))
+
+
+@pytest.fixture
+def dataset():
+    return SyntheticImageDataset(
+        SyntheticConfig("fuzzer-test", num_classes=8, image_size=8)
+    )
+
+
+class TestGenerator:
+    def test_deterministic_per_seed(self):
+        first = [generate_composition(np.random.default_rng(5)) for _ in range(20)]
+        second = [generate_composition(np.random.default_rng(5)) for _ in range(20)]
+        assert first == second
+
+    def test_seeds_differ(self):
+        a = [generate_composition(np.random.default_rng(0)) for _ in range(20)]
+        b = [generate_composition(np.random.default_rng(1)) for _ in range(20)]
+        assert a != b
+
+    def test_generates_canonical_strings(self):
+        from repro.data.scenarios import canonical_scenario
+
+        rng = np.random.default_rng(3)
+        for _ in range(50):
+            scenario = generate_composition(rng)
+            assert canonical_scenario(scenario) == scenario
+
+    def test_depth_is_bounded_and_reached(self):
+        rng = np.random.default_rng(7)
+        depths = [
+            generate_composition(rng, max_depth=3).count("(")
+            for _ in range(100)
+        ]
+        # "(" count over-approximates wrapper depth (options-only parens),
+        # but max_depth=3 means at most 4 nodes ... so <= 4 open parens
+        assert max(depths) <= 4
+        assert min(depths) == 0  # bare bases occur too
+
+
+class TestFuzzSmoke:
+    """The always-on tier-1 smoke: 20 compositions, stream invariants on
+    all of them, every policy driven on a stride. Zero falsifications."""
+
+    def test_smoke_campaign_is_clean(self):
+        report = fuzz_campaign(
+            num_compositions=20, seed=0, session_stride=5, sweep_stride=0
+        )
+        details = "\n".join(
+            f"{f.scenario}: {f.invariant}: {f.detail}" for f in report.findings
+        )
+        assert report.ok, f"fuzzer falsified compositions:\n{details}"
+        assert len(report.compositions) == 20
+        assert report.sessions_run > 0
+
+    def test_campaign_is_reproducible(self):
+        a = fuzz_campaign(num_compositions=6, seed=42, session_stride=6)
+        b = fuzz_campaign(num_compositions=6, seed=42, session_stride=6)
+        assert a.compositions == b.compositions
+        assert [f.corpus_entry() for f in a.findings] == [
+            f.corpus_entry() for f in b.findings
+        ]
+
+    def test_report_serializes(self):
+        report = fuzz_campaign(num_compositions=3, seed=1, session_stride=3)
+        assert isinstance(report, FuzzReport)
+        wire = json.loads(json.dumps(report.to_dict()))
+        assert wire["seed"] == 1
+        assert len(wire["compositions"]) == 3
+
+    def test_campaign_validates_arguments(self):
+        with pytest.raises(ValueError, match="num_compositions"):
+            fuzz_campaign(num_compositions=0)
+        with pytest.raises(ValueError, match="session_stride"):
+            fuzz_campaign(num_compositions=1, session_stride=0)
+
+
+class TestCorpusReplay:
+    """Every committed corpus entry replays clean, forever."""
+
+    def test_corpus_names_unique(self):
+        names = [case["name"] for case in CORPUS["cases"]]
+        assert len(names) == len(set(names))
+
+    @pytest.mark.parametrize(
+        "case",
+        CORPUS["cases"],
+        ids=[case["name"] for case in CORPUS["cases"]],
+    )
+    def test_corpus_case_replays_clean(self, case):
+        findings = replay_case(case)
+        details = "\n".join(
+            f"{f.invariant}: {f.detail}" for f in findings
+        )
+        assert not findings, (
+            f"regression corpus case {case['name']!r} "
+            f"({case['scenario']}) falsified again:\n{details}"
+        )
+
+
+class _LabelMangler(StreamWrapper):
+    """Claims bitwise labels, shifts them by one. The fuzzer must bite."""
+
+    label_contract = "bitwise"
+
+    def next_segment(self, segment_size):
+        segment = self.base.next_segment(segment_size)
+        labels = (segment.labels + 1) % 8
+        return StreamSegment(segment.images, labels, segment.start_index)
+
+
+class _SubsetCheater(StreamWrapper):
+    """Claims subset pairs, fabricates images its base never produced."""
+
+    label_contract = "subset"
+
+    def next_segment(self, segment_size):
+        segment = self.base.next_segment(segment_size)
+        return StreamSegment(
+            np.clip(segment.images + 0.25, 0.0, 1.0),
+            segment.labels,
+            segment.start_index,
+        )
+
+
+class _AmnesiacWrapper(StreamWrapper):
+    """Honest labels, but state_dict forgets its own progress."""
+
+    label_contract = "bitwise"
+
+    def __init__(self, base, rng):
+        super().__init__(base, rng)
+        self._drawn = 0
+
+    def next_segment(self, segment_size):
+        segment = self.base.next_segment(segment_size)
+        # wrapper-rng-driven transform whose draws are lost on resume
+        noise = self.wrapper_rng.normal(0.0, 0.1, size=segment.images.shape)
+        self._drawn += 1
+        images = np.clip(segment.images + noise.astype(np.float32), 0.0, 1.0)
+        return StreamSegment(images, segment.labels, segment.start_index)
+
+    def state_dict(self):
+        return {"base": self.base.state_dict()}  # wrapper_rng dropped
+
+    def load_state_dict(self, state):
+        self.base.load_state_dict(state["base"])
+
+
+class TestHarnessBites:
+    """Deliberately broken wrappers must be caught by the battery."""
+
+    def test_label_contract_check_catches_bitwise_violation(self, dataset):
+        rng = np.random.default_rng(0)
+        stream = _LabelMangler(TemporalStream(dataset, 4, rng), rng)
+        problems = check_label_contracts(stream)
+        assert any("labels changed across a bitwise layer" in p for p in problems)
+
+    def test_label_contract_check_catches_fabricated_pairs(self, dataset):
+        rng = np.random.default_rng(0)
+        stream = _SubsetCheater(TemporalStream(dataset, 4, rng), rng)
+        problems = check_label_contracts(stream)
+        assert any("never produced" in p for p in problems)
+
+    def test_honest_wrappers_pass_contract_check(self, dataset):
+        stream = create_scenario(
+            "corrupted(bursty(imbalanced))",
+            dataset=dataset,
+            stc=4,
+            rng=np.random.default_rng(0),
+            total_samples=64,
+        )
+        assert check_label_contracts(stream) == []
+
+    def test_stream_invariants_catch_broken_resume(self):
+        @register_scenario("amnesiac-test", kind="wrapper")
+        def amnesiac(dataset, stc, rng, base_source=None, wrapper_layer=0):
+            base = base_source or TemporalStream(dataset, stc, rng)
+            # a proper derived wrapper rng — which state_dict then loses
+            return _AmnesiacWrapper(
+                base, derive_wrapper_rng(rng, wrapper_layer, "amnesiac-test")
+            )
+
+        try:
+            findings = check_stream_invariants("amnesiac-test(temporal)", seed=0)
+        finally:
+            SCENARIOS.unregister("amnesiac-test")
+        assert any(f.invariant == "resume-bitwise" for f in findings)
+
+    def test_findings_render_corpus_entries(self):
+        rng = np.random.default_rng(0)
+
+        @register_scenario("mangler-test", kind="wrapper")
+        def mangler(dataset, stc, rng, base_source=None, wrapper_layer=0):
+            base = base_source or TemporalStream(dataset, stc, rng)
+            return _LabelMangler(base, rng)
+
+        try:
+            findings = check_stream_invariants("mangler-test(temporal)", seed=3)
+        finally:
+            SCENARIOS.unregister("mangler-test")
+        assert findings
+        entry = findings[0].corpus_entry()
+        assert entry["scenario"] == "mangler-test(temporal)"
+        assert entry["seed"] == 3
+        assert "label-contract" in entry["reason"]
+        json.dumps(entry)  # corpus entries must be JSON-serializable

@@ -45,6 +45,30 @@ def test_checker_detects_missing_name(checker, monkeypatch):
     assert any("SCENARIOS.md" in p for p in problems)
 
 
+def test_checker_detects_missing_wrapper(checker):
+    """A registered wrapper must appear in BOTH the scenarios and the
+    scenario-wrappers inventories (and get a SCENARIOS.md section)."""
+    from repro.registry import register_scenario, SCENARIOS
+    from repro.data.stream import TemporalStream
+
+    @register_scenario("undocumented-wrapper-test", kind="wrapper")
+    def undocumented(dataset, stc, rng, base_source=None, wrapper_layer=0):
+        return base_source or TemporalStream(dataset, stc, rng)
+
+    try:
+        problems = checker.check()
+    finally:
+        SCENARIOS.unregister("undocumented-wrapper-test")
+    assert any(
+        p.startswith("scenarios:") and "undocumented-wrapper-test" in p
+        for p in problems
+    )
+    assert any(
+        p.startswith("scenario-wrappers:") and "undocumented-wrapper-test" in p
+        for p in problems
+    )
+
+
 def test_checker_detects_missing_aggregator(checker):
     """Both directions for the AGGREGATORS registry too: an
     undocumented aggregator surfaces in the docs/API.md inventory and

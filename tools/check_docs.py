@@ -3,10 +3,11 @@
 Asserts, in both directions:
 
 * every experiment id (``repro.cli.EXPERIMENTS``), backend
-  (``BACKENDS``), scenario (``SCENARIOS``), aggregator
-  (``AGGREGATORS``), and serve admission policy (``SERVE_POLICIES``)
-  appears in the matching ``<!-- inventory:KIND -->`` block of
-  docs/API.md, and every name listed there is actually registered;
+  (``BACKENDS``), scenario (``SCENARIOS``), scenario wrapper
+  (``scenario_wrapper_names()``), aggregator (``AGGREGATORS``), and
+  serve admission policy (``SERVE_POLICIES``) appears in the matching
+  ``<!-- inventory:KIND -->`` block of docs/API.md, and every name
+  listed there is actually registered;
 * every registered scenario has a ``## `name` `` section in
   docs/SCENARIOS.md, and every such section names a registered
   scenario;
@@ -56,12 +57,19 @@ def parse_inventories(text: str) -> Dict[str, Set[str]]:
 def registered_names() -> Dict[str, Set[str]]:
     """The live registry contents the docs must mirror."""
     from repro.cli import EXPERIMENTS
-    from repro.registry import AGGREGATORS, BACKENDS, SCENARIOS, SERVE_POLICIES
+    from repro.registry import (
+        AGGREGATORS,
+        BACKENDS,
+        SCENARIOS,
+        SERVE_POLICIES,
+        scenario_wrapper_names,
+    )
 
     return {
         "experiments": set(EXPERIMENTS),
         "backends": set(BACKENDS.names()),
         "scenarios": set(SCENARIOS.names()),
+        "scenario-wrappers": set(scenario_wrapper_names()),
         "aggregators": set(AGGREGATORS.names()),
         "serve-policies": set(SERVE_POLICIES.names()),
     }
