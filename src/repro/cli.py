@@ -27,8 +27,12 @@ registered policy name or alias is accepted.  ``--workers N`` fans
 sweep-shaped experiments (``multi-seed``, ``table2``, ``ablation-stc``,
 ``scenario-sweep``, ``fleet``, ``fig4a``-``fig6b``) out over N worker
 processes via :mod:`repro.experiments.parallel`; results are identical
-to the serial run.  ``--seeds 0,1,2,3`` sets the seed roster of
-``multi-seed``.  ``--backend NAME`` selects the array-execution backend
+to the serial run.  ``--wire-format NAME`` selects the transport codec
+(:mod:`repro.experiments.wire`: ``json-b64``, ``shm``, ``delta``) that
+parallel runs use to ship state between processes — it is exported via
+``REPRO_WIRE_FORMAT`` so workers and coordinators resolve the same
+codec; results are bitwise-identical under every format.  ``--seeds
+0,1,2,3`` sets the seed roster of ``multi-seed``.  ``--backend NAME`` selects the array-execution backend
 (:mod:`repro.nn.backend`) for the whole invocation — it becomes the
 process default *and* is exported via ``REPRO_BACKEND`` so spawned
 sweep workers inherit it.  ``--scenario NAME`` selects the stream
@@ -91,6 +95,7 @@ from repro.registry import (
     POLICIES,
     SCENARIOS,
     SERVE_POLICIES,
+    WIRE_FORMATS,
 )
 from repro.session import Session
 from repro.utils.tables import format_table
@@ -351,6 +356,7 @@ def _format_listing() -> str:
         SCENARIOS,
         AGGREGATORS,
         SERVE_POLICIES,
+        WIRE_FORMATS,
     ):
         if registry is SCENARIOS:
             # Base streams and composable wrappers are different things:
@@ -398,6 +404,14 @@ def main(argv: list[str] | None = None) -> int:
         help="worker processes for sweep-shaped experiments "
         "(multi-seed, table2, ablation-stc, fig4a..fig6b); results are "
         "identical to the serial run",
+    )
+    parser.add_argument(
+        "--wire-format",
+        default=None,
+        help="transport codec parallel runs use to ship state between "
+        "processes (any registered wire-format name/alias: json-b64, "
+        "shm, delta; default: REPRO_WIRE_FORMAT env or delta); results "
+        "are identical under every format",
     )
     parser.add_argument(
         "--seeds",
@@ -516,6 +530,20 @@ def main(argv: list[str] | None = None) -> int:
                 "(it is not sweep-shaped)"
             )
         extra["workers"] = args.workers
+    if args.wire_format is not None:
+        if not getattr(runner, "supports_workers", False):
+            parser.error(
+                f"experiment {args.experiment!r} does not take "
+                "--wire-format (it is not sweep-shaped)"
+            )
+        try:
+            wire_format = WIRE_FORMATS.get(args.wire_format).name
+        except KeyError as exc:
+            parser.error(str(exc))
+        # Exported (not passed positionally) so worker processes and
+        # the fleet coordinator resolve the same codec via
+        # resolve_wire_format's env fallback.
+        os.environ["REPRO_WIRE_FORMAT"] = wire_format
     fleet_flags = {
         "--aggregator": args.aggregator,
         "--rounds": args.rounds,

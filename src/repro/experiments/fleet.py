@@ -12,11 +12,14 @@ configured device roster and reports two things:
   length, and lazy interval).  A positive gap means coordination beat
   going it alone on an equal-stream-length budget.
 
-``workers > 1`` fans each round's device jobs over processes through
-the shared :func:`repro.experiments.parallel.run_jobs` engine; every
-deterministic field of the result is bitwise-identical to the serial
-run.  The CLI exposes this as ``repro fleet --devices N --rounds R
---aggregator NAME``.
+``workers > 1`` fans each round's device jobs over the persistent
+:class:`~repro.experiments.pool.WorkerPool` through the shared
+:func:`repro.experiments.parallel.run_jobs` engine, shipping session
+state through a registered wire format (``--wire-format``; ``delta``
+by default).  Every deterministic field of the result is
+bitwise-identical to the serial run under every wire format.  The CLI
+exposes this as ``repro fleet --devices N --rounds R --aggregator
+NAME --wire-format NAME``.
 """
 
 from __future__ import annotations
@@ -70,6 +73,7 @@ def run_fleet(
     scenario: Optional[str] = None,
     eval_points: int = 1,
     workers: int = 1,
+    wire_format: Optional[str] = None,
 ) -> FleetExperimentResult:
     """Run the fleet experiment plus its single-device baseline.
 
@@ -80,14 +84,16 @@ def run_fleet(
     per-device selections (the baseline then uses the first device's
     policy).  When ``config`` already carries ``fleet``/``aggregator``
     fields they win over the ``devices``/``rounds``/``aggregator``
-    arguments.
+    arguments.  ``wire_format`` selects the transport codec for
+    ``workers > 1`` (any :data:`repro.registry.WIRE_FORMATS` name;
+    ``None`` = the ``REPRO_WIRE_FORMAT`` env var, else ``delta``).
     """
     from repro.fleet.coordinator import FleetCoordinator
 
     base = config if config is not None else default_config()
     if base.fleet is not None:
         coordinator = FleetCoordinator(
-            base, eval_points=eval_points, workers=workers
+            base, eval_points=eval_points, workers=workers, wire_format=wire_format
         )
     else:
         if isinstance(devices, int):
@@ -107,6 +113,7 @@ def run_fleet(
             aggregator=aggregator,
             eval_points=eval_points,
             workers=workers,
+            wire_format=wire_format,
         )
     fleet_result = coordinator.run()
 
@@ -149,4 +156,19 @@ def format_fleet(result: FleetExperimentResult) -> str:
         f"(fleet global {fleet.final_global_knn_accuracy:.3f} vs "
         f"single {single_knn:.3f})"
     )
-    return "\n".join([format_table(header, rows), summary])
+    lines = [format_table(header, rows), summary]
+    if fleet.timings:
+        totals = {
+            key: sum(entry.get(key, 0.0) for entry in fleet.timings)
+            for key in ("serialize_s", "transport_s", "compute_s", "merge_s", "wall_s")
+        }
+        workers = max(entry.get("workers", 1) for entry in fleet.timings)
+        lines.append(
+            f"transport: wire={fleet.wire_format or 'raw'} workers={workers} "
+            f"serialize {totals['serialize_s']:.3f}s "
+            f"transport {totals['transport_s']:.3f}s "
+            f"compute {totals['compute_s']:.3f}s "
+            f"merge {totals['merge_s']:.3f}s "
+            f"wall {totals['wall_s']:.3f}s"
+        )
+    return "\n".join(lines)

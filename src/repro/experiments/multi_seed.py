@@ -9,12 +9,17 @@ contrast scoring over a baseline.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence
+from typing import Any, Dict, List, Optional, Sequence
 
 import numpy as np
 
 from repro.experiments.config import StreamExperimentConfig, default_config
-from repro.experiments.parallel import SweepSpec, run_sweep
+from repro.experiments.parallel import (
+    JobTimings,
+    SweepSpec,
+    format_timings_footer,
+    run_sweep,
+)
 from repro.experiments.runner import StreamRunResult
 from repro.registry import canonical_policy_names
 from repro.utils.tables import format_table
@@ -50,6 +55,9 @@ class MultiSeedResult:
     seeds: Sequence[int]
     aggregates: Dict[str, SeedAggregate] = field(default_factory=dict)
     runs: Dict[str, List[StreamRunResult]] = field(default_factory=dict)
+    # Per-stage execution timing from run_sweep (never part of any
+    # fingerprint — timing is nondeterministic by nature).
+    timings: Optional[Dict[str, Any]] = None
 
     def win_rate(self, policy: str, baseline: str) -> float:
         """Fraction of seeds where ``policy`` beats ``baseline``."""
@@ -96,7 +104,11 @@ def run_multi_seed(
         for policy in policies
         for seed in seeds
     ]
-    sweep_runs = iter(run_sweep(specs, workers=workers))
+    sweep = run_sweep(specs, workers=workers)
+    timings: Optional[JobTimings] = getattr(sweep, "timings", None)
+    if timings is not None:
+        result.timings = timings.to_dict()
+    sweep_runs = iter(sweep)
     for policy in policies:
         aggregate = SeedAggregate(policy=policy)
         runs: List[StreamRunResult] = [next(sweep_runs) for _ in seeds]
@@ -113,4 +125,6 @@ def format_multi_seed(result: MultiSeedResult) -> str:
     for policy, agg in result.aggregates.items():
         per_seed = ", ".join(f"{a:.3f}" for a in agg.accuracies)
         rows.append([policy, f"{agg.mean:.3f} ± {agg.std:.3f}", per_seed])
-    return format_table(header, rows)
+    table = format_table(header, rows)
+    footer = format_timings_footer(result.timings)
+    return table if footer is None else "\n".join([table, footer])

@@ -19,13 +19,13 @@ diversity shows *what it kept* to get there.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Any, Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
 from repro.data.scenarios import canonical_scenario
 from repro.experiments.config import StreamExperimentConfig, default_config
-from repro.experiments.parallel import SweepSpec, run_sweep
+from repro.experiments.parallel import SweepSpec, format_timings_footer, run_sweep
 from repro.experiments.runner import StreamRunResult
 from repro.registry import canonical_policy_names, scenario_names
 from repro.utils.tables import format_table
@@ -57,6 +57,8 @@ class ScenarioSweepResult:
     knn_accuracy: Dict[Tuple[str, str], float] = field(default_factory=dict)
     buffer_diversity: Dict[Tuple[str, str], float] = field(default_factory=dict)
     runs: Dict[Tuple[str, str], List[StreamRunResult]] = field(default_factory=dict)
+    # Per-stage execution timing from run_sweep (never fingerprinted).
+    timings: Optional[Dict[str, Any]] = None
 
     def robustness_gap(self, policy: str) -> float:
         """Max-minus-min kNN accuracy of ``policy`` across scenarios —
@@ -108,10 +110,13 @@ def run_scenario_sweep(
         for policy in policies
         for seed in seeds
     ]
-    sweep_runs = iter(run_sweep(specs, workers=workers))
+    sweep = run_sweep(specs, workers=workers)
+    sweep_runs = iter(sweep)
     result = ScenarioSweepResult(
         config=base, scenarios=roster, policies=policies, seeds=tuple(seeds)
     )
+    if getattr(sweep, "timings", None) is not None:
+        result.timings = sweep.timings.to_dict()
     for scenario in roster:
         for policy in policies:
             runs = [next(sweep_runs) for _ in seeds]
@@ -140,9 +145,11 @@ def format_scenario_sweep(result: ScenarioSweepResult) -> str:
         f"{policy}={result.robustness_gap(policy):.3f}"
         for policy in result.policies
     )
-    return "\n".join(
-        [
-            format_table(header, rows),
-            f"robustness gap (max-min kNN accuracy across scenarios): {gap}",
-        ]
-    )
+    lines = [
+        format_table(header, rows),
+        f"robustness gap (max-min kNN accuracy across scenarios): {gap}",
+    ]
+    footer = format_timings_footer(result.timings)
+    if footer is not None:
+        lines.append(footer)
+    return "\n".join(lines)

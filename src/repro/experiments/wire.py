@@ -1,0 +1,539 @@
+"""Pluggable array wire formats: how model state crosses processes.
+
+Every fan-out in the system — fleet device rounds, and any caller of
+:func:`repro.experiments.parallel.run_jobs` that ships ndarrays — moves
+``{name: ndarray}`` dicts between processes.  This module makes that
+transport a registry (:data:`repro.registry.WIRE_FORMATS`, same alias +
+"did you mean" semantics as BACKENDS/SCENARIOS) of bitwise-lossless
+codecs:
+
+``json-b64``
+    The reference codec: base64 of the raw bytes plus dtype + shape,
+    JSON-compatible end to end.  Slowest (base64 inflates bytes by 4/3
+    and copies twice), but fully self-contained — the archival format,
+    and the correctness oracle the other formats are tested against.
+``shm``
+    Zero-(re)copy transport through ``multiprocessing.shared_memory``:
+    all arrays of a payload are packed into **one** named segment and
+    only a small JSON manifest (name, dtype, shape, byte offset)
+    crosses the pipe.  Lifecycle is deterministic: the sender creates
+    the segment, exactly one receiver attaches, copies out, and
+    unlinks; the sender's :meth:`WireFormat.release` is a best-effort
+    backstop that unlinks any segment the receiver never consumed
+    (worker crash), so segments cannot leak.
+``delta``
+    Content-hash deltas for repeated sends over a named ``channel``
+    (fleet broadcasts): only arrays whose blake2b content hash changed
+    since the previous send on that channel are shipped (through an
+    inner ``shm`` or ``json-b64`` codec); the receiver merges them over
+    its cached copy and verifies every reused array against the
+    sender's hash, so a stale cache can never silently corrupt a round.
+
+All formats are exact: ``decode(encode(arrays))`` is bitwise-identical
+to the input for every dtype/shape, including float64, 0-d, and empty
+arrays (the round-trip property tests in
+``tests/integration/test_wire_formats.py`` enforce this across the
+whole registry).  The serial==parallel identity invariant therefore
+holds under every wire format.
+
+Selection: pass ``wire_format=`` to :class:`FleetCoordinator` /
+``run_fleet`` (or ``--wire-format`` on the CLI), or set the
+``REPRO_WIRE_FORMAT`` environment variable as the process default.
+Unset, the coordinator picks ``delta`` for cross-process rounds.
+"""
+
+from __future__ import annotations
+
+import base64
+import hashlib
+import os
+from typing import Any, Dict, List, Optional
+
+import numpy as np
+
+from repro.registry import WIRE_FORMATS, register_wire_format
+
+__all__ = [
+    "WIRE_FORMATS",
+    "register_wire_format",
+    "WireFormat",
+    "WireProtocolError",
+    "JsonB64Format",
+    "ShmFormat",
+    "DeltaFormat",
+    "array_hash",
+    "create_wire_format",
+    "get_wire_format",
+    "resolve_wire_format",
+    "default_wire_format",
+    "decode_state_payload",
+    "shm_available",
+    "outstanding_shm_segments",
+    "reset_wire_caches",
+    "WIRE_FORMAT_ENV",
+]
+
+#: Environment variable naming the process-default wire format (the
+#: CLI's ``--wire-format`` sets it; CI's wire matrix exports it).
+WIRE_FORMAT_ENV = "REPRO_WIRE_FORMAT"
+
+#: Array offsets inside a shared-memory segment are rounded up to this
+#: (cache-line) alignment so decoded views are never split-line.
+_SHM_ALIGN = 64
+
+
+class WireProtocolError(RuntimeError):
+    """A wire payload could not be decoded (missing delta base, hash
+    mismatch, unknown segment): the transport-level named error."""
+
+
+class WireFormat:
+    """Codec for ``{name: ndarray}`` dicts crossing a process boundary.
+
+    Implementations must be bitwise-lossless and keyword-constructible
+    (registry factories are invoked with keywords only).  ``channel``
+    identifies a long-lived point-to-point stream (one fleet device);
+    stateless codecs ignore it, ``delta`` keys its caches by it.
+    """
+
+    #: Canonical registered name, stamped into encoded payloads so the
+    #: receiver can dispatch without out-of-band agreement.
+    name: str = "base"
+
+    @property
+    def response_format(self) -> str:
+        """The format the *reply* direction should use.  Deltas only pay
+        off on repeated sends of mostly-unchanged state (broadcasts), so
+        :class:`DeltaFormat` answers with its inner codec; stateless
+        codecs answer with themselves."""
+        return self.name
+
+    def encode(
+        self, arrays: Dict[str, np.ndarray], *, channel: Optional[str] = None
+    ) -> Dict[str, Any]:
+        """Encode an array dict into a picklable/JSON-ish payload."""
+        raise NotImplementedError
+
+    def decode(
+        self, payload: Dict[str, Any], *, channel: Optional[str] = None
+    ) -> Dict[str, np.ndarray]:
+        """Exact inverse of :meth:`encode`; the returned arrays are
+        owned by the caller (never views into shared state)."""
+        raise NotImplementedError
+
+    def release(self, payload: Dict[str, Any]) -> None:
+        """Sender-side cleanup for a payload that may never have been
+        decoded (crashed receiver).  Idempotent; default no-op."""
+
+    # -- channel-state hooks (no-ops for stateless codecs) --------------
+    def note_sent(self, channel: str, arrays: Dict[str, np.ndarray]) -> None:
+        """Sender hook: the receiver on ``channel`` now holds exactly
+        ``arrays`` (e.g. a worker returned its round output)."""
+
+    def note_received(self, channel: str, arrays: Dict[str, np.ndarray]) -> None:
+        """Receiver hook: the local side of ``channel`` now holds
+        exactly ``arrays`` (the base for the next delta)."""
+
+    def invalidate(self, channel: Optional[str] = None) -> None:
+        """Forget channel state so the next encode ships a full payload
+        (e.g. the receiver process was respawned).  ``None`` = all."""
+
+
+# ----------------------------------------------------------------------
+# Instance plumbing: per-process receiver singletons + sender factories.
+# ----------------------------------------------------------------------
+_INSTANCES: Dict[str, WireFormat] = {}
+
+
+def create_wire_format(name: str) -> WireFormat:
+    """A fresh codec instance (sender side: one per coordinator)."""
+    return WIRE_FORMATS.create(WIRE_FORMATS.get(name).name)
+
+
+def get_wire_format(name: str) -> WireFormat:
+    """The per-process singleton codec (receiver side: workers decode
+    through this so channel caches persist across jobs)."""
+    canonical = WIRE_FORMATS.get(name).name
+    instance = _INSTANCES.get(canonical)
+    if instance is None:
+        instance = _INSTANCES[canonical] = WIRE_FORMATS.create(canonical)
+    return instance
+
+
+def decode_state_payload(payload: Dict[str, Any]) -> Dict[str, np.ndarray]:
+    """Decode any wire payload via its self-describing ``wire`` key."""
+    return get_wire_format(payload["wire"]).decode(payload)
+
+
+def resolve_wire_format(name: Optional[str] = None) -> Optional[str]:
+    """Canonical wire-format name, or None meaning "coordinator picks".
+
+    Precedence: explicit ``name`` > :data:`WIRE_FORMAT_ENV` > None.
+    Unknown names raise :class:`~repro.registry.UnknownComponentError`
+    with a "did you mean ...?" suggestion.
+    """
+    if name is None:
+        name = os.environ.get(WIRE_FORMAT_ENV) or None
+    if name is None:
+        return None
+    return WIRE_FORMATS.get(name).name
+
+
+def default_wire_format() -> str:
+    """The format the coordinator picks for cross-process rounds when
+    nothing is selected: ``delta`` (which rides ``shm`` where the
+    platform supports it and ``json-b64`` otherwise)."""
+    return "delta"
+
+
+def reset_wire_caches() -> None:
+    """Drop this process's receiver singletons (test isolation helper)."""
+    _INSTANCES.clear()
+
+
+def _raw_view(contiguous: np.ndarray) -> memoryview:
+    """The array's bytes as a flat view — no copy (DESIGN.md §7).
+
+    ``memoryview.cast`` rejects zero-size views, so empty arrays map to
+    an empty view explicitly.
+    """
+    if contiguous.nbytes == 0:
+        return memoryview(b"")
+    return memoryview(contiguous).cast("B")
+
+
+def array_hash(value: Any) -> str:
+    """Content hash of an array: blake2b over dtype + shape + raw bytes.
+
+    Bitwise-sensitive (two arrays hash equal iff dtype, shape, and every
+    byte agree), so it is safe as the ``delta`` format's change test.
+    """
+    array = np.asarray(value)
+    contiguous = np.ascontiguousarray(array)
+    digest = hashlib.blake2b(digest_size=16)
+    digest.update(array.dtype.str.encode("ascii"))
+    digest.update(repr(tuple(array.shape)).encode("ascii"))
+    digest.update(_raw_view(contiguous))
+    return digest.hexdigest()
+
+
+# ----------------------------------------------------------------------
+# json-b64: the bit-exact, JSON-compatible reference codec.
+# ----------------------------------------------------------------------
+@register_wire_format("json-b64", label="Base64 JSON", aliases=("json", "b64"))
+class JsonB64Format(WireFormat):
+    """Base64 of the raw bytes + dtype + shape (the archival format)."""
+
+    name = "json-b64"
+
+    def encode(
+        self, arrays: Dict[str, np.ndarray], *, channel: Optional[str] = None
+    ) -> Dict[str, Any]:
+        out: Dict[str, Dict[str, Any]] = {}
+        for key, value in arrays.items():
+            array = np.asarray(value)
+            # ascontiguousarray promotes 0-d to 1-d, so record the true
+            # shape first; the raw bytes are identical either way.  The
+            # encoder reads the buffer in place through a memoryview —
+            # state_dict() already owns fresh copies, so materializing
+            # a second one via tobytes() would be pure overhead
+            # (DESIGN.md §7).
+            contiguous = np.ascontiguousarray(array)
+            out[key] = {
+                "dtype": array.dtype.str,
+                "shape": list(array.shape),
+                "data": base64.b64encode(_raw_view(contiguous)).decode("ascii"),
+            }
+        return {"wire": self.name, "arrays": out}
+
+    def decode(
+        self, payload: Dict[str, Any], *, channel: Optional[str] = None
+    ) -> Dict[str, np.ndarray]:
+        out: Dict[str, np.ndarray] = {}
+        for key, value in payload["arrays"].items():
+            flat = np.frombuffer(
+                base64.b64decode(value["data"]), dtype=np.dtype(value["dtype"])
+            )
+            out[key] = flat.reshape(tuple(value["shape"])).copy()
+        return out
+
+
+# ----------------------------------------------------------------------
+# shm: one shared-memory segment per payload + a JSON manifest.
+# ----------------------------------------------------------------------
+_SHM_AVAILABLE: Optional[bool] = None
+
+#: Segment names created by *this* process that no decode/release has
+#: confirmed unlinked yet — the leak-check surface for tests and the
+#: perf suite (empty after every round when the lifecycle is honored).
+_LIVE_SEGMENTS: set = set()
+
+
+def shm_available() -> bool:
+    """Whether ``multiprocessing.shared_memory`` works here (cached
+    one-time probe; restricted sandboxes may lack /dev/shm)."""
+    global _SHM_AVAILABLE
+    if _SHM_AVAILABLE is None:
+        try:
+            from multiprocessing import shared_memory
+
+            segment = shared_memory.SharedMemory(create=True, size=1)
+            segment.close()
+            segment.unlink()
+            _SHM_AVAILABLE = True
+        except Exception:
+            _SHM_AVAILABLE = False
+    return _SHM_AVAILABLE
+
+
+def outstanding_shm_segments() -> List[str]:
+    """Segment names this process created and has not seen unlinked."""
+    return sorted(_LIVE_SEGMENTS)
+
+
+@register_wire_format("shm", label="Shared memory", aliases=("shared-memory",))
+class ShmFormat(WireFormat):
+    """Arrays ride a named shared-memory segment; only the manifest
+    (dtype/shape/offset per array) crosses the pipe.
+
+    Lifecycle: ``encode`` creates the segment and closes its own
+    mapping (the name keeps it alive); exactly one ``decode`` attaches,
+    copies the arrays out, and **unlinks**; the sender calls
+    :meth:`release` afterwards as an idempotent backstop, which unlinks
+    only if the receiver never did (e.g. it crashed).  Exactly one
+    unlink ever happens, and tests verify the name is gone either way.
+    """
+
+    name = "shm"
+
+    def __init__(self) -> None:
+        if not shm_available():
+            raise RuntimeError(
+                "wire format 'shm' needs a working multiprocessing."
+                "shared_memory (no /dev/shm here?); use 'json-b64' instead"
+            )
+
+    def encode(
+        self, arrays: Dict[str, np.ndarray], *, channel: Optional[str] = None
+    ) -> Dict[str, Any]:
+        from multiprocessing import shared_memory
+
+        manifest: Dict[str, Dict[str, Any]] = {}
+        staged = []
+        size = 0
+        for key, value in arrays.items():
+            array = np.asarray(value)
+            contiguous = np.ascontiguousarray(array)
+            if contiguous.nbytes:
+                size = -(-size // _SHM_ALIGN) * _SHM_ALIGN
+                staged.append((contiguous, size))
+                offset: Optional[int] = size
+                size += contiguous.nbytes
+            else:  # empty arrays carry no bytes, only manifest shape
+                offset = None
+            manifest[key] = {
+                "dtype": array.dtype.str,
+                "shape": list(array.shape),
+                "offset": offset,
+            }
+        if size == 0:
+            return {"wire": self.name, "segment": None, "size": 0, "arrays": manifest}
+        segment = shared_memory.SharedMemory(create=True, size=size)
+        try:
+            for contiguous, offset in staged:
+                dest = np.frombuffer(
+                    segment.buf,
+                    dtype=contiguous.dtype,
+                    count=contiguous.size,
+                    offset=offset,
+                )
+                dest[:] = contiguous.reshape(-1)
+                del dest
+        except BaseException:
+            try:
+                segment.close()
+            except BufferError:  # pragma: no cover - views released above
+                pass
+            segment.unlink()
+            raise
+        name = segment.name
+        segment.close()  # the *name* keeps the segment alive, not our mapping
+        _LIVE_SEGMENTS.add(name)
+        return {"wire": self.name, "segment": name, "size": size, "arrays": manifest}
+
+    def decode(
+        self, payload: Dict[str, Any], *, channel: Optional[str] = None
+    ) -> Dict[str, np.ndarray]:
+        from multiprocessing import shared_memory
+
+        out: Dict[str, np.ndarray] = {}
+        name = payload["segment"]
+        manifest = payload["arrays"]
+        if name is None:  # all-empty payload: no segment was created
+            for key, spec in manifest.items():
+                out[key] = np.zeros(tuple(spec["shape"]), dtype=np.dtype(spec["dtype"]))
+            return out
+        try:
+            segment = shared_memory.SharedMemory(name=name)
+        except FileNotFoundError as exc:
+            raise WireProtocolError(
+                f"shared-memory segment {name!r} is gone (decoded twice, or "
+                "released before decode?)"
+            ) from exc
+        try:
+            for key, spec in manifest.items():
+                dtype = np.dtype(spec["dtype"])
+                shape = tuple(spec["shape"])
+                if spec["offset"] is None:
+                    out[key] = np.zeros(shape, dtype=dtype)
+                    continue
+                count = int(np.prod(shape, dtype=np.int64)) if shape else 1
+                src = np.frombuffer(
+                    segment.buf, dtype=dtype, count=count, offset=spec["offset"]
+                )
+                out[key] = src.reshape(shape).copy()
+                del src  # drop the buffer export before close()
+        finally:
+            try:
+                segment.close()
+            except BufferError:  # pragma: no cover - views released above
+                pass
+            try:
+                segment.unlink()  # receiver owns the unlink on the happy path
+            except FileNotFoundError:  # pragma: no cover - racing release()
+                pass
+            _LIVE_SEGMENTS.discard(name)
+        return out
+
+    def release(self, payload: Dict[str, Any]) -> None:
+        from multiprocessing import shared_memory
+
+        name = payload.get("segment")
+        if not name:
+            return
+        try:
+            segment = shared_memory.SharedMemory(name=name)
+        except FileNotFoundError:
+            _LIVE_SEGMENTS.discard(name)  # receiver already unlinked it
+            return
+        try:
+            segment.close()
+        except BufferError:  # pragma: no cover - no views were taken
+            pass
+        try:
+            segment.unlink()
+        except FileNotFoundError:  # pragma: no cover - racing decode
+            pass
+        _LIVE_SEGMENTS.discard(name)
+
+
+# ----------------------------------------------------------------------
+# delta: ship only arrays whose content hash changed on this channel.
+# ----------------------------------------------------------------------
+@register_wire_format("delta", label="Content-hash delta", aliases=("diff",))
+class DeltaFormat(WireFormat):
+    """Hash-diffed sends over named channels, for fleet-style repeats.
+
+    The first send on a channel (and any send after
+    :meth:`invalidate`) ships every array; subsequent sends ship only
+    the arrays whose :func:`array_hash` changed since the last send,
+    through the inner codec (``shm`` where available, else
+    ``json-b64``).  The receiver merges changed arrays over its cached
+    base and re-verifies every *reused* array against the sender's
+    hash, so worker respawns or cache drift fail loudly
+    (:class:`WireProtocolError`) instead of corrupting a round.
+    """
+
+    name = "delta"
+
+    def __init__(self, inner: Optional[str] = None) -> None:
+        inner_name = inner if inner is not None else (
+            "shm" if shm_available() else "json-b64"
+        )
+        self.inner_name = WIRE_FORMATS.get(inner_name).name
+        if self.inner_name == self.name:
+            raise ValueError("delta cannot nest inside itself")
+        self._inner: WireFormat = WIRE_FORMATS.create(self.inner_name)
+        self._sent_hashes: Dict[str, Dict[str, str]] = {}  # sender side
+        self._cache: Dict[str, Dict[str, np.ndarray]] = {}  # receiver side
+
+    @property
+    def response_format(self) -> str:
+        return self.inner_name
+
+    def encode(
+        self, arrays: Dict[str, np.ndarray], *, channel: Optional[str] = None
+    ) -> Dict[str, Any]:
+        hashes = {key: array_hash(value) for key, value in arrays.items()}
+        base = self._sent_hashes.get(channel) if channel is not None else None
+        if base is None:  # first send (or invalidated, or channel-less)
+            changed = dict(arrays)
+            full = True
+        else:
+            changed = {
+                key: value
+                for key, value in arrays.items()
+                if base.get(key) != hashes[key]
+            }
+            full = False
+        if channel is not None:
+            self._sent_hashes[channel] = hashes
+        return {
+            "wire": self.name,
+            "channel": channel,
+            "full": full,
+            "hashes": hashes,
+            "inner": self._inner.encode(changed, channel=channel),
+        }
+
+    def decode(
+        self, payload: Dict[str, Any], *, channel: Optional[str] = None
+    ) -> Dict[str, np.ndarray]:
+        channel = payload["channel"]
+        changed = self._inner.decode(payload["inner"])
+        hashes: Dict[str, str] = payload["hashes"]
+        if payload["full"]:
+            base: Dict[str, np.ndarray] = {}
+        else:
+            cached = self._cache.get(channel)
+            if cached is None:
+                raise WireProtocolError(
+                    f"delta payload on channel {channel!r} has no cached base "
+                    "in this process (receiver respawned without the sender "
+                    "invalidating the channel?)"
+                )
+            base = cached
+        out: Dict[str, np.ndarray] = {}
+        for key, expected in hashes.items():
+            if key in changed:
+                out[key] = changed[key]
+                continue
+            value = base.get(key)
+            if value is None or array_hash(value) != expected:
+                raise WireProtocolError(
+                    f"delta cache for channel {channel!r} does not match the "
+                    f"sender's content hash for array {key!r}"
+                )
+            out[key] = value
+        if channel is not None:
+            self._cache[channel] = dict(out)
+        return dict(out)
+
+    def release(self, payload: Dict[str, Any]) -> None:
+        self._inner.release(payload["inner"])
+
+    def note_sent(self, channel: str, arrays: Dict[str, np.ndarray]) -> None:
+        self._sent_hashes[channel] = {
+            key: array_hash(value) for key, value in arrays.items()
+        }
+
+    def note_received(self, channel: str, arrays: Dict[str, np.ndarray]) -> None:
+        self._cache[channel] = dict(arrays)
+
+    def invalidate(self, channel: Optional[str] = None) -> None:
+        if channel is None:
+            self._sent_hashes.clear()
+            self._cache.clear()
+        else:
+            self._sent_hashes.pop(channel, None)
+            self._cache.pop(channel, None)

@@ -20,11 +20,19 @@ to the ROADMAP's production framing.  One *round* is:
    on fixed pools, giving the per-round accuracy column.
 
 Device state crosses rounds (and process boundaries) as the
-``Session.state_dict()`` payload, encoded with a lossless base64 array
-wire format — so a fleet of one ``fedavg`` device is bitwise-identical
-to a plain single-device Session run, and coordinator checkpoints
+``Session.state_dict()`` payload, with the array dict encoded by a
+pluggable, bitwise-lossless ``WIRE_FORMATS`` codec
+(:mod:`repro.experiments.wire`: ``json-b64`` reference, zero-copy
+``shm``, content-hash ``delta``) — so a fleet of one ``fedavg`` device
+is bitwise-identical to a plain single-device Session run under every
+wire format, and coordinator checkpoints
 (:meth:`FleetCoordinator.save_checkpoint` / ``resume``) continue a
-fleet mid-run with bitwise-identical results.
+fleet mid-run with bitwise-identical results.  Parallel rounds reuse a
+persistent :mod:`~repro.experiments.pool` worker pool with sticky
+device→worker routing, which is what lets the ``delta`` format rebuild
+Sessions from just the broadcast-changed arrays each round; per-round
+serialize/transport/compute/merge timings land in
+:attr:`FleetCoordinator.timings` (never in fingerprints).
 
 Every argument is validated eagerly at construction with per-field
 error messages (nothing fails inside the first round).
@@ -32,11 +40,13 @@ error messages (nothing fails inside the first round).
 
 from __future__ import annotations
 
-import base64
+import itertools
 import json
 import math
 import os
-from dataclasses import dataclass
+import time
+import warnings
+from dataclasses import dataclass, field
 from typing import Any, Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
@@ -44,7 +54,20 @@ import numpy as np
 from repro.device.cost_model import DEVICE_PROFILES, iteration_compute_cost
 from repro.data.scenarios import canonical_scenario
 from repro.experiments.config import StreamExperimentConfig
-from repro.experiments.parallel import result_fingerprint, run_jobs
+from repro.experiments.parallel import JobTimings, result_fingerprint, run_jobs
+from repro.experiments.pool import (
+    POOL_UNAVAILABLE_ERRORS,
+    WorkerPool,
+    get_worker_pool,
+)
+from repro.experiments.wire import (
+    WireFormat,
+    create_wire_format,
+    decode_state_payload,
+    default_wire_format,
+    get_wire_format,
+    resolve_wire_format,
+)
 from repro.fleet.aggregators import (
     Aggregator,
     DeviceRoundReport,
@@ -88,6 +111,10 @@ FLEET_CHECKPOINT_VERSION = 1
 #: budget (None = eager scoring; see DeviceSpec.compute_budget_mj).
 _BUDGET_LAZY_LADDER: Tuple[Optional[int], ...] = (None, 2, 4, 8, 16, 32, 64)
 
+#: Per-process coordinator counter: makes delta channels unique across
+#: coordinator instances that share the persistent worker pool.
+_FLEET_COUNTER = itertools.count()
+
 
 def _none_if_nan(value: float) -> Optional[float]:
     """NaN -> None so round stats stay strict-JSON."""
@@ -99,42 +126,19 @@ def _nan_if_none(value: Optional[float]) -> float:
 
 
 # ----------------------------------------------------------------------
-# Lossless array wire format (base64 of raw bytes + dtype + shape).
+# Array wire format plumbing.  The codecs themselves live in the
+# WIRE_FORMATS registry (repro.experiments.wire); these two names are
+# kept as the stable aliases of the reference codec.
 # ----------------------------------------------------------------------
 def encode_arrays(arrays: Dict[str, np.ndarray]) -> Dict[str, Dict[str, Any]]:
-    """JSON-compatible, bitwise-lossless encoding of an array dict."""
-    out: Dict[str, Dict[str, Any]] = {}
-    for key, value in arrays.items():
-        array = np.asarray(value)
-        # ascontiguousarray promotes 0-d to 1-d, so record the true
-        # shape first; the raw bytes are identical either way.
-        out[key] = {
-            "dtype": array.dtype.str,
-            "shape": list(array.shape),
-            "data": base64.b64encode(
-                np.ascontiguousarray(array).tobytes()
-            ).decode("ascii"),
-        }
-    return out
+    """JSON-compatible, bitwise-lossless encoding of an array dict
+    (the ``json-b64`` reference wire format's array table)."""
+    return get_wire_format("json-b64").encode(arrays)["arrays"]
 
 
 def decode_arrays(payload: Dict[str, Dict[str, Any]]) -> Dict[str, np.ndarray]:
     """Inverse of :func:`encode_arrays` (exact round trip)."""
-    out: Dict[str, np.ndarray] = {}
-    for key, value in payload.items():
-        flat = np.frombuffer(
-            base64.b64decode(value["data"]), dtype=np.dtype(value["dtype"])
-        )
-        out[key] = flat.reshape(tuple(value["shape"])).copy()
-    return out
-
-
-def _encode_session_state(state: Dict[str, Any]) -> Dict[str, Any]:
-    return {"meta": state["meta"], "learner": encode_arrays(state["learner"])}
-
-
-def _decode_session_state(payload: Dict[str, Any]) -> Dict[str, Any]:
-    return {"meta": payload["meta"], "learner": decode_arrays(payload["learner"])}
+    return get_wire_format("json-b64").decode({"arrays": payload})
 
 
 def _device_round_worker(payload: Dict[str, Any]) -> Dict[str, Any]:
@@ -143,14 +147,19 @@ def _device_round_worker(payload: Dict[str, Any]) -> Dict[str, Any]:
 
     A ``None`` state starts the device fresh from its config; otherwise
     the session continues from the ``Session.state_dict()`` payload.
-    ``payload["encoded"]`` selects the state representation: the base64
-    wire form when the job crosses a process boundary, the raw array
-    dict when the coordinator runs it in-process (``workers=1``) — the
-    encoding is lossless, so both paths are bitwise-identical (the
-    serial/parallel equivalence tests compare exactly this).
+    ``payload["wire"]`` names the WIRE_FORMATS codec the state's array
+    dict was encoded with (None = the raw in-process representation);
+    ``payload["response_wire"]`` names the codec for the reply.  Every
+    codec is lossless, so all paths are bitwise-identical (the
+    serial/parallel equivalence tests compare exactly this).  The
+    worker decodes through the per-process singleton codec, so
+    channel-stateful formats (``delta``) keep their caches across the
+    rounds of a sticky worker's devices.
     """
-    encoded = payload["encoded"]
     state = payload["state"]
+    wire_name = payload.get("wire")
+    response_wire = payload.get("response_wire")
+    channel = payload.get("channel")
     if state is None:
         session = (
             Session(config_from_dict(payload["config"]), policy=payload["policy"])
@@ -160,15 +169,32 @@ def _device_round_worker(payload: Dict[str, Any]) -> Dict[str, Any]:
             .with_score_momentum(payload["score_momentum"])
         )
     else:
-        if encoded:
-            state = _decode_session_state(state)
+        if wire_name is not None:
+            state = {
+                "meta": state["meta"],
+                "learner": get_wire_format(wire_name).decode(
+                    state["learner"], channel=channel
+                ),
+            }
         session = Session.from_state_dict(state)
     result = session.run(stop_after=payload["stop_after"])
     out_state = session.state_dict()
-    return {
-        "state": _encode_session_state(out_state) if encoded else out_state,
-        "result": result.to_dict(),
-    }
+    if wire_name is not None and channel is not None:
+        # This process now holds the device's post-round arrays — the
+        # base the sender diffs the next broadcast against.
+        get_wire_format(wire_name).note_received(channel, out_state["learner"])
+    if response_wire is not None:
+        return {
+            "state": {
+                "meta": out_state["meta"],
+                "learner": get_wire_format(response_wire).encode(
+                    out_state["learner"]
+                ),
+            },
+            "result": result.to_dict(),
+            "encoded": True,
+        }
+    return {"state": out_state, "result": result.to_dict(), "encoded": False}
 
 
 # ----------------------------------------------------------------------
@@ -247,7 +273,13 @@ class FleetRoundStats:
 
 @dataclass
 class FleetRunResult:
-    """Outcome of a (possibly partial) fleet run."""
+    """Outcome of a (possibly partial) fleet run.
+
+    ``wire_format`` and ``timings`` describe *how* the run executed
+    (transport + per-round stage seconds); they are intentionally
+    excluded from :meth:`fingerprint`, which must be identical across
+    serial, parallel, and every wire format.
+    """
 
     config: StreamExperimentConfig
     aggregator: str
@@ -255,6 +287,8 @@ class FleetRunResult:
     rounds: List[FleetRoundStats]
     device_results: List[StreamRunResult]
     final_global_knn_accuracy: float
+    wire_format: Optional[str] = None
+    timings: List[Dict[str, Any]] = field(default_factory=list)
 
     @property
     def mean_device_knn_accuracy(self) -> float:
@@ -317,10 +351,20 @@ class FleetCoordinator:
         device's *whole* stream, not per round).
     workers:
         Device jobs per round are fanned over this many processes via
-        :func:`repro.experiments.parallel.run_jobs`; results are
-        bitwise-identical to ``workers=1``.
+        :func:`repro.experiments.parallel.run_jobs` (reusing the
+        persistent worker pool, with sticky device→worker routing);
+        results are bitwise-identical to ``workers=1``.
     start_method:
         Multiprocessing start method (None = platform default).
+    wire_format:
+        ``WIRE_FORMATS`` codec for device state crossing the process
+        boundary (``json-b64``, ``shm``, ``delta``, or a plugin).
+        ``None`` defers to the ``REPRO_WIRE_FORMAT`` environment
+        variable, then to the default (``delta``) for parallel rounds
+        and the raw in-process representation for ``workers=1``.  An
+        *explicitly selected* format is exercised even at ``workers=1``
+        — every codec is lossless, so results never depend on this
+        knob (the fleet-of-1 identity tests run exactly that way).
 
     All fields are validated here, eagerly, with per-field messages —
     a misconfigured fleet never reaches the first round.
@@ -334,6 +378,7 @@ class FleetCoordinator:
         label_fraction: float = 1.0,
         workers: int = 1,
         start_method: Optional[str] = None,
+        wire_format: Optional[str] = None,
     ) -> None:
         if config.fleet is None:
             raise ValueError(
@@ -354,6 +399,10 @@ class FleetCoordinator:
             aggregator_name = AGGREGATORS.get(aggregator_name).name
         except UnknownComponentError as exc:
             raise ValueError(f"config.aggregator: {exc}") from exc
+        try:
+            resolved_wire = resolve_wire_format(wire_format)
+        except UnknownComponentError as exc:
+            raise ValueError(f"wire_format: {exc}") from exc
 
         base = config.with_(fleet=None, aggregator=None)
         plans: List[DevicePlan] = []
@@ -379,6 +428,18 @@ class FleetCoordinator:
         self._workers = int(workers)
         self._start_method = start_method
         self._aggregator: Aggregator = create_aggregator(aggregator_name)
+        # transport: the resolved codec selection (None = pick per
+        # round), the sender-side codec instance (built lazily), a
+        # process-unique channel prefix so delta caches of concurrent
+        # coordinators sharing one worker pool can never collide, and
+        # the per-device worker generations the delta invalidation
+        # tracks across respawns.
+        self._wire_selection = resolved_wire
+        self._wire: Optional[WireFormat] = None
+        self._wire_name: Optional[str] = None
+        self._channel_prefix = f"fleet-{os.getpid()}-{next(_FLEET_COUNTER)}"
+        self._worker_generations: Dict[int, int] = {}
+        self._timings: List[Dict[str, Any]] = []
         # live run state
         num = len(plans)
         self._round = 0
@@ -539,6 +600,18 @@ class FleetCoordinator:
         return self._round
 
     @property
+    def timings(self) -> List[Dict[str, Any]]:
+        """Per-round transport/stage seconds (serialize / transport /
+        compute / merge), labeled with the wire format used.  Pure
+        instrumentation: never part of fingerprints or checkpoints."""
+        return [dict(entry) for entry in self._timings]
+
+    @property
+    def wire_format(self) -> Optional[str]:
+        """The resolved wire-format selection (None = per-round pick)."""
+        return self._wire_selection
+
+    @property
     def global_model_state(self) -> Optional[Dict[str, np.ndarray]]:
         """The current global model arrays (None before the first
         synchronizing aggregation)."""
@@ -578,18 +651,88 @@ class FleetCoordinator:
             self._run_round()
         return self.result()
 
+    def _channel(self, device_index: int) -> str:
+        """The device's transport channel id (delta cache key)."""
+        return f"{self._channel_prefix}/device{device_index}"
+
+    def _sender_codec(self, wire_name: Optional[str]) -> Optional[WireFormat]:
+        """The coordinator's sender-side codec instance (lazy, reused
+        across rounds so delta hash state survives)."""
+        if wire_name is None:
+            return None
+        if self._wire is None or self._wire_name != wire_name:
+            self._wire = create_wire_format(wire_name)
+            self._wire_name = wire_name
+        return self._wire
+
+    def _fallback_payload(self, index: int, payload: Dict[str, Any]) -> Dict[str, Any]:
+        """A standalone payload for the in-parent serial re-run of a
+        crashed device job: raw state, no wire round trip (the crashed
+        worker's channel caches are gone, so a delta payload could not
+        decode here)."""
+        if payload.get("state") is None:
+            return dict(payload, wire=None, response_wire=None)
+        state = self._device_states[index]
+        assert state is not None
+        return {
+            "state": state,
+            "wire": None,
+            "response_wire": None,
+            "channel": payload.get("channel"),
+            "stop_after": payload["stop_after"],
+        }
+
     def _run_round(self) -> None:
-        # Jobs run in-process at workers=1, so the (lossless) wire
-        # encoding would be pure overhead there; it is applied exactly
-        # when the payload crosses a process boundary.
-        encode = self._workers > 1
+        # Transport selection: an explicitly chosen wire format is
+        # always exercised (the fleet-of-1 identity hook); otherwise
+        # state is encoded exactly when it crosses a process boundary,
+        # with the default codec.  Every codec is lossless, so this
+        # never affects results.
+        workers = min(self._workers, len(self._plans))
+        pool: Optional[WorkerPool] = None
+        if workers > 1:
+            try:
+                pool = get_worker_pool(workers, self._start_method)
+            except POOL_UNAVAILABLE_ERRORS as exc:
+                warnings.warn(
+                    f"multiprocessing unavailable ({exc}); running device "
+                    "rounds serially",
+                    RuntimeWarning,
+                    stacklevel=3,
+                )
+                workers = 1
+        wire_name = self._wire_selection
+        if wire_name is None and pool is not None:
+            wire_name = default_wire_format()
+        wire = self._sender_codec(wire_name)
+
+        # Channel-stateful codecs (delta) diff against what the sticky
+        # worker's process holds; if that slot was respawned since the
+        # device's last round (or the device has never run), invalidate
+        # so this round ships the full state.
+        if wire is not None:
+            generations = pool.generations() if pool is not None else None
+            for i in range(len(self._plans)):
+                generation = (
+                    generations[pool.sticky_worker(i)]
+                    if pool is not None and generations is not None
+                    else -1
+                )
+                if self._worker_generations.get(i) != generation:
+                    wire.invalidate(self._channel(i))
+                    self._worker_generations[i] = generation
+
+        serialize_start = time.perf_counter()
+        response_wire = wire.response_format if wire is not None else None
         payloads = []
         for i, plan in enumerate(self._plans):
             if self._device_states[i] is None:
                 payloads.append(
                     {
                         "state": None,
-                        "encoded": encode,
+                        "wire": wire_name,
+                        "response_wire": response_wire,
+                        "channel": self._channel(i),
                         "config": config_to_dict(plan.config),
                         "policy": plan.policy,
                         "eval_points": self._eval_points,
@@ -601,28 +744,62 @@ class FleetCoordinator:
                 )
             else:
                 state = self._device_states[i]
+                if wire is None:
+                    state_payload: Dict[str, Any] = state
+                else:
+                    state_payload = {
+                        "meta": state["meta"],
+                        "learner": wire.encode(
+                            state["learner"], channel=self._channel(i)
+                        ),
+                    }
                 payloads.append(
                     {
-                        "state": _encode_session_state(state) if encode else state,
-                        "encoded": encode,
+                        "state": state_payload,
+                        "wire": wire_name,
+                        "response_wire": response_wire,
+                        "channel": self._channel(i),
                         "stop_after": plan.steps_per_round,
                     }
                 )
-        outputs = run_jobs(
-            _device_round_worker,
-            payloads,
-            workers=self._workers,
-            start_method=self._start_method,
-        )
+        serialize_s = time.perf_counter() - serialize_start
 
+        try:
+            outputs = run_jobs(
+                _device_round_worker,
+                payloads,
+                workers=workers,
+                start_method=self._start_method,
+                sticky=True,
+                pool=pool,
+                refresh=self._fallback_payload,
+            )
+        finally:
+            if wire is not None:
+                # Backstop for payloads no worker ever decoded (crash
+                # mid-round): idempotently release staged resources
+                # (shm segments) so nothing can leak.
+                for payload in payloads:
+                    staged = payload.get("state")
+                    if staged is not None and payload.get("wire") is not None:
+                        wire.release(staged["learner"])
+
+        merge_start = time.perf_counter()
         reports: List[DeviceRoundReport] = []
         round_devices: List[DeviceRoundStats] = []
         for i, (plan, output) in enumerate(zip(self._plans, outputs)):
             state = (
-                _decode_session_state(output["state"])
-                if encode
+                {
+                    "meta": output["state"]["meta"],
+                    "learner": decode_state_payload(output["state"]["learner"]),
+                }
+                if output["encoded"]
                 else output["state"]
             )
+            if wire is not None:
+                # Sender bookkeeping: the worker's channel cache now
+                # holds exactly these arrays (delta's next-round base).
+                wire.note_sent(self._channel(i), state["learner"])
             result = StreamRunResult.from_dict(output["result"])
             seen = int(state["learner"]["seen_inputs"])
             samples = seen - self._seen[i]
@@ -654,6 +831,7 @@ class FleetCoordinator:
             )
 
         new_global = self._aggregator.aggregate(self._global_state, reports)
+        merge_s = time.perf_counter() - merge_start  # decode + aggregate
         synchronized = new_global is not None
         if synchronized:
             self._global_state = {
@@ -680,6 +858,20 @@ class FleetCoordinator:
                 global_knn_accuracy=global_accuracy,
                 synchronized=synchronized,
             )
+        )
+        job_timings: JobTimings = outputs.timings
+        self._timings.append(
+            {
+                "round": self._round,
+                "wire": wire_name if wire_name is not None else "raw",
+                "workers": job_timings.workers,
+                "serialize_s": serialize_s,
+                "transport_s": job_timings.transport_s,
+                "compute_s": job_timings.compute_s,
+                "merge_s": merge_s,
+                "wall_s": job_timings.wall_s,
+                "crashes": job_timings.crashes,
+            }
         )
         self._round += 1
 
@@ -745,6 +937,8 @@ class FleetCoordinator:
             rounds=list(self._history),
             device_results=device_results,
             final_global_knn_accuracy=self._history[-1].global_knn_accuracy,
+            wire_format=self._timings[-1]["wire"] if self._timings else None,
+            timings=self.timings,
         )
 
     # -- checkpoint / resume --------------------------------------------
@@ -858,12 +1052,14 @@ class FleetCoordinator:
         *,
         workers: int = 1,
         start_method: Optional[str] = None,
+        wire_format: Optional[str] = None,
     ) -> "FleetCoordinator":
         """Rebuild a coordinator from :meth:`save_checkpoint` output;
         :meth:`run` continues the remaining rounds bitwise-identically.
 
-        ``workers`` is an execution choice, not state, so it is chosen
-        fresh at resume time (parallelism never changes results).
+        ``workers`` and ``wire_format`` are execution choices, not
+        state, so they are chosen fresh at resume time (neither
+        parallelism nor the transport codec ever changes results).
         """
         if not path.endswith(".npz"):
             path += ".npz"  # mirror save_checkpoint's normalization
@@ -884,6 +1080,7 @@ class FleetCoordinator:
             label_fraction=float(meta["label_fraction"]),
             workers=workers,
             start_method=start_method,
+            wire_format=wire_format,
         )
         coordinator.load_state_dict({"meta": meta, "arrays": arrays})
         return coordinator

@@ -13,6 +13,13 @@ in registries or the nn stack here would create import cycles.  Name
 resolution (policy/scenario/backend/profile) therefore happens in
 :class:`repro.fleet.coordinator.FleetCoordinator`, which validates
 every field eagerly before the first round runs.
+
+Transport note: specs describe *what* each device runs, never *how*
+its state moves between processes — the wire format (``json-b64`` /
+``shm`` / ``delta``, see :mod:`repro.experiments.wire`) is an
+execution-time choice on the coordinator, deliberately kept out of
+these dataclasses so the same serialized fleet reproduces bitwise
+under any transport.
 """
 
 from __future__ import annotations

@@ -50,6 +50,7 @@ __all__ = [
     "SCENARIOS",
     "AGGREGATORS",
     "SERVE_POLICIES",
+    "WIRE_FORMATS",
     "register_policy",
     "register_dataset",
     "register_encoder",
@@ -58,6 +59,7 @@ __all__ = [
     "register_scenario",
     "register_aggregator",
     "register_serve_policy",
+    "register_wire_format",
     "create_policy",
     "canonical_policy_names",
     "policy_names",
@@ -71,6 +73,7 @@ __all__ = [
     "scenario_base_names",
     "aggregator_names",
     "serve_policy_names",
+    "wire_format_names",
 ]
 
 #: Valid component names: lowercase kebab-case, digits allowed.
@@ -395,6 +398,10 @@ def _ensure_serve_policies() -> None:
     import repro.serve.policies  # noqa: F401  (registers block/shed/degrade)
 
 
+def _ensure_wire_formats() -> None:
+    import repro.experiments.wire  # noqa: F401  (registers json-b64/shm/delta)
+
+
 POLICIES = Registry("policy", ensure=_ensure_policies)
 DATASETS = Registry("dataset", ensure=_ensure_datasets)
 ENCODERS = Registry("encoder", ensure=_ensure_encoders)
@@ -403,6 +410,7 @@ BACKENDS = Registry("backend", ensure=_ensure_backends)
 SCENARIOS = Registry("scenario", ensure=_ensure_scenarios)
 AGGREGATORS = Registry("aggregator", ensure=_ensure_aggregators)
 SERVE_POLICIES = Registry("serve policy", ensure=_ensure_serve_policies)
+WIRE_FORMATS = Registry("wire format", ensure=_ensure_wire_formats)
 
 register_policy = POLICIES.register
 register_dataset = DATASETS.register
@@ -412,6 +420,7 @@ register_backend = BACKENDS.register
 register_scenario = SCENARIOS.register
 register_aggregator = AGGREGATORS.register
 register_serve_policy = SERVE_POLICIES.register
+register_wire_format = WIRE_FORMATS.register
 
 
 def create_policy(
@@ -529,3 +538,8 @@ def aggregator_names() -> List[str]:
 def serve_policy_names() -> List[str]:
     """Sorted names of all registered serve admission policies."""
     return SERVE_POLICIES.names()
+
+
+def wire_format_names() -> List[str]:
+    """Sorted names of all registered array wire formats."""
+    return WIRE_FORMATS.names()

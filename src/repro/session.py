@@ -611,6 +611,14 @@ class Session:
         this to carry per-device state across rounds and process
         boundaries.  Only meaningful during or after :meth:`run` (the
         learner must exist).
+
+        Transport invariant: the ``"learner"`` arrays are the live
+        parameter buffers, **not copies** — wire formats
+        (:mod:`repro.experiments.wire`) encode them zero-copy through a
+        ``memoryview`` over each contiguous array.  Callers that ship
+        the dict across a process boundary must not mutate the session
+        until the encode completes; codecs must never hold views past
+        their encode call.
         """
         if self._learner is None or self._components is None or self._stream is None:
             raise RuntimeError("nothing to checkpoint: run() has not started")

@@ -1,0 +1,279 @@
+"""Wire formats: registry semantics, bitwise round-trips, shm segment
+lifecycle (success AND crash paths), the delta protocol, and the
+fleet-level identity contract under every registered codec."""
+
+import multiprocessing
+import os
+
+import numpy as np
+import pytest
+
+from repro.experiments.config import StreamExperimentConfig
+from repro.experiments.wire import (
+    DeltaFormat,
+    WIRE_FORMAT_ENV,
+    WireProtocolError,
+    create_wire_format,
+    decode_state_payload,
+    default_wire_format,
+    outstanding_shm_segments,
+    resolve_wire_format,
+    shm_available,
+)
+from repro.registry import UnknownComponentError, WIRE_FORMATS
+
+needs_shm = pytest.mark.skipif(
+    not shm_available(), reason="POSIX shared memory unavailable"
+)
+
+
+def tiny_config(**overrides):
+    base = dict(
+        dataset="cifar10",
+        image_size=8,
+        stc=8,
+        total_samples=64,
+        buffer_size=8,
+        encoder_widths=(8, 16),
+        encoder_blocks=1,
+        projection_dim=8,
+        probe_train_per_class=4,
+        probe_test_per_class=2,
+        probe_epochs=2,
+        seed=0,
+    )
+    base.update(overrides)
+    return StreamExperimentConfig(**base)
+
+
+def sample_state(seed=0):
+    """A fleet-payload-shaped array dict covering the tricky dtypes."""
+    rng = np.random.default_rng(seed)
+    return {
+        "conv.weight": rng.normal(size=(8, 3, 3, 3)).astype(np.float32),
+        "bn.running_mean": rng.normal(size=16).astype(np.float64),
+        "step": np.asarray(42, dtype=np.int64),  # 0-d
+        "empty": np.zeros((0, 4), dtype=np.float32),  # zero-size
+        "mask": rng.integers(0, 2, size=(5,)).astype(bool),
+        "fortran": np.asfortranarray(rng.normal(size=(4, 6)).astype(np.float32)),
+    }
+
+
+def formats_under_test():
+    names = []
+    for name in sorted(WIRE_FORMATS.names()):
+        if name == "shm" and not shm_available():
+            continue
+        names.append(name)
+    return names
+
+
+class TestRegistry:
+    def test_builtins_registered(self):
+        assert {"json-b64", "shm", "delta"} <= set(WIRE_FORMATS.names())
+
+    def test_aliases_resolve(self):
+        assert WIRE_FORMATS.get("json").name == "json-b64"
+        assert WIRE_FORMATS.get("diff").name == "delta"
+        assert WIRE_FORMATS.get("shared-memory").name == "shm"
+
+    def test_unknown_name_suggests(self):
+        with pytest.raises(UnknownComponentError, match="delta"):
+            WIRE_FORMATS.get("detla")
+
+    def test_resolve_priority_arg_over_env(self, monkeypatch):
+        monkeypatch.setenv(WIRE_FORMAT_ENV, "json-b64")
+        assert resolve_wire_format("shm" if shm_available() else "delta") != "json-b64"
+        assert resolve_wire_format(None) == "json-b64"
+        monkeypatch.delenv(WIRE_FORMAT_ENV)
+        assert resolve_wire_format(None) is None
+
+    def test_resolve_rejects_unknown_env(self, monkeypatch):
+        monkeypatch.setenv(WIRE_FORMAT_ENV, "carrier-pigeon")
+        with pytest.raises(UnknownComponentError):
+            resolve_wire_format(None)
+
+    def test_default_is_delta(self):
+        assert default_wire_format() == "delta"
+
+
+class TestRoundTrip:
+    @pytest.mark.parametrize("name", formats_under_test())
+    def test_bitwise_round_trip(self, name):
+        state = sample_state()
+        codec = create_wire_format(name)
+        decoded = codec.decode(codec.encode(state, channel="t"), channel="t")
+        assert set(decoded) == set(state)
+        for key, value in state.items():
+            out = decoded[key]
+            assert out.dtype == value.dtype, key
+            assert out.shape == value.shape, key
+            np.testing.assert_array_equal(out, value)
+        assert outstanding_shm_segments() == []
+
+    @pytest.mark.parametrize("name", formats_under_test())
+    def test_payload_is_self_describing(self, name):
+        state = sample_state(seed=1)
+        payload = create_wire_format(name).encode(state)
+        assert payload["wire"] == name
+        decoded = decode_state_payload(payload)
+        np.testing.assert_array_equal(decoded["conv.weight"], state["conv.weight"])
+
+    @pytest.mark.parametrize("name", formats_under_test())
+    def test_empty_state_round_trips(self, name):
+        codec = create_wire_format(name)
+        assert codec.decode(codec.encode({})) == {}
+        assert outstanding_shm_segments() == []
+
+
+@needs_shm
+class TestShmLifecycle:
+    def test_segments_unlinked_after_decode(self):
+        codec = create_wire_format("shm")
+        payload = codec.encode(sample_state())
+        assert payload["segment"] in outstanding_shm_segments()
+        codec.decode(payload)
+        assert outstanding_shm_segments() == []
+
+    def test_release_is_idempotent_backstop(self):
+        codec = create_wire_format("shm")
+        payload = codec.encode(sample_state())
+        codec.release(payload)  # receiver never decoded (e.g. it crashed)
+        codec.release(payload)  # double release must be a no-op
+        assert outstanding_shm_segments() == []
+
+    def test_decode_after_unlink_fails_loudly(self):
+        codec = create_wire_format("shm")
+        payload = codec.encode(sample_state())
+        codec.release(payload)
+        with pytest.raises(WireProtocolError, match="segment"):
+            codec.decode(payload)
+
+    def test_crashed_receiver_leaves_no_segment(self):
+        """A worker dying mid-round must not leak the staged segment:
+        the sender's release() backstop reclaims it."""
+        codec = create_wire_format("shm")
+        payload = codec.encode(sample_state())
+
+        def consumer_that_dies(payload):
+            os._exit(1)  # simulates a worker crash before decode
+
+        ctx = multiprocessing.get_context()
+        proc = ctx.Process(target=consumer_that_dies, args=(payload,))
+        proc.start()
+        proc.join()
+        assert proc.exitcode == 1
+        codec.release(payload)
+        assert outstanding_shm_segments() == []
+
+    def test_all_empty_payload_has_no_segment(self):
+        codec = create_wire_format("shm")
+        payload = codec.encode({"empty": np.zeros((0,), dtype=np.float32)})
+        assert payload["segment"] is None
+        decoded = codec.decode(payload)
+        assert decoded["empty"].shape == (0,)
+
+
+class TestDeltaProtocol:
+    def test_second_send_ships_only_changed(self):
+        sender = DeltaFormat(inner="json-b64")
+        receiver = DeltaFormat(inner="json-b64")
+        state = sample_state()
+        first = sender.encode(state, channel="d0")
+        assert first["full"]
+        receiver.decode(first, channel="d0")
+
+        state2 = dict(state)
+        state2["conv.weight"] = state["conv.weight"] + 1.0
+        second = sender.encode(state2, channel="d0")
+        assert not second["full"]
+        assert set(second["inner"]["arrays"]) == {"conv.weight"}
+        decoded = receiver.decode(second, channel="d0")
+        assert set(decoded) == set(state2)
+        for key, value in state2.items():
+            np.testing.assert_array_equal(decoded[key], value)
+
+    def test_decode_without_base_fails_loudly(self):
+        sender = DeltaFormat(inner="json-b64")
+        fresh_receiver = DeltaFormat(inner="json-b64")
+        state = sample_state()
+        sender.encode(state, channel="d1")  # prime the sender
+        delta = sender.encode(state, channel="d1")  # hash-identical resend
+        with pytest.raises(WireProtocolError, match="no cached base"):
+            fresh_receiver.decode(delta, channel="d1")
+
+    def test_invalidate_forces_full_resend(self):
+        sender = DeltaFormat(inner="json-b64")
+        state = sample_state()
+        sender.encode(state, channel="d2")
+        sender.invalidate("d2")
+        assert sender.encode(state, channel="d2")["full"]
+
+    def test_channels_are_independent(self):
+        sender = DeltaFormat(inner="json-b64")
+        state = sample_state()
+        sender.encode(state, channel="a")
+        assert sender.encode(state, channel="b")["full"]
+
+    def test_delta_cannot_nest(self):
+        with pytest.raises(ValueError, match="nest"):
+            DeltaFormat(inner="delta")
+
+
+class TestFleetIdentity:
+    @pytest.mark.parametrize("name", formats_under_test())
+    def test_fleet_of_one_matches_plain_session(self, name):
+        """Satellite: a 1-device fleet shipping state through any wire
+        format (multi-round, so state round-trips the codec between
+        rounds) reproduces a plain Session bitwise."""
+        from repro.experiments.parallel import result_fingerprint
+        from repro.fleet import FleetConfig, FleetCoordinator
+        from repro.session import Session
+
+        config = tiny_config()
+        plain = Session(config, "contrast-scoring").with_eval_points(1).run()
+        fleet = FleetCoordinator(
+            config.with_(
+                fleet=FleetConfig.uniform(1, rounds=2), aggregator="fedavg"
+            ),
+            wire_format=name,
+        ).run()
+        assert result_fingerprint(fleet.device_results[0]) == result_fingerprint(
+            plain
+        )
+        assert fleet.final_global_knn_accuracy == plain.info["final_knn_accuracy"]
+        assert outstanding_shm_segments() == []
+
+    @pytest.mark.parametrize("name", formats_under_test())
+    def test_parallel_identity_under_every_format(self, name):
+        from repro.fleet import FleetCoordinator
+
+        config = tiny_config()
+        serial = FleetCoordinator.build(config, devices=2, rounds=2, workers=1).run()
+        parallel = FleetCoordinator.build(
+            config, devices=2, rounds=2, workers=2, wire_format=name
+        ).run()
+        assert serial.fingerprint() == parallel.fingerprint()
+        assert outstanding_shm_segments() == []
+
+    def test_result_records_wire_and_timings(self):
+        from repro.fleet import FleetCoordinator
+
+        coordinator = FleetCoordinator.build(
+            tiny_config(), devices=2, rounds=1, workers=2, wire_format="json-b64"
+        )
+        result = coordinator.run()
+        assert result.wire_format == "json-b64"
+        assert len(result.timings) == 1
+        entry = result.timings[0]
+        assert entry["wire"] == "json-b64"
+        for key in ("serialize_s", "transport_s", "compute_s", "merge_s", "wall_s"):
+            assert entry[key] >= 0.0
+        # timings never leak into the identity contract
+        assert "timings" not in result.fingerprint()
+
+    def test_unknown_wire_format_names_field(self):
+        from repro.fleet import FleetCoordinator
+
+        with pytest.raises(ValueError, match="wire_format"):
+            FleetCoordinator.build(tiny_config(), devices=1, wire_format="pigeon")

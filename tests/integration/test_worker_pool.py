@@ -1,0 +1,138 @@
+"""The persistent worker pool: ordering, reuse across calls, sticky
+routing, crash recovery, and run_jobs' serial-fallback contract."""
+
+import os
+
+import numpy as np
+import pytest
+
+from repro.experiments.parallel import run_jobs
+from repro.experiments.pool import (
+    WorkerCrashedError,
+    WorkerPool,
+    get_worker_pool,
+)
+
+
+def _square(payload):
+    return payload * payload
+
+
+def _pid(payload):
+    return os.getpid()
+
+
+def _crash_on_odd(payload):
+    if payload % 2 == 1:
+        os._exit(13)
+    return payload * 10
+
+
+def _raise_on(payload):
+    if payload == "boom":
+        raise ValueError("job exploded")
+    return payload
+
+
+@pytest.fixture
+def pool():
+    pool = WorkerPool(2)
+    yield pool
+    pool.close()
+
+
+class TestWorkerPool:
+    def test_map_preserves_payload_order(self, pool):
+        assert pool.map(_square, list(range(16))) == [i * i for i in range(16)]
+
+    def test_pool_persists_across_calls(self, pool):
+        first = set(pool.map(_pid, range(8)))
+        second = set(pool.map(_pid, range(8)))
+        assert first == second  # same processes, not respawned per call
+        assert first == set(pool.worker_pids())
+
+    def test_sticky_routing_pins_jobs_to_slots(self, pool):
+        pool.warm()
+        pids = pool.worker_pids()
+        results = pool.map(_pid, range(6), sticky=True)
+        for job, pid in enumerate(results):
+            assert pid == pids[pool.sticky_worker(job)]
+
+    def test_job_exception_propagates_with_remote_traceback(self, pool):
+        with pytest.raises(ValueError, match="job exploded") as info:
+            pool.map(_raise_on, ["fine", "boom", "fine"])
+        assert any("remote traceback" in note for note in info.value.__notes__)
+
+    def test_pool_survives_job_exception(self, pool):
+        with pytest.raises(ValueError):
+            pool.map(_raise_on, ["boom"])
+        assert pool.map(_square, [3]) == [9]
+
+    def test_crash_returns_named_error_and_respawns(self, pool):
+        before = pool.generations()
+        results = pool.map(_crash_on_odd, [0, 1, 2, 3], return_exceptions=True)
+        assert results[0] == 0 and results[2] == 20
+        for index in (1, 3):
+            assert isinstance(results[index], WorkerCrashedError)
+            assert results[index].job_index == index
+        assert pool.generations() != before
+        # the respawned workers keep serving
+        assert pool.map(_square, [5, 6]) == [25, 36]
+
+    def test_crash_without_return_exceptions_raises(self, pool):
+        with pytest.raises(WorkerCrashedError):
+            pool.map(_crash_on_odd, [1])
+        assert pool.map(_square, [4]) == [16]
+
+    def test_get_worker_pool_is_cached(self):
+        assert get_worker_pool(2) is get_worker_pool(2)
+        assert get_worker_pool(2) is not get_worker_pool(3)
+
+
+class TestRunJobsFallback:
+    def test_crash_warns_and_reruns_serially(self):
+        """Satellite: a worker crash fails the affected jobs with a
+        named error and run_jobs falls back to serial for them — the
+        caller still gets every result, in order."""
+        with pytest.warns(RuntimeWarning, match="serially") as captured:
+            results = run_jobs(_crash_on_odd_in_parent, [0, 1, 2, 3], workers=2)
+        assert any("re-running job 1" in str(w.message) for w in captured)
+        assert list(results) == [0, 10, 20, 30]
+        assert results.timings.crashes >= 1
+
+    def test_refresh_hook_rebuilds_crash_payloads(self):
+        calls = []
+
+        def refresh(index, payload):
+            calls.append(index)
+            return -payload
+
+        with pytest.warns(RuntimeWarning):
+            results = run_jobs(
+                _crash_on_odd_abs, [1, 2], workers=2, refresh=refresh
+            )
+        assert calls == [0]
+        assert list(results) == [10, 20]
+
+    def test_timings_attached(self):
+        results = run_jobs(_square, [1, 2, 3], workers=2)
+        assert results.timings.jobs == 3
+        assert results.timings.workers == 2
+        assert results.timings.compute_s >= 0.0
+
+
+_MAIN_PID = os.getpid()
+
+
+def _crash_on_odd_in_parent(payload):
+    """Crash on odd payloads in pool workers only (fork keeps the
+    parent's ``_MAIN_PID``); the parent's serial re-run succeeds."""
+    if payload % 2 == 1 and os.getpid() != _MAIN_PID:
+        os._exit(13)
+    return payload * 10
+
+
+def _crash_on_odd_abs(payload):
+    if payload > 0 and payload % 2 == 1 and os.getpid() != _MAIN_PID:
+        os._exit(13)
+    return abs(payload) * 10

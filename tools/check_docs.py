@@ -4,8 +4,9 @@ Asserts, in both directions:
 
 * every experiment id (``repro.cli.EXPERIMENTS``), backend
   (``BACKENDS``), scenario (``SCENARIOS``), scenario wrapper
-  (``scenario_wrapper_names()``), aggregator (``AGGREGATORS``), and
-  serve admission policy (``SERVE_POLICIES``) appears in the matching
+  (``scenario_wrapper_names()``), aggregator (``AGGREGATORS``), serve
+  admission policy (``SERVE_POLICIES``), and wire format
+  (``WIRE_FORMATS``) appears in the matching
   ``<!-- inventory:KIND -->`` block of docs/API.md, and every name
   listed there is actually registered;
 * every registered scenario has a ``## `name` `` section in
@@ -62,6 +63,7 @@ def registered_names() -> Dict[str, Set[str]]:
         BACKENDS,
         SCENARIOS,
         SERVE_POLICIES,
+        WIRE_FORMATS,
         scenario_wrapper_names,
     )
 
@@ -72,6 +74,7 @@ def registered_names() -> Dict[str, Set[str]]:
         "scenario-wrappers": set(scenario_wrapper_names()),
         "aggregators": set(AGGREGATORS.names()),
         "serve-policies": set(SERVE_POLICIES.names()),
+        "wire-formats": set(WIRE_FORMATS.names()),
     }
 
 
