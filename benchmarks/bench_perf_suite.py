@@ -30,6 +30,11 @@ beat (ROADMAP: "fast as the hardware allows"):
    encode+decode round-trip of a fixed-size synthetic state payload
    under every registered wire format, plus the delta codec's
    steady-state resend with one changed array.
+9. **population** — a population-scale fleet round (client sampling,
+   seeded fault plan, ``fedavg-async``, ``delta-q8`` transport):
+   sampled-device throughput with the serial==parallel fingerprint
+   recorded, plus the compressed-delta codecs' steady-state resend
+   sizes against the lossless ``delta`` baseline (compression ratios).
 
 The sweep and fleet sections warm the persistent
 :class:`~repro.experiments.pool.WorkerPool` before the timed parallel
@@ -73,7 +78,7 @@ from repro.nn.im2col import default_workspace
 from repro.nn.tensor import Tensor, no_grad
 from repro.session import Session, build_components
 
-BENCH_VERSION = 5
+BENCH_VERSION = 6
 
 
 def _warm_pool(workers: int) -> None:
@@ -512,6 +517,106 @@ def bench_wire(scale: float, seed: int) -> Dict[str, object]:
     return result
 
 
+def bench_population(scale: float, seed: int, workers: int = 4) -> Dict[str, object]:
+    """Population-scale fleet round plus compressed-codec resend sizes.
+
+    A roster far larger than the per-round cast (client sampling),
+    seeded dropout/straggler chaos, staleness-weighted aggregation, and
+    the ``delta-q8`` transport — the ISSUE 9 configuration.  Throughput
+    is ``sampled_devices_per_s`` (device-rounds actually trained per
+    wall second); ``results_identical`` records the serial==parallel
+    fingerprint agreement under the lossy codec (both ends run the same
+    quantization arithmetic, so it must hold).
+
+    The codec half measures the steady-state incremental resend — the
+    per-round broadcast of a converging fleet — through each delta
+    codec over a ``json-b64`` inner (JSON-measurable bytes), reporting
+    compression ratios against the lossless ``delta`` send.
+    """
+    from repro.fleet import DeviceSpec, FleetConfig, FleetCoordinator
+    from repro.fleet.faults import DeviceFaults, FaultPlan
+    from repro.registry import WIRE_FORMATS
+
+    devices = max(40, int(round(400 * scale)))
+    participants = max(4, devices // 10)
+    rounds = 2
+    plan = FaultPlan(
+        seed=seed,
+        default=DeviceFaults(dropout_prob=0.1),
+        overrides=((1, DeviceFaults(straggler_delay_s=2.5)),),
+    )
+    config = default_config(seed=seed).with_(
+        image_size=10,
+        encoder_widths=(8, 16),
+        projection_dim=16,
+        buffer_size=16,
+        total_samples=max(16 * 16, int(round(512 * scale))),
+        probe_train_per_class=10,
+        probe_test_per_class=5,
+        probe_epochs=5,
+        fleet=FleetConfig(
+            devices=tuple(DeviceSpec() for _ in range(devices)),
+            rounds=rounds,
+            participants=participants,
+            sampler="round-robin",
+            round_deadline_s=1.0,
+            fault_plan=plan,
+        ),
+        aggregator="fedavg-async",
+    )
+
+    t0 = time.perf_counter()
+    serial = FleetCoordinator(config, workers=1, wire_format="delta-q8").run()
+    serial_s = time.perf_counter() - t0
+
+    _warm_pool(workers)
+    t0 = time.perf_counter()
+    parallel = FleetCoordinator(
+        config, workers=workers, wire_format="delta-q8"
+    ).run()
+    parallel_s = time.perf_counter() - t0
+
+    trained = sum(len(stats.devices) for stats in parallel.rounds)
+    result: Dict[str, object] = {
+        "devices": devices,
+        "participants": participants,
+        "rounds": rounds,
+        "workers": workers,
+        "wire_format": "delta-q8",
+        "trained_device_rounds": trained,
+        "serial_s": serial_s,
+        "parallel_s": parallel_s,
+        "sampled_devices_per_s": trained / parallel_s,
+        "speedup": serial_s / parallel_s,
+        "results_identical": serial.fingerprint() == parallel.fingerprint(),
+    }
+
+    # Compressed-codec resend sizes: same synthetic model state through
+    # each delta codec (json-b64 inner so the payload is JSON-measurable),
+    # first send establishing the base, second send the steady-state
+    # incremental broadcast whose bytes a fleet round actually pays.
+    rng = np.random.default_rng(seed)
+    base = {
+        f"encoder/layer{i}.weight": rng.normal(size=1 << 14).astype(np.float32)
+        for i in range(4)
+    }
+    bumped = {
+        key: (value + rng.normal(size=value.shape).astype(np.float32) * 0.01)
+        for key, value in base.items()
+    }
+    sizes: Dict[str, int] = {}
+    for name in ("delta", "delta-q8", "delta-topk"):
+        codec = WIRE_FORMATS.create(name, inner="json-b64")
+        codec.decode(codec.encode(base, channel="bench"), channel="bench")
+        payload = codec.encode(bumped, channel="bench")
+        sizes[name] = len(json.dumps(payload))
+        codec.decode(payload, channel="bench")
+    result["resend_bytes"] = sizes
+    result["q8_compression_ratio"] = sizes["delta"] / sizes["delta-q8"]
+    result["topk_compression_ratio"] = sizes["delta"] / sizes["delta-topk"]
+    return result
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument(
@@ -539,7 +644,10 @@ def main(argv=None) -> int:
         "logical CPUs sweep and fleet speedups >= 1.2x over serial, and "
         "on machines with >= 4 logical CPUs sweep speedup >= 1.5x "
         "(headroom under the 2x multi-core target, since logical CPUs "
-        "overstate physical cores)",
+        "overstate physical cores), population fleet serial==parallel "
+        "bitwise under delta-q8 with >= 1 sampled device-round/s, and "
+        "compressed-delta resends >= 3x (q8) / >= 2.5x (topk) smaller "
+        "than the lossless delta resend",
     )
     args = parser.parse_args(argv)
 
@@ -674,6 +782,20 @@ def main(argv=None) -> int:
                     timings.get("merge_s", 0.0),
                 )
             )
+        report["population"] = bench_population(scale, seed, workers=args.workers)
+        print(
+            "  population: {} devices, K={} x {} rounds -> {:.1f} sampled "
+            "devices/s (identical={}); codec resend ratios q8 {:.2f}x "
+            "topk {:.2f}x over delta".format(
+                report["population"]["devices"],
+                report["population"]["participants"],
+                report["population"]["rounds"],
+                report["population"]["sampled_devices_per_s"],
+                report["population"]["results_identical"],
+                report["population"]["q8_compression_ratio"],
+                report["population"]["topk_compression_ratio"],
+            )
+        )
     report["total_wall_s"] = time.perf_counter() - t0
 
     with open(args.output, "w") as fh:
@@ -754,6 +876,35 @@ def _check_thresholds(report: Dict[str, object]) -> List[str]:
             print(
                 f"  note: fleet speedup floor not enforced on {cpus} "
                 "logical CPU(s)"
+            )
+    population = report.get("population")
+    if population is not None:
+        # Bitwise contract, CPU-count independent: both ends of delta-q8
+        # run the same quantization arithmetic.
+        if not population["results_identical"]:
+            failures.append(
+                "population fleet (delta-q8) parallel results differ from serial"
+            )
+        # Generous absolute floor: a sampled population round must never
+        # degrade to training slower than 1 device-round per second at
+        # the smoke scale (catches accidental O(N) work per skipped
+        # device creeping into the coordinator).
+        if population["sampled_devices_per_s"] < 1.0:
+            failures.append(
+                "population throughput "
+                f"{population['sampled_devices_per_s']:.2f} sampled "
+                "devices/s < 1.0 floor"
+            )
+        # Codec-only byte counts, machine-independent.
+        if population["q8_compression_ratio"] < 3.0:
+            failures.append(
+                "delta-q8 resend compression "
+                f"{population['q8_compression_ratio']:.2f}x < 3x floor over delta"
+            )
+        if population["topk_compression_ratio"] < 2.5:
+            failures.append(
+                "delta-topk resend compression "
+                f"{population['topk_compression_ratio']:.2f}x < 2.5x floor over delta"
             )
     wire = report.get("wire")
     if wire is not None and "shm_vs_json_speedup" in wire:

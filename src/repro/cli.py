@@ -90,6 +90,7 @@ from repro.registry import (
     AGGREGATORS,
     AUGMENTS,
     BACKENDS,
+    CLIENT_SAMPLERS,
     DATASETS,
     ENCODERS,
     POLICIES,
@@ -248,9 +249,19 @@ def _run_fleet(
     aggregator: Optional[str] = None,
     devices: int = 3,
     rounds: int = 2,
+    participants: Optional[int] = None,
+    sampler: Optional[str] = None,
+    dropout: Optional[float] = None,
 ) -> str:
     """Multi-device fleet rounds + aggregation vs. one plain device."""
     config = scaled_config(default_config(seed=seed))
+    fault_plan = None
+    if dropout is not None and dropout > 0.0:
+        from repro.fleet.faults import DeviceFaults, FaultPlan
+
+        fault_plan = FaultPlan(
+            seed=seed, default=DeviceFaults(dropout_prob=dropout)
+        )
     result = run_fleet(
         config,
         devices=devices,
@@ -259,6 +270,9 @@ def _run_fleet(
         policy=policy,
         scenario=scenario,
         workers=workers,
+        participants=participants,
+        sampler=sampler,
+        fault_plan=fault_plan,
     )
     return format_fleet(result)
 
@@ -355,6 +369,7 @@ def _format_listing() -> str:
         BACKENDS,
         SCENARIOS,
         AGGREGATORS,
+        CLIENT_SAMPLERS,
         SERVE_POLICIES,
         WIRE_FORMATS,
     ):
@@ -453,6 +468,27 @@ def main(argv: list[str] | None = None) -> int:
         help="synchronization rounds for the fleet experiment (default 2)",
     )
     parser.add_argument(
+        "--participants",
+        type=int,
+        default=None,
+        help="train only K sampled devices per fleet round (client "
+        "sampling; default: every device, every round)",
+    )
+    parser.add_argument(
+        "--sampler",
+        default=None,
+        help="client-sampling rule when --participants is set (any "
+        "registered client-sampler name/alias: uniform, weighted, "
+        "round-robin; fleet experiment only; default uniform)",
+    )
+    parser.add_argument(
+        "--dropout",
+        type=float,
+        default=None,
+        help="per-device per-round dropout probability for the fleet "
+        "chaos harness (a seeded FaultPlan; fleet experiment only)",
+    )
+    parser.add_argument(
         "--serve-policy",
         default=None,
         help="admission-control policy of the scoring service (any "
@@ -547,6 +583,9 @@ def main(argv: list[str] | None = None) -> int:
     fleet_flags = {
         "--aggregator": args.aggregator,
         "--rounds": args.rounds,
+        "--participants": args.participants,
+        "--sampler": args.sampler,
+        "--dropout": args.dropout,
     }
     for flag, value in fleet_flags.items():
         if value is not None and not getattr(runner, "supports_fleet", False):
@@ -572,6 +611,19 @@ def main(argv: list[str] | None = None) -> int:
         if args.rounds < 1:
             parser.error(f"--rounds must be >= 1, got {args.rounds}")
         extra["rounds"] = args.rounds
+    if args.participants is not None:
+        if args.participants < 1:
+            parser.error(f"--participants must be >= 1, got {args.participants}")
+        extra["participants"] = args.participants
+    if args.sampler is not None:
+        try:
+            extra["sampler"] = CLIENT_SAMPLERS.get(args.sampler).name
+        except KeyError as exc:
+            parser.error(str(exc))
+    if args.dropout is not None:
+        if not 0.0 <= args.dropout <= 1.0:
+            parser.error(f"--dropout must be in [0, 1], got {args.dropout}")
+        extra["dropout"] = args.dropout
     serve_flags = {
         "--serve-policy": args.serve_policy,
         "--requests": args.requests,

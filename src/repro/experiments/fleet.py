@@ -30,7 +30,8 @@ from typing import TYPE_CHECKING, Any, Dict, Optional, Sequence
 from repro.experiments.config import StreamExperimentConfig, default_config
 from repro.experiments.parallel import result_fingerprint
 from repro.experiments.runner import StreamRunResult, run_stream_experiment
-from repro.fleet.spec import DeviceSpec
+from repro.fleet.faults import FaultPlan
+from repro.fleet.spec import DeviceSpec, FleetConfig
 from repro.utils.tables import format_table
 
 if TYPE_CHECKING:
@@ -74,6 +75,11 @@ def run_fleet(
     eval_points: int = 1,
     workers: int = 1,
     wire_format: Optional[str] = None,
+    participants: Optional[int] = None,
+    sampler: Optional[str] = None,
+    round_deadline_s: Optional[float] = None,
+    fault_plan: Optional[FaultPlan] = None,
+    regions: Optional[Sequence[Sequence[int]]] = None,
 ) -> FleetExperimentResult:
     """Run the fleet experiment plus its single-device baseline.
 
@@ -87,6 +93,13 @@ def run_fleet(
     arguments.  ``wire_format`` selects the transport codec for
     ``workers > 1`` (any :data:`repro.registry.WIRE_FORMATS` name;
     ``None`` = the ``REPRO_WIRE_FORMAT`` env var, else ``delta``).
+
+    The population knobs mirror :class:`FleetConfig`: ``participants``
+    trains only K sampled devices per round (``sampler`` names the
+    :data:`repro.registry.CLIENT_SAMPLERS` rule, default ``uniform``),
+    ``round_deadline_s`` + ``fault_plan`` drive the straggler/dropout
+    chaos harness, and ``regions`` groups devices for the
+    ``hierarchical`` aggregator.
     """
     from repro.fleet.coordinator import FleetCoordinator
 
@@ -106,11 +119,19 @@ def run_fleet(
             )
         else:
             roster = tuple(devices)
-        coordinator = FleetCoordinator.build(
-            base,
-            devices=roster,
+        fleet_config = FleetConfig(
+            devices=tuple(roster),
             rounds=rounds,
-            aggregator=aggregator,
+            participants=participants,
+            sampler=sampler,
+            regions=None
+            if regions is None
+            else tuple(tuple(int(i) for i in region) for region in regions),
+            round_deadline_s=round_deadline_s,
+            fault_plan=fault_plan,
+        )
+        coordinator = FleetCoordinator(
+            base.with_(fleet=fleet_config, aggregator=aggregator),
             eval_points=eval_points,
             workers=workers,
             wire_format=wire_format,
@@ -135,19 +156,42 @@ def run_fleet(
 
 
 def format_fleet(result: FleetExperimentResult) -> str:
-    """Render the per-round accuracy/diversity table plus the gap."""
+    """Render the per-round accuracy/diversity table plus the gap.
+
+    Small synchronous fleets get one column per device; population
+    runs (client sampling / fault plans) and rosters past 8 devices
+    get a compact per-round summary instead — a 1000-device table
+    with a column per device would be unreadable.
+    """
     fleet = result.fleet
-    header = ["round"] + [f"{name} (acc/div)" for name in fleet.device_names] + [
-        "global acc"
-    ]
-    rows = []
-    for stats in fleet.rounds:
-        row = [str(stats.round_index)]
-        for device in stats.devices:
-            row.append(f"{device.knn_accuracy:.3f}/{device.buffer_diversity:.1f}")
-        suffix = "" if stats.synchronized else " (no sync)"
-        row.append(f"{stats.global_knn_accuracy:.3f}{suffix}")
-        rows.append(row)
+    population = any(stats.participants is not None for stats in fleet.rounds)
+    if population or len(fleet.device_names) > 8:
+        header = ["round", "trained", "dropped", "late", "mean acc", "global acc"]
+        rows = []
+        for stats in fleet.rounds:
+            suffix = "" if stats.synchronized else " (no sync)"
+            rows.append(
+                [
+                    str(stats.round_index),
+                    str(len(stats.devices)),
+                    str(len(stats.dropped or ())),
+                    str(len(stats.late or ())),
+                    f"{stats.mean_device_accuracy:.3f}",
+                    f"{stats.global_knn_accuracy:.3f}{suffix}",
+                ]
+            )
+    else:
+        header = ["round"] + [
+            f"{name} (acc/div)" for name in fleet.device_names
+        ] + ["global acc"]
+        rows = []
+        for stats in fleet.rounds:
+            row = [str(stats.round_index)]
+            for device in stats.devices:
+                row.append(f"{device.knn_accuracy:.3f}/{device.buffer_diversity:.1f}")
+            suffix = "" if stats.synchronized else " (no sync)"
+            row.append(f"{stats.global_knn_accuracy:.3f}{suffix}")
+            rows.append(row)
     single_knn = float(result.single.info["final_knn_accuracy"])
     summary = (
         f"aggregator={fleet.aggregator} devices={len(fleet.device_names)} "

@@ -58,7 +58,7 @@ from __future__ import annotations
 import time
 import warnings
 from dataclasses import dataclass
-from typing import Any, Callable, Dict, List, Optional, Sequence
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
 
 from repro.experiments.config import StreamExperimentConfig
 from repro.experiments.pool import (
@@ -260,8 +260,10 @@ def run_jobs(
     start_method: Optional[str] = None,
     *,
     sticky: bool = False,
+    sticky_keys: Optional[Sequence[int]] = None,
     pool: Optional[WorkerPool] = None,
     refresh: Optional[Callable[[int, Any], Any]] = None,
+    retry_on: Sequence[type] = (),
 ) -> JobResults:
     """Fan ``worker(payload)`` calls out over processes, in payload order.
 
@@ -286,7 +288,14 @@ def run_jobs(
     :class:`~repro.experiments.pool.WorkerCrashedError` — the dead slot
     is respawned, and ``refresh(index, payload)``, if given, supplies a
     replacement payload for the re-run (stateful wire formats use this
-    to re-encode a standalone payload).
+    to re-encode a standalone payload).  ``retry_on`` extends the
+    serial-re-run treatment to job-raised exception types whose cause
+    is transport state rather than the job itself — the fleet
+    coordinator passes ``WireProtocolError`` so a delta payload routed
+    to a mid-call respawned worker (whose caches died with the old
+    process) recovers instead of failing the round.  ``sticky_keys``
+    is forwarded to :meth:`WorkerPool.map` for identity-stable routing
+    of varying job lists.
 
     The returned list is a :class:`JobResults` carrying
     :class:`JobTimings`.
@@ -297,7 +306,10 @@ def run_jobs(
     if not payloads:
         return JobResults([], JobTimings(workers=min(workers, 1)))
     workers = min(workers, len(payloads))
-    if workers == 1:
+    if workers == 1 and pool is None:
+        # A caller-supplied pool is used even for a single payload:
+        # sticky channel state (delta caches) lives in its workers, so
+        # downgrading to in-parent serial would strand those caches.
         return _run_serial(worker, payloads)
     if pool is None:
         try:
@@ -318,18 +330,23 @@ def run_jobs(
     start = time.perf_counter()
     raw: Dict[str, Any] = {}
     values = pool.map(
-        worker, payloads, sticky=sticky, return_exceptions=True, timings=raw
+        worker,
+        payloads,
+        sticky=sticky,
+        sticky_keys=sticky_keys,
+        return_exceptions=True,
+        timings=raw,
     )
+    retry_types: Tuple[type, ...] = (WorkerCrashedError, *retry_on)
     # Job-raised exceptions propagate (first in payload order).
     for value in values:
-        if isinstance(value, BaseException) and not isinstance(
-            value, WorkerCrashedError
-        ):
+        if isinstance(value, BaseException) and not isinstance(value, retry_types):
             raise value
-    # Worker *crashes* fail only their jobs: warn with the named error
-    # and fall back to serial in the parent for the affected payloads.
+    # Worker *crashes* (and caller-nominated transport-state errors)
+    # fail only their jobs: warn with the named error and fall back to
+    # serial in the parent for the affected payloads.
     crashed = [
-        index for index, value in enumerate(values) if isinstance(value, WorkerCrashedError)
+        index for index, value in enumerate(values) if isinstance(value, retry_types)
     ]
     for index in crashed:
         warnings.warn(

@@ -36,6 +36,7 @@ returned (or re-raised) with the remote traceback attached as a note.
 from __future__ import annotations
 
 import atexit
+import itertools
 import multiprocessing
 import multiprocessing.connection
 import time
@@ -58,6 +59,20 @@ POOL_UNAVAILABLE_ERRORS = (ImportError, OSError, PermissionError)
 
 #: Seconds between liveness polls while waiting on worker pipes.
 _WAIT_TIMEOUT = 0.1
+
+#: Process-wide generation source.  Every worker process ever started —
+#: in any pool, including replacements for closed pools — gets a value
+#: no prior worker had, so a delta sender comparing stored generations
+#: can never mistake a *new* pool's slot for the one whose caches it
+#: remembers (the cross-call leakage a simple per-slot counter allows:
+#: close pool A, create pool B, both report generation 0).
+_GENERATION_COUNTER = itertools.count(1)
+
+#: True inside a pool worker process (set by ``_worker_main``).  Fault
+#: injection uses this to confine deliberate crash faults to child
+#: processes: honouring ``os._exit`` in the parent would kill the run
+#: instead of exercising the recovery path.
+IN_POOL_WORKER = False
 
 
 def default_start_method() -> str:
@@ -85,6 +100,8 @@ class WorkerCrashedError(RuntimeError):
 def _worker_main(connection: Any) -> None:
     """Worker loop: ``(job_id, fn, payload)`` in, ``(job_id, value,
     error, compute_seconds)`` out, until EOF or a ``None`` sentinel."""
+    global IN_POOL_WORKER
+    IN_POOL_WORKER = True
     while True:
         try:
             message = connection.recv()
@@ -156,6 +173,7 @@ class WorkerPool:
 
     # -- lifecycle ------------------------------------------------------
     def _start_worker(self, index: int) -> None:
+        self._generations[index] = next(_GENERATION_COUNTER)
         parent_end, child_end = self._context.Pipe()
         process = self._context.Process(
             target=_worker_main,
@@ -181,7 +199,6 @@ class WorkerPool:
             if process.is_alive():  # pragma: no cover - hung, not dead
                 process.terminate()
                 process.join(timeout=1.0)
-        self._generations[index] += 1
         self._start_worker(index)
 
     @property
@@ -214,14 +231,17 @@ class WorkerPool:
 
     # -- introspection --------------------------------------------------
     def generations(self) -> List[int]:
-        """Per-slot respawn counters: slot ``i``'s value changes exactly
-        when its process was replaced (so any process-local cache a
-        sender relied on is gone)."""
+        """Per-slot process identities: slot ``i``'s value changes
+        exactly when its process was replaced (so any process-local
+        cache a sender relied on is gone).  Values are unique across
+        every pool this parent ever created — two different worker
+        processes never share one, even across pool close/recreate."""
         return list(self._generations)
 
-    def sticky_worker(self, job_index: int) -> int:
-        """The slot ``map(..., sticky=True)`` routes job ``i`` to."""
-        return job_index % self.size
+    def sticky_worker(self, key: int) -> int:
+        """The slot sticky routing assigns to key ``k`` (the job index
+        by default, or the caller's ``sticky_keys[i]`` entry)."""
+        return key % self.size
 
     def worker_pids(self) -> List[int]:
         return [process.pid for process in self._processes]
@@ -238,6 +258,7 @@ class WorkerPool:
         payloads: Sequence[Any],
         *,
         sticky: bool = False,
+        sticky_keys: Optional[Sequence[int]] = None,
         return_exceptions: bool = False,
         timings: Optional[Dict[str, float]] = None,
     ) -> List[Any]:
@@ -245,6 +266,11 @@ class WorkerPool:
 
         ``sticky`` pins job ``i`` to worker ``i % size`` (channel
         affinity); otherwise jobs go to whichever worker frees up.
+        ``sticky_keys`` (implies sticky) supplies one routing key per
+        payload and pins job ``i`` to worker ``sticky_keys[i] % size``
+        instead — this is how a caller whose *job list* varies between
+        calls (a sampled fleet round submits only the participants)
+        keeps a stable identity glued to a stable worker.
         With ``return_exceptions``, job exceptions and
         :class:`WorkerCrashedError` instances appear in the result list
         instead of being raised; without it, the first error is raised
@@ -258,6 +284,16 @@ class WorkerPool:
             raise RuntimeError("worker pool is closed")
         payloads = list(payloads)
         total = len(payloads)
+        if sticky_keys is not None:
+            sticky = True
+            keys = [int(k) for k in sticky_keys]
+            if len(keys) != total:
+                raise ValueError(
+                    f"sticky_keys must supply one key per payload: "
+                    f"got {len(keys)} keys for {total} payloads"
+                )
+        else:
+            keys = list(range(total))
         results: List[Any] = [None] * total
         compute_total = 0.0
         transport_total = 0.0
@@ -266,7 +302,7 @@ class WorkerPool:
 
         if sticky:
             queues: List[deque] = [
-                deque(j for j in range(total) if j % self.size == w)
+                deque(j for j in range(total) if self.sticky_worker(keys[j]) == w)
                 for w in range(self.size)
             ]
             shared: deque = deque()

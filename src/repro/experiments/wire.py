@@ -26,15 +26,31 @@ codecs:
     (fleet broadcasts): only arrays whose blake2b content hash changed
     since the previous send on that channel are shipped (through an
     inner ``shm`` or ``json-b64`` codec); the receiver merges them over
-    its cached copy and verifies every reused array against the
+    its cached base and verifies every reused array against the
     sender's hash, so a stale cache can never silently corrupt a round.
+``delta-q8``
+    ``delta`` with changed float arrays int8-quantized (per-array
+    scale + integer zero point).  **Lossy**: per-element error is at
+    most ``(max(x, 0) - min(x, 0)) / 255``; exact zeros stay exactly
+    zero; integer/bool/small arrays and every full (first) send stay
+    bitwise.  ~4x smaller changed-array traffic.
+``delta-topk``
+    ``delta`` shipping only the top-k (by |change|) elements of each
+    changed float array as sparse index/value pairs.  **Lossy**:
+    shipped elements are exact, every other element keeps the
+    receiver's previous value, so its deviation is bounded by the
+    smallest shipped |change| of that send.
 
-All formats are exact: ``decode(encode(arrays))`` is bitwise-identical
-to the input for every dtype/shape, including float64, 0-d, and empty
-arrays (the round-trip property tests in
+The lossless formats are exact: ``decode(encode(arrays))`` is
+bitwise-identical to the input for every dtype/shape, including
+float64, 0-d, and empty arrays (the round-trip property tests in
 ``tests/integration/test_wire_formats.py`` enforce this across the
-whole registry).  The serial==parallel identity invariant therefore
-holds under every wire format.
+whole registry).  The serial==parallel identity invariant holds under
+*every* format — lossy codecs quantize identically wherever they run —
+while the fleet-of-1 == plain-Session identity additionally requires a
+lossless broadcast leg, so it is asserted for
+:func:`lossless_wire_format_names` only (registrations carry a
+``lossless`` metadata flag; see docs/FLEET.md's tolerance table).
 
 Selection: pass ``wire_format=`` to :class:`FleetCoordinator` /
 ``run_fleet`` (or ``--wire-format`` on the CLI), or set the
@@ -46,8 +62,9 @@ from __future__ import annotations
 
 import base64
 import hashlib
+import math
 import os
-from typing import Any, Dict, List, Optional
+from typing import Any, Dict, List, Optional, Tuple
 
 import numpy as np
 
@@ -61,7 +78,10 @@ __all__ = [
     "JsonB64Format",
     "ShmFormat",
     "DeltaFormat",
+    "DeltaQ8Format",
+    "DeltaTopKFormat",
     "array_hash",
+    "lossless_wire_format_names",
     "create_wire_format",
     "get_wire_format",
     "resolve_wire_format",
@@ -99,6 +119,12 @@ class WireFormat:
     #: Canonical registered name, stamped into encoded payloads so the
     #: receiver can dispatch without out-of-band agreement.
     name: str = "base"
+
+    #: Whether ``decode(encode(x))`` is bitwise ``x`` on *every* send.
+    #: Lossy codecs (``delta-q8``/``delta-topk``) set this False and
+    #: document their error bound; identity tests that require an exact
+    #: broadcast leg enumerate :func:`lossless_wire_format_names`.
+    lossless: bool = True
 
     @property
     def response_format(self) -> str:
@@ -191,6 +217,18 @@ def reset_wire_caches() -> None:
     _INSTANCES.clear()
 
 
+def lossless_wire_format_names() -> List[str]:
+    """Registered formats whose round trip is bitwise on every send
+    (``lossless`` registration metadata; lossy compressed deltas are
+    excluded).  The fleet-of-1 == plain-Session identity contract is
+    asserted over exactly this set."""
+    return sorted(
+        entry.name
+        for entry in WIRE_FORMATS.entries()
+        if entry.metadata.get("lossless", True)
+    )
+
+
 def _raw_view(contiguous: np.ndarray) -> memoryview:
     """The array's bytes as a flat view — no copy (DESIGN.md §7).
 
@@ -220,7 +258,9 @@ def array_hash(value: Any) -> str:
 # ----------------------------------------------------------------------
 # json-b64: the bit-exact, JSON-compatible reference codec.
 # ----------------------------------------------------------------------
-@register_wire_format("json-b64", label="Base64 JSON", aliases=("json", "b64"))
+@register_wire_format(
+    "json-b64", label="Base64 JSON", aliases=("json", "b64"), lossless=True
+)
 class JsonB64Format(WireFormat):
     """Base64 of the raw bytes + dtype + shape (the archival format)."""
 
@@ -291,7 +331,9 @@ def outstanding_shm_segments() -> List[str]:
     return sorted(_LIVE_SEGMENTS)
 
 
-@register_wire_format("shm", label="Shared memory", aliases=("shared-memory",))
+@register_wire_format(
+    "shm", label="Shared memory", aliases=("shared-memory",), lossless=True
+)
 class ShmFormat(WireFormat):
     """Arrays ride a named shared-memory segment; only the manifest
     (dtype/shape/offset per array) crosses the pipe.
@@ -430,7 +472,7 @@ class ShmFormat(WireFormat):
 # ----------------------------------------------------------------------
 # delta: ship only arrays whose content hash changed on this channel.
 # ----------------------------------------------------------------------
-@register_wire_format("delta", label="Content-hash delta", aliases=("diff",))
+@register_wire_format("delta", label="Content-hash delta", aliases=("diff",), lossless=True)
 class DeltaFormat(WireFormat):
     """Hash-diffed sends over named channels, for fleet-style repeats.
 
@@ -442,6 +484,16 @@ class DeltaFormat(WireFormat):
     base and re-verifies every *reused* array against the sender's
     hash, so worker respawns or cache drift fail loudly
     (:class:`WireProtocolError`) instead of corrupting a round.
+
+    Compressed variants subclass this and override the
+    :meth:`_compress`/:meth:`_decompress` pair.  The protocol hashes
+    the sender-side *reconstruction* (what the receiver will actually
+    hold after decompressing), never the pre-compression array — both
+    sides run the same deterministic arithmetic, so the receiver's
+    hash verification still catches any cache drift while agreeing
+    bitwise on the lossy payload itself.  Lossy subclasses set
+    ``lossless = False`` and keep per-channel reconstruction bases so
+    the next send diffs against what the receiver truly has.
     """
 
     name = "delta"
@@ -455,34 +507,92 @@ class DeltaFormat(WireFormat):
             raise ValueError("delta cannot nest inside itself")
         self._inner: WireFormat = WIRE_FORMATS.create(self.inner_name)
         self._sent_hashes: Dict[str, Dict[str, str]] = {}  # sender side
+        # Sender-side reconstruction bases (lossy subclasses only): the
+        # arrays the receiver holds after decoding — the diff base for
+        # the next send, since the receiver never saw the exact state.
+        self._sent_bases: Dict[str, Dict[str, np.ndarray]] = {}
         self._cache: Dict[str, Dict[str, np.ndarray]] = {}  # receiver side
 
     @property
     def response_format(self) -> str:
         return self.inner_name
 
+    # -- compression hooks (identity in the lossless base class) --------
+    def _compress(
+        self, key: str, array: np.ndarray, base: Optional[np.ndarray]
+    ) -> Tuple[Dict[str, np.ndarray], Optional[Dict[str, Any]], np.ndarray]:
+        """Compress one changed array into wire entries.
+
+        Returns ``(entries, meta, reconstruction)``: the inner-codec
+        arrays to ship (keys namespaced by the codec), a JSON-ish meta
+        dict (``None`` = shipped raw), and the array the receiver will
+        reconstruct — bitwise equal to ``array`` iff lossless.  ``base``
+        is the receiver's current copy (``None`` when unknown).
+        """
+        return {key: array}, None, array
+
+    def _decompress(
+        self,
+        key: str,
+        entries: Dict[str, np.ndarray],
+        meta: Dict[str, Any],
+        base: Optional[np.ndarray],
+    ) -> np.ndarray:
+        """Inverse of :meth:`_compress` for entries carrying meta."""
+        raise WireProtocolError(
+            f"wire format {self.name!r} cannot decode codec meta for {key!r}"
+        )
+
     def encode(
         self, arrays: Dict[str, np.ndarray], *, channel: Optional[str] = None
     ) -> Dict[str, Any]:
-        hashes = {key: array_hash(value) for key, value in arrays.items()}
-        base = self._sent_hashes.get(channel) if channel is not None else None
-        if base is None:  # first send (or invalidated, or channel-less)
-            changed = dict(arrays)
-            full = True
-        else:
-            changed = {
-                key: value
-                for key, value in arrays.items()
-                if base.get(key) != hashes[key]
-            }
-            full = False
+        prev = self._sent_hashes.get(channel) if channel is not None else None
+        prev_bases = self._sent_bases.get(channel, {})
+        full = prev is None  # first send (or invalidated, or channel-less)
+        hashes: Dict[str, str] = {}
+        changed: Dict[str, np.ndarray] = {}
+        codec: Dict[str, Dict[str, Any]] = {}
+        new_bases: Dict[str, np.ndarray] = {}
+        for key, value in arrays.items():
+            array = np.asarray(value)
+            if full:
+                # Full sends are bitwise under every delta codec: they
+                # (re)establish the exact base after respawn/invalidate.
+                changed[key] = array
+                hashes[key] = array_hash(array)
+                if not self.lossless:
+                    new_bases[key] = array
+                continue
+            true_hash = array_hash(array)
+            if prev.get(key) == true_hash:
+                hashes[key] = true_hash
+                if not self.lossless:
+                    new_bases[key] = prev_bases.get(key, array)
+                continue
+            entries, meta, recon = self._compress(key, array, prev_bases.get(key))
+            recon_hash = true_hash if meta is None else array_hash(recon)
+            if prev.get(key) == recon_hash:
+                # Compresses to exactly what the receiver already holds.
+                hashes[key] = recon_hash
+                if not self.lossless:
+                    new_bases[key] = prev_bases.get(key, recon)
+                continue
+            changed.update(entries)
+            if meta is not None:
+                codec[key] = meta
+            hashes[key] = recon_hash
+            if not self.lossless:
+                new_bases[key] = recon
         if channel is not None:
             self._sent_hashes[channel] = hashes
+            if not self.lossless:
+                self._sent_bases[channel] = new_bases
         return {
             "wire": self.name,
             "channel": channel,
             "full": full,
             "hashes": hashes,
+            "codec": codec,
             "inner": self._inner.encode(changed, channel=channel),
         }
 
@@ -492,6 +602,7 @@ class DeltaFormat(WireFormat):
         channel = payload["channel"]
         changed = self._inner.decode(payload["inner"])
         hashes: Dict[str, str] = payload["hashes"]
+        codec: Dict[str, Dict[str, Any]] = payload.get("codec") or {}
         if payload["full"]:
             base: Dict[str, np.ndarray] = {}
         else:
@@ -505,6 +616,16 @@ class DeltaFormat(WireFormat):
             base = cached
         out: Dict[str, np.ndarray] = {}
         for key, expected in hashes.items():
+            meta = codec.get(key)
+            if meta is not None:
+                value = self._decompress(key, changed, meta, base.get(key))
+                if array_hash(value) != expected:
+                    raise WireProtocolError(
+                        f"codec reconstruction of {key!r} on channel "
+                        f"{channel!r} does not match the sender's content hash"
+                    )
+                out[key] = value
+                continue
             if key in changed:
                 out[key] = changed[key]
                 continue
@@ -526,6 +647,12 @@ class DeltaFormat(WireFormat):
         self._sent_hashes[channel] = {
             key: array_hash(value) for key, value in arrays.items()
         }
+        if not self.lossless:
+            # The receiver handed these arrays back losslessly (reply
+            # legs use the inner codec), so they ARE its current base.
+            self._sent_bases[channel] = {
+                key: np.asarray(value).copy() for key, value in arrays.items()
+            }
 
     def note_received(self, channel: str, arrays: Dict[str, np.ndarray]) -> None:
         self._cache[channel] = dict(arrays)
@@ -533,7 +660,164 @@ class DeltaFormat(WireFormat):
     def invalidate(self, channel: Optional[str] = None) -> None:
         if channel is None:
             self._sent_hashes.clear()
+            self._sent_bases.clear()
             self._cache.clear()
         else:
             self._sent_hashes.pop(channel, None)
+            self._sent_bases.pop(channel, None)
             self._cache.pop(channel, None)
+
+
+# ----------------------------------------------------------------------
+# Compressed deltas: lossy codecs for bandwidth-constrained broadcasts.
+# ----------------------------------------------------------------------
+@register_wire_format(
+    "delta-q8",
+    label="Int8-quantized delta",
+    aliases=("q8", "quantized"),
+    lossless=False,
+)
+class DeltaQ8Format(DeltaFormat):
+    """``delta`` with changed float arrays quantized to int8.
+
+    Tolerance contract (docs/FLEET.md codec table):
+
+    * Quantization is affine with a per-array float scale and integer
+      zero point: ``q = clip(rint(x / scale) + zp, -128, 127)``,
+      ``x_hat = (q - zp) * scale`` with
+      ``scale = (max(x, 0) - min(x, 0)) / 255`` — so the per-element
+      absolute error is at most ``scale``.
+    * Exact zeros are preserved exactly (the zero point is an integer,
+      so ``x == 0`` reconstructs to ``0.0`` bitwise).
+    * Non-float dtypes, arrays smaller than ``min_size`` elements,
+      non-finite arrays, and full (first / post-invalidate) sends ship
+      raw — bitwise.
+    * Reply legs use the lossless inner codec (``response_format``), so
+      only the broadcast direction is quantized.
+
+    Both ends compute the reconstruction with identical float64
+    arithmetic, so the hash-verified protocol state stays consistent
+    and quantization is deterministic wherever it runs (serial ==
+    parallel holds under this codec too).
+    """
+
+    name = "delta-q8"
+    lossless = False
+
+    def __init__(self, inner: Optional[str] = None, min_size: int = 64) -> None:
+        super().__init__(inner=inner)
+        if min_size < 1:
+            raise ValueError(f"min_size must be >= 1, got {min_size}")
+        self.min_size = int(min_size)
+
+    def _compress(self, key, array, base):
+        if (
+            array.dtype.kind != "f"
+            or array.size < self.min_size
+            or not bool(np.isfinite(array).all())
+        ):
+            return {key: array}, None, array
+        lo = min(float(array.min()), 0.0)
+        hi = max(float(array.max()), 0.0)
+        scale = (hi - lo) / 255.0
+        if scale == 0.0:  # all-zero array: raw is already one byte/elem shy
+            return {key: array}, None, array
+        zero_point = int(round(-128.0 - lo / scale))
+        q = np.clip(
+            np.rint(array.astype(np.float64) / scale) + zero_point, -128, 127
+        ).astype(np.int8)
+        recon = self._dequantize(q, scale, zero_point, array.dtype)
+        meta = {
+            "kind": "q8",
+            "scale": scale,
+            "zero_point": zero_point,
+            "dtype": array.dtype.str,
+        }
+        return {key: q}, meta, recon
+
+    @staticmethod
+    def _dequantize(
+        q: np.ndarray, scale: float, zero_point: int, dtype: np.dtype
+    ) -> np.ndarray:
+        return ((q.astype(np.float64) - zero_point) * scale).astype(dtype)
+
+    def _decompress(self, key, entries, meta, base):
+        q = entries.get(key)
+        if q is None:
+            raise WireProtocolError(f"delta-q8 payload is missing array {key!r}")
+        return self._dequantize(
+            q, float(meta["scale"]), int(meta["zero_point"]), np.dtype(meta["dtype"])
+        )
+
+
+@register_wire_format(
+    "delta-topk",
+    label="Sparse top-k delta",
+    aliases=("topk", "sparse"),
+    lossless=False,
+)
+class DeltaTopKFormat(DeltaFormat):
+    """``delta`` shipping only each changed float array's largest moves.
+
+    For a changed array with a known receiver base, only the
+    ``ceil(fraction * size)`` elements with the largest ``|new - base|``
+    are shipped, as a sorted int64 index vector plus the *exact* new
+    values (two inner entries per array).  The receiver overlays them
+    on its base.
+
+    Tolerance contract (docs/FLEET.md codec table): shipped elements
+    are exact; every other element keeps the receiver's previous value,
+    so its deviation from the true array is at most the smallest
+    shipped ``|change|`` of that send.  Non-float dtypes, arrays with
+    no usable base (first send, shape/dtype change), ``k >= size``, and
+    full sends ship raw — bitwise.  Reply legs use the lossless inner
+    codec.
+    """
+
+    name = "delta-topk"
+    lossless = False
+
+    def __init__(self, inner: Optional[str] = None, fraction: float = 0.1) -> None:
+        super().__init__(inner=inner)
+        if not 0.0 < fraction <= 1.0:
+            raise ValueError(f"fraction must be in (0, 1], got {fraction}")
+        self.fraction = float(fraction)
+
+    def _compress(self, key, array, base):
+        if (
+            array.dtype.kind != "f"
+            or base is None
+            or base.shape != array.shape
+            or base.dtype != array.dtype
+            or array.size == 0
+        ):
+            return {key: array}, None, array
+        k = max(1, int(math.ceil(self.fraction * array.size)))
+        if k >= array.size:
+            return {key: array}, None, array
+        flat_new = np.ascontiguousarray(array).reshape(-1)
+        flat_base = np.ascontiguousarray(base).reshape(-1)
+        moves = np.abs(flat_new.astype(np.float64) - flat_base.astype(np.float64))
+        picked = np.argpartition(moves, array.size - k)[array.size - k :]
+        indices = np.sort(picked).astype(np.int64)
+        values = flat_new[indices].copy()
+        recon = flat_base.copy()
+        recon[indices] = values
+        recon = recon.reshape(array.shape)
+        meta = {"kind": "topk", "k": int(k)}
+        return {f"{key}\x00idx": indices, f"{key}\x00val": values}, meta, recon
+
+    def _decompress(self, key, entries, meta, base):
+        if base is None:
+            raise WireProtocolError(
+                f"delta-topk payload for {key!r} has no cached base array"
+            )
+        indices = entries.get(f"{key}\x00idx")
+        values = entries.get(f"{key}\x00val")
+        if indices is None or values is None:
+            raise WireProtocolError(
+                f"delta-topk payload is missing the index/value pair for {key!r}"
+            )
+        recon = np.ascontiguousarray(base).reshape(-1).copy()
+        recon[indices] = values
+        return recon.reshape(base.shape)

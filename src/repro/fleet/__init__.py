@@ -7,6 +7,13 @@ docs/FLEET.md and DESIGN.md §10): a :class:`FleetConfig` of
 followed by server-side aggregation, and aggregation rules plug in
 through the ``AGGREGATORS`` registry
 (:func:`repro.registry.register_aggregator`).
+
+Population-scale features (DESIGN.md §13): client sampling trains only
+K of N devices per round (``CLIENT_SAMPLERS`` registry,
+:mod:`repro.fleet.sampling`), a seeded :class:`FaultPlan`
+(:mod:`repro.fleet.faults`) injects deterministic stragglers, dropouts,
+and crashes, and the ``fedavg-async`` / ``hierarchical`` aggregators
+handle stale and region-grouped updates.
 """
 
 from repro.fleet.aggregators import (
@@ -14,7 +21,9 @@ from repro.fleet.aggregators import (
     BestOf,
     DeviceRoundReport,
     FedAvg,
+    FedAvgAsync,
     FedAvgMomentum,
+    HierarchicalFedAvg,
     LocalOnly,
     create_aggregator,
     weighted_mean_state,
@@ -27,23 +36,41 @@ from repro.fleet.coordinator import (
     FleetRoundStats,
     FleetRunResult,
 )
+from repro.fleet.faults import DeviceFaults, FaultPlan, fault_rng
+from repro.fleet.sampling import (
+    ClientSampler,
+    RoundRobinSampler,
+    UniformSampler,
+    WeightedByProfileSampler,
+    create_client_sampler,
+)
 from repro.fleet.spec import DeviceSpec, FleetConfig
 
 __all__ = [
     "Aggregator",
     "BestOf",
+    "ClientSampler",
+    "DeviceFaults",
     "DevicePlan",
     "DeviceRoundReport",
     "DeviceRoundStats",
     "DeviceSpec",
+    "FaultPlan",
     "FedAvg",
+    "FedAvgAsync",
     "FedAvgMomentum",
     "FleetConfig",
     "FleetCoordinator",
     "FleetRoundStats",
     "FleetRunResult",
+    "HierarchicalFedAvg",
     "LocalOnly",
     "MODEL_PREFIXES",
+    "RoundRobinSampler",
+    "UniformSampler",
+    "WeightedByProfileSampler",
     "create_aggregator",
+    "create_client_sampler",
+    "fault_rng",
     "weighted_mean_state",
 ]

@@ -36,6 +36,8 @@ __all__ = [
     "Aggregator",
     "FedAvg",
     "FedAvgMomentum",
+    "FedAvgAsync",
+    "HierarchicalFedAvg",
     "BestOf",
     "LocalOnly",
     "create_aggregator",
@@ -231,6 +233,118 @@ class FedAvgMomentum(Aggregator):
             for key, value in state.items()
             if key.startswith("velocity/")
         }
+
+
+@register_aggregator(
+    "fedavg-async",
+    label="Staleness-weighted FedAvg (buffered async rounds)",
+    aliases=("async", "fedasync"),
+)
+class FedAvgAsync(Aggregator):
+    """Staleness-weighted FedAvg for asynchronous rounds.
+
+    The coordinator stamps every report with ``info["staleness"]`` —
+    how many global versions were published between the moment the
+    device *started* from the global model and the moment its update is
+    finally aggregated.  On-time reports carry staleness 0; updates
+    buffered past the round deadline arrive one round later with
+    staleness >= 1.
+
+    Update rule (DESIGN.md §13, float64 accumulation)::
+
+        s_d      = (1 + staleness_d) ** -alpha          # decay factor
+        avg_t    = weighted_mean(models, weights n_d * s_d)
+        mix_t    = sum_d(n_d * s_d) / sum_d(n_d)        # freshness mass
+        global_t = (1 - mix_t) * global_{t-1} + mix_t * avg_t
+
+    With every report fresh (all staleness 0) ``mix_t == 1.0`` exactly
+    and the rule degenerates to classic FedAvg bit for bit — which is
+    what keeps the synchronous baseline, and the fleet-of-1 identity,
+    intact when this aggregator is selected without a deadline.  Stale
+    reports both pull the average less (per-report ``s_d``) and leave
+    more of the previous global in place (round-level ``mix_t``).
+    """
+
+    def __init__(self, alpha: float = 0.5) -> None:
+        if alpha < 0:
+            raise ValueError(f"alpha must be >= 0, got {alpha}")
+        self.alpha = float(alpha)
+
+    def aggregate(self, global_state, reports):
+        if not reports:
+            raise ValueError("need at least one device report to aggregate")
+        scaled: List[DeviceRoundReport] = []
+        fresh_mass = 0.0
+        total_mass = 0.0
+        for report in reports:
+            staleness = max(float(report.info.get("staleness", 0.0)), 0.0)
+            decay = (1.0 + staleness) ** -self.alpha
+            weight = max(float(report.weight), 0.0)
+            fresh_mass += weight * decay
+            total_mass += weight
+            scaled.append(
+                DeviceRoundReport(
+                    device=report.device,
+                    model_state=report.model_state,
+                    weight=weight * decay,
+                    knn_accuracy=report.knn_accuracy,
+                    info=report.info,
+                )
+            )
+        average = weighted_mean_state(scaled)
+        if global_state is None:
+            return average
+        mix = fresh_mass / total_mass if total_mass > 0 else 1.0
+        if mix >= 1.0:
+            return average
+        out: Dict[str, np.ndarray] = {}
+        for key, avg in average.items():
+            previous = global_state[key].astype(np.float64)
+            blended = (1.0 - mix) * previous + mix * avg.astype(np.float64)
+            out[key] = blended.astype(avg.dtype)
+        return out
+
+
+@register_aggregator(
+    "hierarchical",
+    label="Two-stage edge→region→server averaging",
+    aliases=("edge-region-server", "hier"),
+)
+class HierarchicalFedAvg(Aggregator):
+    """Edge→region→server topology: average within each region first,
+    then average the region models weighted by their total sample mass.
+
+    Regions come from ``FleetConfig.regions``; the coordinator stamps
+    each report with ``info["region"]`` (devices outside every listed
+    region form their own singleton regions).  Mathematically the
+    two-stage weighted mean equals the flat one in exact arithmetic —
+    the value of the topology is operational (a region aggregate only
+    needs its own members' updates), and the float64 accumulation keeps
+    each stage deterministic.  One region containing one report reduces
+    both stages to the identity, preserving the fleet-of-1 guarantee.
+    """
+
+    def aggregate(self, global_state, reports):
+        if not reports:
+            raise ValueError("need at least one device report to aggregate")
+        groups: Dict[int, List[DeviceRoundReport]] = {}
+        for report in reports:
+            region = int(report.info.get("region", 0))
+            groups.setdefault(region, []).append(report)
+        region_reports: List[DeviceRoundReport] = []
+        for region in sorted(groups):
+            members = groups[region]
+            region_reports.append(
+                DeviceRoundReport(
+                    device=f"region-{region}",
+                    model_state=weighted_mean_state(members),
+                    weight=sum(max(float(m.weight), 0.0) for m in members),
+                    knn_accuracy=float(
+                        np.mean([m.knn_accuracy for m in members])
+                    ),
+                )
+            )
+        return weighted_mean_state(region_reports)
 
 
 @register_aggregator(

@@ -34,6 +34,16 @@ Sessions from just the broadcast-changed arrays each round; per-round
 serialize/transport/compute/merge timings land in
 :attr:`FleetCoordinator.timings` (never in fingerprints).
 
+Population-scale rounds change only the cast, not the contract: when
+``FleetConfig.participants`` is set, a registered ``CLIENT_SAMPLERS``
+rule picks K of N devices from the coordinator's checkpointed RNG;
+a seeded :class:`~repro.fleet.faults.FaultPlan` then drops, delays
+(past ``round_deadline_s``, buffering the report with a staleness
+stamp for ``fedavg-async``), or crashes sampled devices — all
+deterministically replayable and resumable.  With no sampler and no
+fault plan the round loop is the plain synchronous path above, and a
+fleet of one stays bitwise-identical to a single Session.
+
 Every argument is validated eagerly at construction with per-field
 error messages (nothing fails inside the first round).
 """
@@ -55,6 +65,7 @@ from repro.device.cost_model import DEVICE_PROFILES, iteration_compute_cost
 from repro.data.scenarios import canonical_scenario
 from repro.experiments.config import StreamExperimentConfig
 from repro.experiments.parallel import JobTimings, result_fingerprint, run_jobs
+from repro.experiments import pool as pool_module
 from repro.experiments.pool import (
     POOL_UNAVAILABLE_ERRORS,
     WorkerPool,
@@ -62,6 +73,7 @@ from repro.experiments.pool import (
 )
 from repro.experiments.wire import (
     WireFormat,
+    WireProtocolError,
     create_wire_format,
     decode_state_payload,
     default_wire_format,
@@ -73,11 +85,14 @@ from repro.fleet.aggregators import (
     DeviceRoundReport,
     create_aggregator,
 )
+from repro.fleet.faults import FaultPlan
+from repro.fleet.sampling import ClientSampler, create_client_sampler
 from repro.fleet.spec import DeviceSpec, FleetConfig
 from repro.nn.backend import use_backend
 from repro.registry import (
     AGGREGATORS,
     BACKENDS,
+    CLIENT_SAMPLERS,
     POLICIES,
     UnknownComponentError,
 )
@@ -155,7 +170,20 @@ def _device_round_worker(payload: Dict[str, Any]) -> Dict[str, Any]:
     worker decodes through the per-process singleton codec, so
     channel-stateful formats (``delta``) keep their caches across the
     rounds of a sticky worker's devices.
+
+    ``payload["global_overlay"]``, if present, carries the current
+    global model as an :func:`encode_arrays` table — a device sampled
+    into the fleet for the first time after a broadcast starts from
+    the global model rather than from scratch.  ``inject_crash`` is
+    the chaos harness's crash fault: honored only inside a pool worker
+    process (never in the parent), it kills the process exactly the
+    way a real device crash would, exercising respawn + serial-re-run
+    recovery.
     """
+    if payload.get("inject_crash") and pool_module.IN_POOL_WORKER:
+        # A FaultPlan crash: die the hard way (no cleanup, no
+        # exception) so the parent sees a genuine WorkerCrashedError.
+        os._exit(86)
     state = payload["state"]
     wire_name = payload.get("wire")
     response_wire = payload.get("response_wire")
@@ -168,6 +196,16 @@ def _device_round_worker(payload: Dict[str, Any]) -> Dict[str, Any]:
             .with_lazy_interval(payload["lazy_interval"])
             .with_score_momentum(payload["score_momentum"])
         )
+        overlay = payload.get("global_overlay")
+        if overlay is not None:
+            # First participation after a broadcast: adopt the global
+            # model arrays (optimizer moments and buffers start fresh).
+            # run(stop_after=0) materializes the learner without
+            # consuming any stream or RNG state.
+            session.run(stop_after=0)
+            fresh = session.state_dict()
+            fresh["learner"].update(decode_arrays(overlay))
+            session = Session.from_state_dict(fresh)
     else:
         if wire_name is not None:
             state = {
@@ -237,37 +275,64 @@ class FleetRoundStats:
     ``devices`` report their *local* models (measured before the
     broadcast); ``global_knn_accuracy`` scores the aggregated model —
     for ``local-only`` rounds (``synchronized`` False) it is the mean
-    of the device accuracies instead.
+    of the device accuracies instead (``NaN`` when nobody trained).
+
+    ``participants`` / ``dropped`` / ``late`` record the population
+    round's cast: the sampled device indices, the subset the fault
+    plan dropped, and the stragglers whose reports were buffered past
+    the deadline.  All three are ``None`` on plain synchronous rounds
+    (no sampling, no fault plan), keeping pre-population payloads and
+    fingerprints byte-identical.
     """
 
     round_index: int
     devices: List[DeviceRoundStats]
     global_knn_accuracy: float
     synchronized: bool
+    participants: Optional[List[int]] = None
+    dropped: Optional[List[int]] = None
+    late: Optional[List[int]] = None
 
     @property
     def mean_device_accuracy(self) -> float:
+        if not self.devices:
+            return float("nan")
         return float(np.mean([d.knn_accuracy for d in self.devices]))
 
     @property
     def mean_buffer_diversity(self) -> float:
+        if not self.devices:
+            return float("nan")
         return float(np.mean([d.buffer_diversity for d in self.devices]))
 
     def to_dict(self) -> Dict[str, Any]:
-        return {
+        payload = {
             "round_index": self.round_index,
             "devices": [d.to_dict() for d in self.devices],
-            "global_knn_accuracy": self.global_knn_accuracy,
+            "global_knn_accuracy": _none_if_nan(self.global_knn_accuracy),
             "synchronized": self.synchronized,
         }
+        if self.participants is not None:
+            payload["participants"] = list(self.participants)
+        if self.dropped is not None:
+            payload["dropped"] = list(self.dropped)
+        if self.late is not None:
+            payload["late"] = list(self.late)
+        return payload
 
     @classmethod
     def from_dict(cls, data: Dict[str, Any]) -> "FleetRoundStats":
+        participants = data.get("participants")
+        dropped = data.get("dropped")
+        late = data.get("late")
         return cls(
             round_index=int(data["round_index"]),
             devices=[DeviceRoundStats.from_dict(d) for d in data["devices"]],
-            global_knn_accuracy=float(data["global_knn_accuracy"]),
+            global_knn_accuracy=_nan_if_none(data["global_knn_accuracy"]),
             synchronized=bool(data["synchronized"]),
+            participants=None if participants is None else [int(i) for i in participants],
+            dropped=None if dropped is None else [int(i) for i in dropped],
+            late=None if late is None else [int(i) for i in late],
         )
 
 
@@ -308,7 +373,7 @@ class FleetRunResult:
             "device_names": list(self.device_names),
             "rounds": [r.to_dict() for r in self.rounds],
             "device_results": [result_fingerprint(r) for r in self.device_results],
-            "final_global_knn_accuracy": self.final_global_knn_accuracy,
+            "final_global_knn_accuracy": _none_if_nan(self.final_global_knn_accuracy),
         }
 
 
@@ -403,6 +468,14 @@ class FleetCoordinator:
             resolved_wire = resolve_wire_format(wire_format)
         except UnknownComponentError as exc:
             raise ValueError(f"wire_format: {exc}") from exc
+        sampler_name = config.fleet.sampler
+        if sampler_name is None and config.fleet.participants is not None:
+            sampler_name = "uniform"
+        if sampler_name is not None:
+            try:
+                sampler_name = CLIENT_SAMPLERS.get(sampler_name).name
+            except UnknownComponentError as exc:
+                raise ValueError(f"config.fleet.sampler: {exc}") from exc
 
         base = config.with_(fleet=None, aggregator=None)
         plans: List[DevicePlan] = []
@@ -416,7 +489,13 @@ class FleetCoordinator:
         # checkpoints and payloads carry canonical names only.
         self.config = config.with_(
             fleet=FleetConfig(
-                devices=tuple(canonical_specs), rounds=config.fleet.rounds
+                devices=tuple(canonical_specs),
+                rounds=config.fleet.rounds,
+                participants=config.fleet.participants,
+                sampler=sampler_name,
+                regions=config.fleet.regions,
+                round_deadline_s=config.fleet.round_deadline_s,
+                fault_plan=config.fleet.fault_plan,
             ),
             aggregator=aggregator_name,
         )
@@ -450,6 +529,51 @@ class FleetCoordinator:
         self._history: List[FleetRoundStats] = []
         self._eval_pool: Optional[tuple] = None
         self._on_broadcast: List[Any] = []
+        # population state: the client sampler (participants K < N),
+        # its coordinator-owned checkpointed RNG, profile weights for
+        # the weighted sampler, the chaos schedule, the region map
+        # (device index -> region id; unlisted devices are singleton
+        # regions), the global model version counter (staleness clock),
+        # and late reports buffered past the round deadline.
+        fleet_cfg = self.config.fleet
+        assert fleet_cfg is not None
+        self._participants = fleet_cfg.participants
+        self._sampler: Optional[ClientSampler] = None
+        self._sampler_rng: Optional[np.random.Generator] = None
+        if self._participants is not None:
+            assert sampler_name is not None
+            self._sampler = create_client_sampler(sampler_name)
+            self._sampler_rng = np.random.default_rng(
+                [0x5A3B1E7, int(self._base_config.seed)]
+            )
+        self._profile_weights = np.array(
+            [
+                1.0 / DEVICE_PROFILES[spec.profile].compute_pj_per_flop
+                for spec in canonical_specs
+            ],
+            dtype=np.float64,
+        )
+        fault_plan = fleet_cfg.fault_plan
+        self._fault_plan: Optional[FaultPlan] = (
+            fault_plan if fault_plan is not None and not fault_plan.is_noop else None
+        )
+        self._deadline = fleet_cfg.round_deadline_s
+        self._region_of: Optional[Dict[int, int]] = None
+        if fleet_cfg.regions is not None:
+            mapping = {
+                device: rid
+                for rid, members in enumerate(fleet_cfg.regions)
+                for device in members
+            }
+            base_region = len(fleet_cfg.regions)
+            for device in range(num):
+                mapping.setdefault(device, base_region + device)
+            self._region_of = mapping
+        self._population = self._sampler is not None or self._fault_plan is not None
+        self._global_version = 0
+        self._pending: List[Dict[str, Any]] = []
+        self._force_full: set = set()
+        self._active_devices: List[int] = list(range(num))
 
     # -- construction helpers -------------------------------------------
     @classmethod
@@ -669,10 +793,19 @@ class FleetCoordinator:
         """A standalone payload for the in-parent serial re-run of a
         crashed device job: raw state, no wire round trip (the crashed
         worker's channel caches are gone, so a delta payload could not
-        decode here)."""
+        decode here).
+
+        ``index`` is the *job* index into this round's payload list
+        (the device index when every device runs; a position in the
+        participant list on sampled rounds).  The device is marked for
+        a full resend next round: whatever channel cache its sticky
+        worker held is no longer trustworthy after a mid-round crash
+        or transport-state retry."""
+        device_index = self._active_devices[index]
+        self._force_full.add(device_index)
         if payload.get("state") is None:
-            return dict(payload, wire=None, response_wire=None)
-        state = self._device_states[index]
+            return dict(payload, wire=None, response_wire=None, inject_crash=False)
+        state = self._device_states[device_index]
         assert state is not None
         return {
             "state": state,
@@ -683,14 +816,60 @@ class FleetCoordinator:
         }
 
     def _run_round(self) -> None:
+        num = len(self._plans)
+        round_index = self._round
+        fault_plan = self._fault_plan
+
+        # -- population cast: who trains, who drops, who straggles.
+        # Every draw is either from the checkpointed sampler RNG or a
+        # stateless fault_rng derivation, so an interrupted run resumes
+        # (and a plan+seed replays) with the identical cast.
+        if self._sampler is not None:
+            assert self._sampler_rng is not None and self._participants is not None
+            sampled = list(
+                self._sampler.sample(
+                    round_index,
+                    num,
+                    self._participants,
+                    self._sampler_rng,
+                    weights=self._profile_weights,
+                )
+            )
+        else:
+            sampled = list(range(num))
+        dropped: List[int] = []
+        late: List[int] = []
+        crashing: set = set()
+        if fault_plan is not None:
+            active: List[int] = []
+            for i in sampled:
+                if fault_plan.drops(round_index, i):
+                    dropped.append(i)
+                    continue
+                active.append(i)
+                if fault_plan.crashes(round_index, i):
+                    crashing.add(i)
+                if (
+                    self._deadline is not None
+                    and fault_plan.delay(i) > self._deadline
+                ):
+                    late.append(i)
+        else:
+            active = sampled
+        late_set = set(late)
+        self._active_devices = active
+
         # Transport selection: an explicitly chosen wire format is
         # always exercised (the fleet-of-1 identity hook); otherwise
         # state is encoded exactly when it crosses a process boundary,
-        # with the default codec.  Every codec is lossless, so this
-        # never affects results.
-        workers = min(self._workers, len(self._plans))
+        # with the default codec.  Lossless codecs never affect
+        # results; the lossy delta codecs trade their documented
+        # tolerance for bandwidth.  The pool is sized for the whole
+        # fleet (not this round's participants) so sticky device ->
+        # worker routing stays stable across sampled rounds.
+        workers = min(self._workers, num)
         pool: Optional[WorkerPool] = None
-        if workers > 1:
+        if workers > 1 and active:
             try:
                 pool = get_worker_pool(workers, self._start_method)
             except POOL_UNAVAILABLE_ERRORS as exc:
@@ -708,40 +887,49 @@ class FleetCoordinator:
 
         # Channel-stateful codecs (delta) diff against what the sticky
         # worker's process holds; if that slot was respawned since the
-        # device's last round (or the device has never run), invalidate
-        # so this round ships the full state.
+        # device's last round (or the device has never run), or the
+        # device's last round ended in a serial-fallback re-run
+        # (_force_full), invalidate so this round ships the full state.
         if wire is not None:
             generations = pool.generations() if pool is not None else None
-            for i in range(len(self._plans)):
+            for i in active:
                 generation = (
                     generations[pool.sticky_worker(i)]
                     if pool is not None and generations is not None
                     else -1
                 )
-                if self._worker_generations.get(i) != generation:
+                if (
+                    self._worker_generations.get(i) != generation
+                    or i in self._force_full
+                ):
                     wire.invalidate(self._channel(i))
                     self._worker_generations[i] = generation
+            self._force_full.difference_update(active)
 
         serialize_start = time.perf_counter()
         response_wire = wire.response_format if wire is not None else None
         payloads = []
-        for i, plan in enumerate(self._plans):
+        for i in active:
+            plan = self._plans[i]
             if self._device_states[i] is None:
-                payloads.append(
-                    {
-                        "state": None,
-                        "wire": wire_name,
-                        "response_wire": response_wire,
-                        "channel": self._channel(i),
-                        "config": config_to_dict(plan.config),
-                        "policy": plan.policy,
-                        "eval_points": self._eval_points,
-                        "label_fraction": self._label_fraction,
-                        "lazy_interval": plan.lazy_interval,
-                        "score_momentum": 0.0,
-                        "stop_after": plan.steps_per_round,
-                    }
-                )
+                entry: Dict[str, Any] = {
+                    "state": None,
+                    "wire": wire_name,
+                    "response_wire": response_wire,
+                    "channel": self._channel(i),
+                    "config": config_to_dict(plan.config),
+                    "policy": plan.policy,
+                    "eval_points": self._eval_points,
+                    "label_fraction": self._label_fraction,
+                    "lazy_interval": plan.lazy_interval,
+                    "score_momentum": 0.0,
+                    "stop_after": plan.steps_per_round,
+                }
+                if self._global_state is not None:
+                    # First participation after a broadcast: start from
+                    # the global model, not from scratch (raw lossless
+                    # table; overlays are rare, so no delta channel).
+                    entry["global_overlay"] = encode_arrays(self._global_state)
             else:
                 state = self._device_states[i]
                 if wire is None:
@@ -753,41 +941,50 @@ class FleetCoordinator:
                             state["learner"], channel=self._channel(i)
                         ),
                     }
-                payloads.append(
-                    {
-                        "state": state_payload,
-                        "wire": wire_name,
-                        "response_wire": response_wire,
-                        "channel": self._channel(i),
-                        "stop_after": plan.steps_per_round,
-                    }
-                )
+                entry = {
+                    "state": state_payload,
+                    "wire": wire_name,
+                    "response_wire": response_wire,
+                    "channel": self._channel(i),
+                    "stop_after": plan.steps_per_round,
+                }
+            if i in crashing:
+                entry["inject_crash"] = True
+            payloads.append(entry)
         serialize_s = time.perf_counter() - serialize_start
 
-        try:
-            outputs = run_jobs(
-                _device_round_worker,
-                payloads,
-                workers=workers,
-                start_method=self._start_method,
-                sticky=True,
-                pool=pool,
-                refresh=self._fallback_payload,
-            )
-        finally:
-            if wire is not None:
-                # Backstop for payloads no worker ever decoded (crash
-                # mid-round): idempotently release staged resources
-                # (shm segments) so nothing can leak.
-                for payload in payloads:
-                    staged = payload.get("state")
-                    if staged is not None and payload.get("wire") is not None:
-                        wire.release(staged["learner"])
+        job_timings: Optional[JobTimings] = None
+        outputs: Sequence[Dict[str, Any]] = []
+        if payloads:
+            try:
+                outputs = run_jobs(
+                    _device_round_worker,
+                    payloads,
+                    workers=workers,
+                    start_method=self._start_method,
+                    sticky=True,
+                    sticky_keys=active,
+                    pool=pool,
+                    refresh=self._fallback_payload,
+                    retry_on=(WireProtocolError,),
+                )
+            finally:
+                if wire is not None:
+                    # Backstop for payloads no worker ever decoded (crash
+                    # mid-round): idempotently release staged resources
+                    # (shm segments) so nothing can leak.
+                    for payload in payloads:
+                        staged = payload.get("state")
+                        if staged is not None and payload.get("wire") is not None:
+                            wire.release(staged["learner"])
+            job_timings = outputs.timings  # type: ignore[attr-defined]
 
         merge_start = time.perf_counter()
         reports: List[DeviceRoundReport] = []
         round_devices: List[DeviceRoundStats] = []
-        for i, (plan, output) in enumerate(zip(self._plans, outputs)):
+        for j, i in enumerate(active):
+            plan = self._plans[i]
+            output = outputs[j]
             state = (
                 {
                     "meta": output["state"]["meta"],
@@ -812,14 +1009,39 @@ class FleetCoordinator:
                 for key, value in state["learner"].items()
                 if key.startswith(MODEL_PREFIXES)
             }
-            reports.append(
-                DeviceRoundReport(
-                    device=plan.name,
-                    model_state=model_state,
-                    weight=float(samples),
-                    knn_accuracy=knn,
+            if i in late_set:
+                # A straggler: its update arrives int(delay / deadline)
+                # rounds from now and joins aggregation then, weighted
+                # down by the staleness it accrued (DESIGN.md §13).
+                assert fault_plan is not None and self._deadline is not None
+                rounds_late = max(
+                    1, int(fault_plan.delay(i) // self._deadline)
                 )
-            )
+                self._pending.append(
+                    {
+                        "device": plan.name,
+                        "device_index": i,
+                        "model_state": model_state,
+                        "weight": float(samples),
+                        "knn_accuracy": knn,
+                        "dispatch_version": self._global_version,
+                        "dispatch_round": round_index,
+                        "arrival_round": round_index + rounds_late,
+                    }
+                )
+            else:
+                info: Dict[str, float] = {}
+                if self._region_of is not None:
+                    info["region"] = float(self._region_of[i])
+                reports.append(
+                    DeviceRoundReport(
+                        device=plan.name,
+                        model_state=model_state,
+                        weight=float(samples),
+                        knn_accuracy=knn,
+                        info=info,
+                    )
+                )
             round_devices.append(
                 DeviceRoundStats(
                     device=plan.name,
@@ -830,15 +1052,46 @@ class FleetCoordinator:
                 )
             )
 
-        new_global = self._aggregator.aggregate(self._global_state, reports)
+        # Buffered straggler reports whose simulated arrival round has
+        # come join this round's aggregation, stamped with the number
+        # of global versions they missed.
+        matured = [p for p in self._pending if p["arrival_round"] <= round_index]
+        if matured:
+            self._pending = [
+                p for p in self._pending if p["arrival_round"] > round_index
+            ]
+            matured.sort(key=lambda p: (p["dispatch_round"], p["device_index"]))
+            for p in matured:
+                info = {
+                    "staleness": float(self._global_version - p["dispatch_version"])
+                }
+                if self._region_of is not None:
+                    info["region"] = float(self._region_of[p["device_index"]])
+                reports.append(
+                    DeviceRoundReport(
+                        device=p["device"],
+                        model_state=p["model_state"],
+                        weight=p["weight"],
+                        knn_accuracy=p["knn_accuracy"],
+                        info=info,
+                    )
+                )
+
+        new_global = (
+            self._aggregator.aggregate(self._global_state, reports)
+            if reports
+            else None
+        )
         merge_s = time.perf_counter() - merge_start  # decode + aggregate
         synchronized = new_global is not None
         if synchronized:
             self._global_state = {
                 key: np.asarray(value).copy() for key, value in new_global.items()
             }
+            self._global_version += 1
             for state in self._device_states:
-                assert state is not None
+                if state is None:  # a device never yet sampled
+                    continue
                 for key, value in self._global_state.items():
                     state["learner"][key] = value.copy()
             for fn in self._on_broadcast:
@@ -847,30 +1100,38 @@ class FleetCoordinator:
                 fn({key: value.copy() for key, value in self._global_state.items()})
         if self._global_state is not None:
             global_accuracy = self._evaluate_global()
-        else:  # local-only: no global model exists; report the fleet mean
+        elif round_devices:  # local-only: report the fleet mean instead
             global_accuracy = float(
                 np.mean([d.knn_accuracy for d in round_devices])
             )
+        else:  # nobody trained and no global model exists yet
+            global_accuracy = float("nan")
         self._history.append(
             FleetRoundStats(
                 round_index=self._round,
                 devices=round_devices,
                 global_knn_accuracy=global_accuracy,
                 synchronized=synchronized,
+                participants=sorted(sampled) if self._population else None,
+                dropped=dropped if self._population else None,
+                late=late if self._population else None,
             )
         )
-        job_timings: JobTimings = outputs.timings
         self._timings.append(
             {
                 "round": self._round,
                 "wire": wire_name if wire_name is not None else "raw",
-                "workers": job_timings.workers,
+                "workers": job_timings.workers if job_timings is not None else 0,
                 "serialize_s": serialize_s,
-                "transport_s": job_timings.transport_s,
-                "compute_s": job_timings.compute_s,
+                "transport_s": (
+                    job_timings.transport_s if job_timings is not None else 0.0
+                ),
+                "compute_s": (
+                    job_timings.compute_s if job_timings is not None else 0.0
+                ),
                 "merge_s": merge_s,
-                "wall_s": job_timings.wall_s,
-                "crashes": job_timings.crashes,
+                "wall_s": job_timings.wall_s if job_timings is not None else 0.0,
+                "crashes": job_timings.crashes if job_timings is not None else 0,
             }
         )
         self._round += 1
@@ -961,6 +1222,9 @@ class FleetCoordinator:
                 arrays[f"global/{key}"] = value
         for key, value in self._aggregator.state_dict().items():
             arrays[f"aggregator/{key}"] = value
+        for index, entry in enumerate(self._pending):
+            for key, value in entry["model_state"].items():
+                arrays[f"pending{index}/{key}"] = value
         meta = {
             "version": FLEET_CHECKPOINT_VERSION,
             "config": config_to_dict(self.config),
@@ -975,7 +1239,30 @@ class FleetCoordinator:
                 for state in self._device_states
             ],
             "has_global": self._global_state is not None,
+            "global_version": self._global_version,
+            "pending": [
+                {
+                    key: entry[key]
+                    for key in (
+                        "device",
+                        "device_index",
+                        "weight",
+                        "knn_accuracy",
+                        "dispatch_version",
+                        "dispatch_round",
+                        "arrival_round",
+                    )
+                }
+                for entry in self._pending
+            ],
         }
+        if self._sampler is not None:
+            assert self._sampler_rng is not None
+            meta["sampler"] = {
+                # PCG64 state is a nest of plain ints: strict-JSON safe.
+                "rng": self._sampler_rng.bit_generator.state,
+                "state": self._sampler.state_dict(),
+            }
         return {"meta": meta, "arrays": arrays}
 
     def load_state_dict(self, state: Dict[str, Any]) -> None:
@@ -1033,6 +1320,41 @@ class FleetCoordinator:
                 if key.startswith("aggregator/")
             }
         )
+        # Population state.  Pre-population checkpoints lack these keys
+        # (their runs never used them): the global version falls back
+        # to the number of synchronizing rounds in the history.
+        self._global_version = int(
+            meta.get(
+                "global_version",
+                sum(1 for stats in self._history if stats.synchronized),
+            )
+        )
+        self._pending = []
+        for index, entry in enumerate(meta.get("pending", ())):
+            prefix = f"pending{index}/"
+            model_state = {
+                key[len(prefix) :]: np.asarray(value).copy()
+                for key, value in arrays.items()
+                if key.startswith(prefix)
+            }
+            self._pending.append(
+                {
+                    "device": entry["device"],
+                    "device_index": int(entry["device_index"]),
+                    "model_state": model_state,
+                    "weight": float(entry["weight"]),
+                    "knn_accuracy": float(entry["knn_accuracy"]),
+                    "dispatch_version": int(entry["dispatch_version"]),
+                    "dispatch_round": int(entry["dispatch_round"]),
+                    "arrival_round": int(entry["arrival_round"]),
+                }
+            )
+        sampler_meta = meta.get("sampler")
+        if self._sampler is not None and sampler_meta is not None:
+            assert self._sampler_rng is not None
+            self._sampler_rng.bit_generator.state = sampler_meta["rng"]
+            self._sampler.load_state_dict(sampler_meta["state"])
+        self._force_full = set()
         self._eval_pool = None  # rebuilt deterministically on demand
 
     def save_checkpoint(self, path: str) -> str:

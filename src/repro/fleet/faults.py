@@ -1,0 +1,189 @@
+"""Seeded fault injection for fleet rounds: :class:`FaultPlan`.
+
+Population-scale federated runs fail in three characteristic ways —
+devices *straggle* (their update arrives after the round deadline),
+*drop out* (they never report), or *crash* mid-round (the worker
+process dies and the coordinator must recover).  This module describes
+all three as frozen, JSON-serializable data so a chaos run is exactly
+as replayable as a clean one: the same plan and seed always produce
+the same faults, in serial and parallel execution alike.
+
+Determinism contract
+--------------------
+Every random draw is *stateless*: dropout for device ``d`` in round
+``r`` uses ``numpy.random.default_rng([seed, r, d])``, so the outcome
+depends only on ``(plan.seed, round_index, device_index)`` — never on
+how many draws happened before, which devices were sampled, or whether
+the run was checkpointed and resumed in between.  That is what lets
+:class:`repro.fleet.coordinator.FleetCoordinator` checkpoint mid-chaos
+without persisting any fault RNG state.
+
+Fault semantics (see docs/FLEET.md "Fault plans"):
+
+* ``straggler_delay_s`` — simulated seconds of extra latency for every
+  round this device participates in.  With a fleet
+  ``round_deadline_s`` set, a delay exceeding the deadline makes the
+  report *late*: it is buffered and aggregated in the next round with
+  ``staleness`` incremented (the ``fedavg-async`` aggregator
+  down-weights it).  The delay is recorded in round timings but never
+  actually slept.
+* ``dropout_prob`` — per-round probability that the device drops out
+  of a round it was sampled for: it does not train and reports
+  nothing.
+* ``crash_at_round`` — in that round the device's *worker process*
+  exits hard mid-job (pool workers only), exercising the
+  ``WorkerCrashedError`` recovery path: respawn, delta-channel
+  invalidation, serial re-run.  With ``workers=1`` there is no child
+  process to kill, so the crash is treated as instantly recovered —
+  the device trains in-process from the exact same state the parallel
+  recovery path would re-run from.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, Optional, Tuple
+
+import numpy as np
+
+__all__ = ["DeviceFaults", "FaultPlan", "fault_rng"]
+
+
+@dataclass(frozen=True)
+class DeviceFaults:
+    """The fault profile of one device (or the plan-wide default)."""
+
+    straggler_delay_s: float = 0.0
+    dropout_prob: float = 0.0
+    crash_at_round: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        if not isinstance(self.straggler_delay_s, (int, float)) or self.straggler_delay_s < 0:
+            raise ValueError(
+                f"DeviceFaults.straggler_delay_s must be >= 0, got {self.straggler_delay_s!r}"
+            )
+        if (
+            not isinstance(self.dropout_prob, (int, float))
+            or not 0.0 <= float(self.dropout_prob) <= 1.0
+        ):
+            raise ValueError(
+                f"DeviceFaults.dropout_prob must be in [0, 1], got {self.dropout_prob!r}"
+            )
+        if self.crash_at_round is not None and (
+            not isinstance(self.crash_at_round, int) or self.crash_at_round < 0
+        ):
+            raise ValueError(
+                f"DeviceFaults.crash_at_round must be None or >= 0, got {self.crash_at_round!r}"
+            )
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "straggler_delay_s": float(self.straggler_delay_s),
+            "dropout_prob": float(self.dropout_prob),
+            "crash_at_round": self.crash_at_round,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "DeviceFaults":
+        return cls(
+            straggler_delay_s=float(data.get("straggler_delay_s", 0.0)),
+            dropout_prob=float(data.get("dropout_prob", 0.0)),
+            crash_at_round=data.get("crash_at_round"),
+        )
+
+
+_NO_FAULTS = DeviceFaults()
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """A deterministic chaos schedule for a whole fleet.
+
+    ``default`` applies to every device; ``overrides`` maps device
+    *indices* to per-device fault profiles (stored as a sorted tuple of
+    pairs so the plan stays hashable and order-independent).
+    """
+
+    seed: int = 0
+    default: DeviceFaults = field(default_factory=DeviceFaults)
+    overrides: Tuple[Tuple[int, DeviceFaults], ...] = ()
+
+    def __post_init__(self) -> None:
+        if not isinstance(self.seed, int):
+            raise ValueError(f"FaultPlan.seed must be an int, got {self.seed!r}")
+        if not isinstance(self.default, DeviceFaults):
+            raise ValueError(
+                f"FaultPlan.default must be a DeviceFaults, got {type(self.default).__name__}"
+            )
+        pairs = tuple(sorted(tuple(self.overrides), key=lambda pair: pair[0]))
+        seen = set()
+        for index, faults in pairs:
+            if not isinstance(index, int) or index < 0:
+                raise ValueError(f"FaultPlan.overrides device index must be >= 0, got {index!r}")
+            if index in seen:
+                raise ValueError(f"FaultPlan.overrides lists device {index} twice")
+            seen.add(index)
+            if not isinstance(faults, DeviceFaults):
+                raise ValueError(
+                    f"FaultPlan.overrides[{index}] must be a DeviceFaults, "
+                    f"got {type(faults).__name__}"
+                )
+        object.__setattr__(self, "overrides", pairs)
+
+    # -- lookup ---------------------------------------------------------
+    def for_device(self, index: int) -> DeviceFaults:
+        """The fault profile governing device ``index``."""
+        for device, faults in self.overrides:
+            if device == index:
+                return faults
+        return self.default
+
+    def drops(self, round_index: int, device_index: int) -> bool:
+        """Stateless per-(seed, round, device) dropout draw."""
+        prob = float(self.for_device(device_index).dropout_prob)
+        if prob <= 0.0:
+            return False
+        if prob >= 1.0:
+            return True
+        return bool(fault_rng(self.seed, round_index, device_index).random() < prob)
+
+    def delay(self, device_index: int) -> float:
+        """Simulated straggler latency (seconds) for this device."""
+        return float(self.for_device(device_index).straggler_delay_s)
+
+    def crashes(self, round_index: int, device_index: int) -> bool:
+        """True when this device's worker should die in this round."""
+        return self.for_device(device_index).crash_at_round == round_index
+
+    @property
+    def is_noop(self) -> bool:
+        """True when no device can ever fault under this plan."""
+        return self.default == _NO_FAULTS and all(
+            faults == _NO_FAULTS for _, faults in self.overrides
+        )
+
+    # -- serialization --------------------------------------------------
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "seed": self.seed,
+            "default": self.default.to_dict(),
+            "overrides": [
+                [index, faults.to_dict()] for index, faults in self.overrides
+            ],
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "FaultPlan":
+        return cls(
+            seed=int(data.get("seed", 0)),
+            default=DeviceFaults.from_dict(data.get("default", {})),
+            overrides=tuple(
+                (int(index), DeviceFaults.from_dict(faults))
+                for index, faults in data.get("overrides", [])
+            ),
+        )
+
+
+def fault_rng(seed: int, round_index: int, device_index: int) -> np.random.Generator:
+    """The stateless generator for one (plan, round, device) cell."""
+    return np.random.default_rng([0xFA07, seed, round_index, device_index])

@@ -7,7 +7,8 @@ into checkpoints and sweep payloads and crosses process boundaries
 with the config.  Both dataclasses are frozen and fully hashable, and
 round-trip losslessly through ``to_dict``/``from_dict`` (strict JSON).
 
-This module is deliberately dependency-free (only ``dataclasses``):
+This module is deliberately dependency-light (``dataclasses`` plus the
+equally-declarative :mod:`repro.fleet.faults`):
 :mod:`repro.experiments.config` imports it at module level, so pulling
 in registries or the nn stack here would create import cycles.  Name
 resolution (policy/scenario/backend/profile) therefore happens in
@@ -26,6 +27,8 @@ from __future__ import annotations
 
 from dataclasses import asdict, dataclass, field
 from typing import Any, Dict, Optional, Tuple
+
+from repro.fleet.faults import FaultPlan
 
 __all__ = ["DeviceSpec", "FleetConfig"]
 
@@ -102,10 +105,36 @@ class FleetConfig:
     roughly ``1/rounds`` of its stream, then hands the per-device model
     states to the configured aggregator
     (``StreamExperimentConfig.aggregator``).
+
+    Population fields (all optional, defaults preserve the synchronous
+    full-participation behaviour bit for bit):
+
+    * ``participants`` — K, the number of devices that train per
+      round.  ``None`` means every device, every round (no sampler is
+      consulted and no sampling RNG is drawn).
+    * ``sampler`` — a :data:`repro.registry.CLIENT_SAMPLERS` name
+      choosing *which* K devices; only meaningful with
+      ``participants`` set.  ``None`` means ``uniform``.
+    * ``regions`` — disjoint groups of device indices for the
+      ``hierarchical`` (edge→region→server) aggregator; devices not
+      listed each form their own singleton region.
+    * ``round_deadline_s`` — simulated per-round deadline.  A device
+      whose :class:`~repro.fleet.faults.FaultPlan` straggler delay
+      exceeds it reports *late*: its update is buffered and folded
+      into the next round's aggregation with ``staleness`` 1 (see the
+      ``fedavg-async`` aggregator).
+    * ``fault_plan`` — the seeded chaos schedule (stragglers /
+      dropouts / crash-at-round); part of the fleet shape so chaos
+      runs serialize into checkpoints and replay deterministically.
     """
 
     devices: Tuple[DeviceSpec, ...] = field(default_factory=tuple)
     rounds: int = 2
+    participants: Optional[int] = None
+    sampler: Optional[str] = None
+    regions: Optional[Tuple[Tuple[int, ...], ...]] = None
+    round_deadline_s: Optional[float] = None
+    fault_plan: Optional[FaultPlan] = None
 
     def __post_init__(self) -> None:
         object.__setattr__(self, "devices", tuple(self.devices))
@@ -119,6 +148,49 @@ class FleetConfig:
                 )
         if self.rounds < 1:
             raise ValueError(f"FleetConfig.rounds must be >= 1, got {self.rounds}")
+        if self.participants is not None and not 1 <= self.participants <= len(self.devices):
+            raise ValueError(
+                f"FleetConfig.participants must be in [1, {len(self.devices)}], "
+                f"got {self.participants}"
+            )
+        if self.sampler is not None and (not isinstance(self.sampler, str) or not self.sampler):
+            raise ValueError(
+                f"FleetConfig.sampler must be None or a non-empty string, got {self.sampler!r}"
+            )
+        if self.regions is not None:
+            regions = tuple(tuple(int(i) for i in region) for region in self.regions)
+            seen: set = set()
+            for rid, region in enumerate(regions):
+                if not region:
+                    raise ValueError(f"FleetConfig.regions[{rid}] must not be empty")
+                for device in region:
+                    if not 0 <= device < len(self.devices):
+                        raise ValueError(
+                            f"FleetConfig.regions[{rid}] names device {device}, but the "
+                            f"fleet has {len(self.devices)} devices"
+                        )
+                    if device in seen:
+                        raise ValueError(
+                            f"FleetConfig.regions lists device {device} in two regions"
+                        )
+                    seen.add(device)
+            object.__setattr__(self, "regions", regions)
+        if self.round_deadline_s is not None and self.round_deadline_s <= 0:
+            raise ValueError(
+                f"FleetConfig.round_deadline_s must be None or > 0, got {self.round_deadline_s}"
+            )
+        if self.fault_plan is not None:
+            if not isinstance(self.fault_plan, FaultPlan):
+                raise ValueError(
+                    f"FleetConfig.fault_plan must be a FaultPlan, "
+                    f"got {type(self.fault_plan).__name__}"
+                )
+            for device, _ in self.fault_plan.overrides:
+                if device >= len(self.devices):
+                    raise ValueError(
+                        f"FleetConfig.fault_plan overrides device {device}, but the "
+                        f"fleet has {len(self.devices)} devices"
+                    )
 
     @classmethod
     def uniform(cls, num_devices: int, rounds: int = 2, **spec_fields: Any) -> "FleetConfig":
@@ -137,11 +209,26 @@ class FleetConfig:
         return {
             "devices": [spec.to_dict() for spec in self.devices],
             "rounds": self.rounds,
+            "participants": self.participants,
+            "sampler": self.sampler,
+            "regions": None
+            if self.regions is None
+            else [list(region) for region in self.regions],
+            "round_deadline_s": self.round_deadline_s,
+            "fault_plan": None if self.fault_plan is None else self.fault_plan.to_dict(),
         }
 
     @classmethod
     def from_dict(cls, data: Dict[str, Any]) -> "FleetConfig":
+        # .get defaults keep pre-population payloads (PR <= 8) loadable.
+        regions = data.get("regions")
+        fault_plan = data.get("fault_plan")
         return cls(
             devices=tuple(DeviceSpec.from_dict(spec) for spec in data["devices"]),
             rounds=int(data["rounds"]),
+            participants=data.get("participants"),
+            sampler=data.get("sampler"),
+            regions=None if regions is None else tuple(tuple(r) for r in regions),
+            round_deadline_s=data.get("round_deadline_s"),
+            fault_plan=None if fault_plan is None else FaultPlan.from_dict(fault_plan),
         )

@@ -51,6 +51,7 @@ __all__ = [
     "AGGREGATORS",
     "SERVE_POLICIES",
     "WIRE_FORMATS",
+    "CLIENT_SAMPLERS",
     "register_policy",
     "register_dataset",
     "register_encoder",
@@ -60,6 +61,7 @@ __all__ = [
     "register_aggregator",
     "register_serve_policy",
     "register_wire_format",
+    "register_client_sampler",
     "create_policy",
     "canonical_policy_names",
     "policy_names",
@@ -74,6 +76,7 @@ __all__ = [
     "aggregator_names",
     "serve_policy_names",
     "wire_format_names",
+    "client_sampler_names",
 ]
 
 #: Valid component names: lowercase kebab-case, digits allowed.
@@ -399,7 +402,11 @@ def _ensure_serve_policies() -> None:
 
 
 def _ensure_wire_formats() -> None:
-    import repro.experiments.wire  # noqa: F401  (registers json-b64/shm/delta)
+    import repro.experiments.wire  # noqa: F401  (registers json-b64/shm/delta + compressed deltas)
+
+
+def _ensure_client_samplers() -> None:
+    import repro.fleet.sampling  # noqa: F401  (registers uniform/weighted/round-robin)
 
 
 POLICIES = Registry("policy", ensure=_ensure_policies)
@@ -411,6 +418,7 @@ SCENARIOS = Registry("scenario", ensure=_ensure_scenarios)
 AGGREGATORS = Registry("aggregator", ensure=_ensure_aggregators)
 SERVE_POLICIES = Registry("serve policy", ensure=_ensure_serve_policies)
 WIRE_FORMATS = Registry("wire format", ensure=_ensure_wire_formats)
+CLIENT_SAMPLERS = Registry("client sampler", ensure=_ensure_client_samplers)
 
 register_policy = POLICIES.register
 register_dataset = DATASETS.register
@@ -421,6 +429,7 @@ register_scenario = SCENARIOS.register
 register_aggregator = AGGREGATORS.register
 register_serve_policy = SERVE_POLICIES.register
 register_wire_format = WIRE_FORMATS.register
+register_client_sampler = CLIENT_SAMPLERS.register
 
 
 def create_policy(
@@ -543,3 +552,8 @@ def serve_policy_names() -> List[str]:
 def wire_format_names() -> List[str]:
     """Sorted names of all registered array wire formats."""
     return WIRE_FORMATS.names()
+
+
+def client_sampler_names() -> List[str]:
+    """Sorted names of all registered fleet client samplers."""
+    return CLIENT_SAMPLERS.names()

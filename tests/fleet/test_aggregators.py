@@ -218,3 +218,119 @@ class TestLocalOnly:
         rule.load_state_dict({})
         with pytest.raises(ValueError, match="stateless"):
             rule.load_state_dict({"velocity/x": np.zeros(1)})
+
+
+class TestFedAvgAsync:
+    def test_all_fresh_degenerates_to_fedavg_bitwise(self):
+        rule = create_aggregator("fedavg-async")
+        reports = [
+            report("d0", toy([1.0, 3.0]), weight=2.0),
+            report("d1", toy([5.0, 7.0]), weight=1.0),
+        ]
+        previous = toy([100.0, 100.0])
+        out = rule.aggregate(previous, reports)
+        expected = create_aggregator("fedavg").aggregate(previous, reports)
+        np.testing.assert_array_equal(out["encoder/w"], expected["encoder/w"])
+
+    def test_single_fresh_report_is_bitwise_identity(self):
+        rule = create_aggregator("fedavg-async")
+        value = np.array([0.1, 0.2, 0.3], dtype=np.float32)
+        out = rule.aggregate(toy([9.0, 9.0, 9.0]), [report("d0", {"encoder/w": value})])
+        np.testing.assert_array_equal(out["encoder/w"], value)
+        assert out["encoder/w"].dtype == value.dtype
+
+    def test_stale_report_is_downweighted_and_blended(self):
+        # one stale report against a previous global: decay pulls the
+        # average toward the old model by exactly (1 - mix)
+        rule = create_aggregator("fedavg-async", alpha=1.0)
+        stale = DeviceRoundReport(
+            device="d0",
+            model_state=toy([2.0]),
+            weight=1.0,
+            knn_accuracy=0.5,
+            info={"staleness": 1.0},
+        )
+        out = rule.aggregate(toy([0.0]), [stale])
+        # decay = (1 + 1)^-1 = 0.5 -> mix = 0.5 -> 0.5*0 + 0.5*2 = 1.0
+        np.testing.assert_allclose(out["encoder/w"], [1.0])
+
+    def test_mix_weights_fresh_over_stale(self):
+        rule = create_aggregator("fedavg-async", alpha=1.0)
+        fresh = report("d0", toy([0.0]), weight=1.0)
+        stale = DeviceRoundReport(
+            device="d1",
+            model_state=toy([3.0]),
+            weight=1.0,
+            knn_accuracy=0.5,
+            info={"staleness": 1.0},
+        )
+        out = rule.aggregate(toy([0.0]), [fresh, stale])
+        # weights 1.0 and 0.5 -> avg = 1.0; mix = 1.5/2 = 0.75
+        np.testing.assert_allclose(out["encoder/w"], [0.75])
+
+    def test_first_aggregation_without_global_is_plain_average(self):
+        rule = create_aggregator("fedavg-async", alpha=1.0)
+        stale = DeviceRoundReport(
+            device="d0",
+            model_state=toy([4.0]),
+            weight=1.0,
+            knn_accuracy=0.5,
+            info={"staleness": 3.0},
+        )
+        out = rule.aggregate(None, [stale])
+        np.testing.assert_allclose(out["encoder/w"], [4.0])
+
+    def test_rejects_bad_alpha_and_empty_reports(self):
+        with pytest.raises(ValueError, match="alpha"):
+            create_aggregator("fedavg-async", alpha=-0.1)
+        with pytest.raises(ValueError, match="at least one"):
+            create_aggregator("fedavg-async").aggregate(None, [])
+
+
+class TestHierarchicalFedAvg:
+    def regional(self, name, arrays, weight, region):
+        return DeviceRoundReport(
+            device=name,
+            model_state=arrays,
+            weight=weight,
+            knn_accuracy=0.5,
+            info={"region": region},
+        )
+
+    def test_single_region_matches_flat_fedavg(self):
+        reports = [
+            self.regional("d0", toy([1.0]), 2.0, 0),
+            self.regional("d1", toy([4.0]), 1.0, 0),
+        ]
+        out = create_aggregator("hierarchical").aggregate(None, reports)
+        flat = create_aggregator("fedavg").aggregate(None, reports)
+        np.testing.assert_allclose(out["encoder/w"], flat["encoder/w"])
+
+    def test_two_stage_mean_equals_flat_mean(self):
+        # (2*1 + 1*4)/3 = 2 in region 0 (mass 3); region 1 holds 10
+        # (mass 1); server: (3*2 + 1*10)/4 = 4 — same as flat fedavg
+        reports = [
+            self.regional("d0", toy([1.0]), 2.0, 0),
+            self.regional("d1", toy([4.0]), 1.0, 0),
+            self.regional("d2", toy([10.0]), 1.0, 1),
+        ]
+        out = create_aggregator("hierarchical").aggregate(None, reports)
+        np.testing.assert_allclose(out["encoder/w"], [4.0])
+
+    def test_missing_region_info_defaults_to_one_region(self):
+        reports = [report("d0", toy([2.0])), report("d1", toy([6.0]))]
+        out = create_aggregator("hierarchical").aggregate(None, reports)
+        np.testing.assert_allclose(out["encoder/w"], [4.0])
+
+    def test_single_report_is_bitwise_identity(self):
+        value = np.array([0.7, 0.9], dtype=np.float32)
+        out = create_aggregator("hierarchical").aggregate(
+            None, [self.regional("d0", {"encoder/w": value}, 1.0, 3)]
+        )
+        np.testing.assert_array_equal(out["encoder/w"], value)
+
+    def test_new_rules_registered_with_aliases(self):
+        assert AGGREGATORS.get("async").name == "fedavg-async"
+        assert AGGREGATORS.get("fedasync").name == "fedavg-async"
+        assert AGGREGATORS.get("hier").name == "hierarchical"
+        assert AGGREGATORS.get("edge-region-server").name == "hierarchical"

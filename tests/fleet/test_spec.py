@@ -106,3 +106,91 @@ class TestConfigThreading:
         config = StreamExperimentConfig(fleet=FleetConfig.uniform(1))
         with pytest.raises(Exception):
             config.fleet.rounds = 5
+
+
+class TestPopulationFields:
+    """The PR-9 FleetConfig fields: sampling, regions, deadlines, chaos."""
+
+    def two(self, **kw):
+        return FleetConfig(devices=(DeviceSpec(), DeviceSpec()), **kw)
+
+    def test_participants_bounds(self):
+        assert self.two(participants=1).participants == 1
+        assert self.two(participants=2).participants == 2
+        with pytest.raises(ValueError, match="participants"):
+            self.two(participants=0)
+        with pytest.raises(ValueError, match="participants"):
+            self.two(participants=3)
+
+    def test_sampler_must_be_nonempty_string(self):
+        assert self.two(sampler="uniform").sampler == "uniform"
+        with pytest.raises(ValueError, match="sampler"):
+            self.two(sampler="")
+
+    def test_regions_validated_and_canonicalized(self):
+        fleet = FleetConfig(
+            devices=tuple(DeviceSpec() for _ in range(4)),
+            regions=[[0, 1], [2]],
+        )
+        assert fleet.regions == ((0, 1), (2,))
+        with pytest.raises(ValueError, match="two regions"):
+            self.two(regions=((0,), (0,)))
+        with pytest.raises(ValueError, match="names device 5"):
+            self.two(regions=((5,),))
+        with pytest.raises(ValueError, match="must not be empty"):
+            self.two(regions=((),))
+
+    def test_round_deadline_positive(self):
+        assert self.two(round_deadline_s=1.5).round_deadline_s == 1.5
+        with pytest.raises(ValueError, match="round_deadline_s"):
+            self.two(round_deadline_s=0.0)
+
+    def test_fault_plan_overrides_checked_against_roster(self):
+        from repro.fleet.faults import DeviceFaults, FaultPlan
+
+        plan = FaultPlan(seed=1, overrides=((1, DeviceFaults(dropout_prob=0.5)),))
+        assert self.two(fault_plan=plan).fault_plan == plan
+        beyond = FaultPlan(seed=1, overrides=((2, DeviceFaults(dropout_prob=0.5)),))
+        with pytest.raises(ValueError, match="overrides device 2"):
+            self.two(fault_plan=beyond)
+
+    def test_population_round_trip(self):
+        from repro.fleet.faults import DeviceFaults, FaultPlan
+
+        fleet = FleetConfig(
+            devices=tuple(DeviceSpec() for _ in range(4)),
+            rounds=3,
+            participants=2,
+            sampler="round-robin",
+            regions=((0, 1), (2, 3)),
+            round_deadline_s=2.0,
+            fault_plan=FaultPlan(
+                seed=7,
+                default=DeviceFaults(dropout_prob=0.1),
+                overrides=((3, DeviceFaults(straggler_delay_s=5.0)),),
+            ),
+        )
+        assert FleetConfig.from_dict(json.loads(json.dumps(fleet.to_dict()))) == fleet
+
+    def test_population_config_threads_and_stays_hashable(self):
+        fleet = self.two(participants=1, sampler="uniform", round_deadline_s=1.0)
+        config = default_config().with_(fleet=fleet, aggregator="fedavg-async")
+        payload = json.loads(json.dumps(config_to_dict(config)))
+        assert config_from_dict(payload) == config
+        assert hash(config) == hash(config.with_())
+
+    def test_pre_population_payloads_still_load(self):
+        """FleetConfig dicts serialized before PR 9 (no population
+        keys) must keep loading with the new fields defaulted."""
+        payload = self.two().to_dict()
+        for key in (
+            "participants",
+            "sampler",
+            "regions",
+            "round_deadline_s",
+            "fault_plan",
+        ):
+            del payload[key]
+        restored = FleetConfig.from_dict(payload)
+        assert restored.participants is None
+        assert restored.fault_plan is None

@@ -68,6 +68,15 @@ def formats_under_test():
     return names
 
 
+def lossless_formats_under_test():
+    """The bitwise-identity contract only covers lossless codecs; the
+    lossy delta codecs (delta-q8, delta-topk) carry documented
+    tolerances instead (tests/property/test_codec_properties.py)."""
+    from repro.experiments.wire import lossless_wire_format_names
+
+    return [n for n in formats_under_test() if n in lossless_wire_format_names()]
+
+
 class TestRegistry:
     def test_builtins_registered(self):
         assert {"json-b64", "shm", "delta"} <= set(WIRE_FORMATS.names())
@@ -221,7 +230,7 @@ class TestDeltaProtocol:
 
 
 class TestFleetIdentity:
-    @pytest.mark.parametrize("name", formats_under_test())
+    @pytest.mark.parametrize("name", lossless_formats_under_test())
     def test_fleet_of_one_matches_plain_session(self, name):
         """Satellite: a 1-device fleet shipping state through any wire
         format (multi-round, so state round-trips the codec between
@@ -244,7 +253,7 @@ class TestFleetIdentity:
         assert fleet.final_global_knn_accuracy == plain.info["final_knn_accuracy"]
         assert outstanding_shm_segments() == []
 
-    @pytest.mark.parametrize("name", formats_under_test())
+    @pytest.mark.parametrize("name", lossless_formats_under_test())
     def test_parallel_identity_under_every_format(self, name):
         from repro.fleet import FleetCoordinator
 

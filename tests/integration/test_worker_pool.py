@@ -136,3 +136,108 @@ def _crash_on_odd_abs(payload):
     if payload > 0 and payload % 2 == 1 and os.getpid() != _MAIN_PID:
         os._exit(13)
     return abs(payload) * 10
+
+
+def _raise_marker(payload):
+    """Raise a retryable error in pool workers; succeed in the parent."""
+    if payload == "retry" and os.getpid() != _MAIN_PID:
+        raise _Retryable("worker-side only")
+    return f"ok:{payload}"
+
+
+class _Retryable(RuntimeError):
+    pass
+
+
+class TestGenerationCounter:
+    def test_generations_unique_across_pool_lifetimes(self):
+        """Regression: generations come from a process-wide counter, so
+        a new pool never reuses a closed pool's generation numbers — a
+        delta sender comparing stored generations can always tell a new
+        worker from an old one."""
+        first = WorkerPool(2)
+        first.warm()
+        first_generations = list(first.generations())
+        first.close()
+        second = WorkerPool(2)
+        second.warm()
+        try:
+            second_generations = list(second.generations())
+            assert not set(first_generations) & set(second_generations)
+            assert min(second_generations) > max(first_generations)
+        finally:
+            second.close()
+
+    def test_respawn_bumps_generation_monotonically(self, pool):
+        pool.warm()
+        before = pool.generations()
+        with pytest.raises(WorkerCrashedError):
+            pool.map(_crash_on_odd, [1], sticky=True)
+        after = pool.generations()
+        assert after[pool.sticky_worker(0)] > before[pool.sticky_worker(0)]
+        assert all(b >= a for a, b in zip(before, after))
+
+
+class TestStickyKeys:
+    def test_sticky_keys_route_independent_of_job_position(self, pool):
+        """Regression: a sampled fleet round passes device indices as
+        sticky_keys, so device d lands on worker d % size no matter
+        where d sits in this round's payload list."""
+        pool.warm()
+        pids = pool.worker_pids()
+        keys = [5, 2, 7]
+        results = pool.map(_pid, range(3), sticky_keys=keys)
+        for job, pid in enumerate(results):
+            assert pid == pids[keys[job] % pool.size]
+
+    def test_sticky_keys_must_match_payload_count(self, pool):
+        with pytest.raises(ValueError, match="one key per payload"):
+            pool.map(_pid, range(3), sticky_keys=[0, 1])
+
+    def test_run_jobs_threads_sticky_keys(self, pool):
+        pool.warm()
+        pids = pool.worker_pids()
+        results = run_jobs(_pid, range(4), pool=pool, sticky_keys=[3, 0, 1, 2])
+        assert list(results) == [
+            pids[3 % pool.size],
+            pids[0],
+            pids[1],
+            pids[0],
+        ]
+
+
+class TestRetryOn:
+    def test_retry_on_reruns_named_exception_serially(self):
+        """Regression: retry_on extends the crash-recovery path to
+        protocol errors (e.g. WireProtocolError after a respawn) —
+        the job re-runs in the parent instead of failing the round."""
+        with pytest.warns(RuntimeWarning, match="serially"):
+            results = run_jobs(
+                _raise_marker,
+                ["fine", "retry"],
+                workers=2,
+                retry_on=(_Retryable,),
+            )
+        assert list(results) == ["ok:fine", "ok:retry"]
+
+    def test_unlisted_exceptions_still_propagate(self):
+        with pytest.raises(_Retryable):
+            run_jobs(_raise_marker, ["fine", "retry"], workers=2)
+
+    def test_retry_uses_refresh_payload(self):
+        refreshed = []
+
+        def refresh(index, payload):
+            refreshed.append((index, payload))
+            return "fresh"
+
+        with pytest.warns(RuntimeWarning):
+            results = run_jobs(
+                _raise_marker,
+                ["retry", "fine"],
+                workers=2,
+                retry_on=(_Retryable,),
+                refresh=refresh,
+            )
+        assert refreshed == [(0, "retry")]
+        assert list(results) == ["ok:fresh", "ok:fine"]

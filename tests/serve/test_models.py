@@ -190,3 +190,37 @@ class TestSessionAndFleet:
         models.attach(coordinator)
         coordinator.run()
         assert models.versions() == []
+
+    def test_attach_tracks_population_fleet_broadcasts(self):
+        """attach() is duck-typed on on_broadcast, so a sampled /
+        chaos-injected fleet publishes exactly one version per
+        *synchronizing* round — dropped rounds publish nothing."""
+        from repro.fleet.faults import DeviceFaults, FaultPlan
+
+        config = tiny_config().with_(
+            fleet=FleetConfig(
+                devices=tuple(DeviceSpec() for _ in range(4)),
+                rounds=3,
+                participants=2,
+                sampler="round-robin",
+                fault_plan=FaultPlan(
+                    seed=5, overrides=((1, DeviceFaults(dropout_prob=1.0)),)
+                ),
+            ),
+            aggregator="fedavg-async",
+        )
+        coordinator = FleetCoordinator(config)
+        models = ModelRegistry()
+        models.attach(coordinator)
+        coordinator.run()
+        synchronized = sum(
+            1 for stats in coordinator.result().rounds if stats.synchronized
+        )
+        assert len(models.versions()) == synchronized
+        if synchronized:
+            assert models.source(models.current_version) == "fleet-broadcast"
+            served = models.get(models.current_version)
+            global_state = coordinator.global_model_state
+            assert set(served) == set(global_state)
+            for key in served:
+                np.testing.assert_array_equal(served[key], global_state[key])

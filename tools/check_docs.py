@@ -12,9 +12,9 @@ Asserts, in both directions:
 * every registered scenario has a ``## `name` `` section in
   docs/SCENARIOS.md, and every such section names a registered
   scenario;
-* every registered aggregator has a ``## `name` `` section in
-  docs/FLEET.md, and every such section names a registered
-  aggregator;
+* every registered aggregator and client sampler has a ``## `name` ``
+  section in docs/FLEET.md, and every such section names a registered
+  aggregator or client sampler;
 * every registered serve admission policy has a ``## `name` ``
   section in docs/SERVE.md, and every such section names a registered
   serve policy.
@@ -61,6 +61,7 @@ def registered_names() -> Dict[str, Set[str]]:
     from repro.registry import (
         AGGREGATORS,
         BACKENDS,
+        CLIENT_SAMPLERS,
         SCENARIOS,
         SERVE_POLICIES,
         WIRE_FORMATS,
@@ -73,6 +74,7 @@ def registered_names() -> Dict[str, Set[str]]:
         "scenarios": set(SCENARIOS.names()),
         "scenario-wrappers": set(scenario_wrapper_names()),
         "aggregators": set(AGGREGATORS.names()),
+        "client-samplers": set(CLIENT_SAMPLERS.names()),
         "serve-policies": set(SERVE_POLICIES.names()),
         "wire-formats": set(WIRE_FORMATS.names()),
     }
@@ -101,13 +103,20 @@ def check() -> List[str]:
                 "but not registered"
             )
 
-    from repro.registry import AGGREGATORS, SCENARIOS, SERVE_POLICIES
+    from repro.registry import (
+        AGGREGATORS,
+        CLIENT_SAMPLERS,
+        SCENARIOS,
+        SERVE_POLICIES,
+    )
 
     problems += _check_sections(
         SCENARIOS_MD, "scenario", set(SCENARIOS.names())
     )
     problems += _check_sections(
-        FLEET_MD, "aggregator", set(AGGREGATORS.names())
+        FLEET_MD,
+        "aggregator/client sampler",
+        set(AGGREGATORS.names()) | set(CLIENT_SAMPLERS.names()),
     )
     problems += _check_sections(
         SERVE_MD, "serve policy", set(SERVE_POLICIES.names())
