@@ -35,6 +35,10 @@ beat (ROADMAP: "fast as the hardware allows"):
    sampled-device throughput with the serial==parallel fingerprint
    recorded, plus the compressed-delta codecs' steady-state resend
    sizes against the lossless ``delta`` baseline (compression ratios).
+10. **obs** — the telemetry layer's own cost (:mod:`repro.obs`): the
+    same stream steps with metrics recording enabled vs disabled;
+    ``overhead_ratio`` is the per-step price of leaving observability
+    on, and must stay within 5%.
 
 The sweep and fleet sections warm the persistent
 :class:`~repro.experiments.pool.WorkerPool` before the timed parallel
@@ -78,7 +82,7 @@ from repro.nn.im2col import default_workspace
 from repro.nn.tensor import Tensor, no_grad
 from repro.session import Session, build_components
 
-BENCH_VERSION = 6
+BENCH_VERSION = 7
 
 
 def _warm_pool(workers: int) -> None:
@@ -181,6 +185,48 @@ def bench_stream(scale: float, seed: int) -> Dict[str, object]:
         "mean_step_s": result.mean_select_seconds + result.mean_train_seconds,
         "relative_batch_time": result.relative_batch_time,
         "wall_s": result.wall_seconds,
+    }
+
+
+def bench_obs(scale: float, seed: int) -> Dict[str, object]:
+    """Instrumentation overhead: stream steps with metrics on vs off.
+
+    Same session shape as the stream section; the only difference is
+    ``config.obs``.  The registry's hot-path design (instruments
+    resolved once outside the loop, a single bool check when disabled)
+    must keep the per-step overhead within 5% — ``--check`` enforces
+    the ratio, and ``metrics_recorded`` confirms the enabled pass
+    really recorded (a silently-off gate would measure nothing).
+    """
+    from repro.obs import metrics, reset_metrics
+
+    config = default_config(seed=seed).with_(
+        total_samples=max(32 * 8, int(round(1024 * scale))),
+        probe_epochs=5,
+    )
+    repeats = max(3, int(round(5 * scale)))
+
+    def mean_step(obs: bool) -> float:
+        session = Session.from_config(
+            config.with_(obs=obs), policy="contrast-scoring"
+        ).with_eval_points(1)
+        run = session.run()
+        return run.mean_select_seconds + run.mean_train_seconds
+
+    reset_metrics()
+    mean_step(False)  # warmup (BLAS, im2col workspaces)
+    best = {}
+    for obs in (False, True):
+        best[obs] = min(mean_step(obs) for _ in range(repeats))
+    steps = metrics().value("session.steps", policy="contrast-scoring")
+    reset_metrics()
+    return {
+        "iterations": config.iterations,
+        "repeats": repeats,
+        "step_off_s": best[False],
+        "step_on_s": best[True],
+        "overhead_ratio": best[True] / best[False],
+        "metrics_recorded": bool(steps),
     }
 
 
@@ -647,7 +693,8 @@ def main(argv=None) -> int:
         "overstate physical cores), population fleet serial==parallel "
         "bitwise under delta-q8 with >= 1 sampled device-round/s, and "
         "compressed-delta resends >= 3x (q8) / >= 2.5x (topk) smaller "
-        "than the lossless delta resend",
+        "than the lossless delta resend, and metrics-enabled stream "
+        "steps <= 5% slower than disabled",
     )
     args = parser.parse_args(argv)
 
@@ -690,6 +737,16 @@ def main(argv=None) -> int:
     print(
         "  stream: {:.4f}s/step over {} iterations".format(
             report["stream"]["mean_step_s"], report["stream"]["iterations"]
+        )
+    )
+    report["obs"] = bench_obs(scale, seed)
+    print(
+        "  obs: step {:.4f}s off vs {:.4f}s on -> {:.3f}x overhead "
+        "(recorded={})".format(
+            report["obs"]["step_off_s"],
+            report["obs"]["step_on_s"],
+            report["obs"]["overhead_ratio"],
+            report["obs"]["metrics_recorded"],
         )
     )
     report["backends"] = bench_backends(scale, seed)
@@ -905,6 +962,20 @@ def _check_thresholds(report: Dict[str, object]) -> List[str]:
             failures.append(
                 "delta-topk resend compression "
                 f"{population['topk_compression_ratio']:.2f}x < 2.5x floor over delta"
+            )
+    obs = report.get("obs")
+    if obs is not None:
+        # Single-process comparison, CPU-count independent: leaving the
+        # telemetry layer on must never cost more than 5% per step.
+        if obs["overhead_ratio"] > 1.05:
+            failures.append(
+                "metrics-enabled stream step overhead "
+                f"{obs['overhead_ratio']:.3f}x > 1.05x floor over disabled"
+            )
+        if not obs["metrics_recorded"]:
+            failures.append(
+                "obs bench recorded no session metrics with obs enabled "
+                "(the overhead comparison measured nothing)"
             )
     wire = report.get("wire")
     if wire is not None and "shm_vs_json_speedup" in wire:

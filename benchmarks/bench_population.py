@@ -12,7 +12,10 @@ The acceptance bar is wall-clock: the whole run must finish inside
 ``--max-seconds`` (CI uses 300).  The JSON report additionally records
 the per-round cast sizes, dropout/straggler counts, and sampled-device
 throughput so the nightly artifact shows *where* time went when the
-bar is ever missed.
+bar is ever missed.  ``--trace-out`` further enables the telemetry
+layer (:mod:`repro.obs`) and writes the run's span trace — worker
+spans shipped home and filed under per-process lanes — as JSON-lines;
+the nightly job uploads it next to the JSON report.
 
 Model/stream sizes are fixed tiny here on purpose — the point of this
 smoke is coordinator overhead at population scale (sampling, fault
@@ -92,8 +95,27 @@ def main(argv=None) -> int:
         default=os.path.join(_REPO_ROOT, "BENCH_population.json"),
         help="where to write the JSON report (default: repo root)",
     )
+    parser.add_argument(
+        "--trace-out",
+        default=None,
+        help="also record a span trace of the run (repro.obs) and write "
+        "it here as JSON-lines — the nightly job uploads this artifact",
+    )
     args = parser.parse_args(argv)
     seed = args.seed if args.seed is not None else bench_seed()
+
+    tracer = None
+    if args.trace_out is not None:
+        from repro.obs import METRICS_ENV, set_metrics_enabled
+        from repro.obs.trace import TRACE_ENV, SpanTracer, set_tracer
+
+        # Env first: pool workers fork later and read these at startup,
+        # which is how their spans/metrics ride home with the results.
+        os.environ[TRACE_ENV] = "1"
+        os.environ[METRICS_ENV] = "1"
+        set_metrics_enabled(True)
+        tracer = SpanTracer()
+        set_tracer(tracer)
 
     config = population_config(
         args.devices, args.participants, args.rounds, seed
@@ -153,6 +175,9 @@ def main(argv=None) -> int:
     with open(args.output, "w") as fh:
         json.dump(report, fh, indent=2, sort_keys=True, default=str)
         fh.write("\n")
+    if tracer is not None:
+        tracer.to_jsonl(args.trace_out)
+        print(f"  trace: {len(tracer.spans)} spans -> {args.trace_out}")
     print(
         f"  {trained} device-rounds trained ({dropped} dropped, {late} "
         f"late) in {wall_s:.1f}s -> {trained / wall_s:.1f} sampled "

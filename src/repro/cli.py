@@ -20,8 +20,8 @@ per-experiment index in DESIGN.md:
     serve             micro-batching scoring service (docs/SERVE.md)
 
 ``--list`` enumerates the experiment ids together with every policy,
-dataset, encoder, augment, backend, scenario, and aggregator registered
-in :mod:`repro.registry` (plugins included).  ``--policy`` overrides
+dataset, encoder, augment, backend, scenario, aggregator, and metrics
+exporter registered in :mod:`repro.registry` (plugins included).  ``--policy`` overrides
 the policy selection of experiments that compare or run policies; any
 registered policy name or alias is accepted.  ``--workers N`` fans
 sweep-shaped experiments (``multi-seed``, ``table2``, ``ablation-stc``,
@@ -45,7 +45,14 @@ experiment: the admission-control policy of the scoring service (any
 registered serve-policy name or alias — block/shed/degrade), the
 request-stream length, and an optional TCP loopback port (``--port``
 adds a JSON-lines TCP echo pass; the default is purely in-process).
-``--devices`` sets its simulated device-id count.
+``--devices`` sets its simulated device-id count.  ``--metrics`` turns
+on the :mod:`repro.obs` hot-path metrics for the whole invocation
+(exported via ``REPRO_METRICS`` so pool workers record and ship theirs
+home) and prints the console exporter's table after the run;
+``--trace-out PATH`` additionally records a span trace and writes it as
+Chrome trace-event JSON (``.json``; load at ``chrome://tracing``) or
+JSON-lines (any other suffix).  Results are bitwise-identical with
+observability on or off (docs/OBSERVABILITY.md).
 """
 
 from __future__ import annotations
@@ -86,6 +93,8 @@ from repro.experiments.scenario_sweep import (
 from repro.experiments.runner import POLICY_NAMES
 from repro.data.scenarios import canonical_scenario
 from repro.nn.backend import set_backend
+from repro.obs import METRICS_ENV, metrics, set_metrics_enabled
+from repro.obs.trace import TRACE_ENV, SpanTracer, set_tracer
 from repro.registry import (
     AGGREGATORS,
     AUGMENTS,
@@ -93,6 +102,7 @@ from repro.registry import (
     CLIENT_SAMPLERS,
     DATASETS,
     ENCODERS,
+    EXPORTERS,
     POLICIES,
     SCENARIOS,
     SERVE_POLICIES,
@@ -372,6 +382,7 @@ def _format_listing() -> str:
         CLIENT_SAMPLERS,
         SERVE_POLICIES,
         WIRE_FORMATS,
+        EXPORTERS,
     ):
         if registry is SCENARIOS:
             # Base streams and composable wrappers are different things:
@@ -509,6 +520,22 @@ def main(argv: list[str] | None = None) -> int:
         "echo pass (0 = ephemeral; omit for purely in-process serving)",
     )
     parser.add_argument(
+        "--metrics",
+        action="store_true",
+        help="record hot-path metrics (repro.obs) for this invocation "
+        "and print the console exporter's table after the run; exported "
+        "via REPRO_METRICS so pool workers record and ship theirs home",
+    )
+    parser.add_argument(
+        "--trace-out",
+        default=None,
+        metavar="PATH",
+        help="write a span trace of the run: Chrome trace-event JSON "
+        "when PATH ends in .json (load at chrome://tracing or "
+        "ui.perfetto.dev), JSON-lines otherwise; exported via "
+        "REPRO_TRACE so pool workers record spans too",
+    )
+    parser.add_argument(
         "--list",
         action="store_true",
         help="list experiment ids and registered policies/datasets/"
@@ -544,6 +571,17 @@ def main(argv: list[str] | None = None) -> int:
         # spawn-started sweep workers resolve the same backend.
         set_backend(backend)
         os.environ["REPRO_BACKEND"] = backend
+
+    if args.metrics:
+        # Process default for this invocation; the env export makes
+        # pool workers record (and piggyback home) their own metrics.
+        set_metrics_enabled(True)
+        os.environ[METRICS_ENV] = "1"
+    tracer: Optional[SpanTracer] = None
+    if args.trace_out is not None:
+        tracer = SpanTracer()
+        set_tracer(tracer)
+        os.environ[TRACE_ENV] = "1"
 
     if args.workers < 1:
         parser.error(f"--workers must be >= 1, got {args.workers}")
@@ -665,6 +703,15 @@ def main(argv: list[str] | None = None) -> int:
 
     print(f"== {args.experiment} (seed {args.seed}) ==")
     print(runner(args.seed, policy, **extra))
+    if args.metrics:
+        print()
+        print(EXPORTERS.get("console").factory().render(metrics()))
+    if tracer is not None:
+        if args.trace_out.endswith(".json"):
+            tracer.to_chrome(args.trace_out)
+        else:
+            tracer.to_jsonl(args.trace_out)
+        print(f"trace: {len(tracer.spans)} spans -> {args.trace_out}")
     return 0
 
 

@@ -79,6 +79,14 @@ class StreamExperimentConfig:
     # policy for the scoring service — block/shed/degrade; None means
     # the experiment/CLI default, "block")
     serve: Optional[str] = None
+    # observability (``obs`` gates hot-path metrics recording into
+    # repro.obs for this run: True/False force it on/off in whatever
+    # process executes the run — workers included, since the config
+    # rides every sweep/fleet payload — and None defers to the process
+    # default, the REPRO_METRICS env / CLI --metrics flag.  Telemetry
+    # is observation only, so fingerprints normalize this field away:
+    # obs on vs off is bitwise-identical science.)
+    obs: Optional[bool] = None
     # reproducibility
     seed: int = 0
 

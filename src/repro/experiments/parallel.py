@@ -69,6 +69,7 @@ from repro.experiments.pool import (
     get_worker_pool,
 )
 from repro.experiments.runner import run_stream_experiment
+from repro.obs import absorb_worker_telemetry, collect_worker_telemetry, metrics
 from repro.session import StreamRunResult, config_from_dict, config_to_dict
 
 __all__ = [
@@ -123,6 +124,18 @@ class JobTimings:
             "merge_s": self.merge_s,
             "crashes": self.crashes,
         }
+
+    def record(self, engine: str) -> None:
+        """Mirror this fan-out into the process metrics registry
+        (``jobs.*`` counters labelled by engine), making the registry
+        the single telemetry source while the dict/footers stay as thin
+        views for existing callers."""
+        registry = metrics()
+        registry.counter("jobs.wall_seconds", engine=engine).inc(self.wall_s)
+        registry.counter("jobs.compute_seconds", engine=engine).inc(self.compute_s)
+        registry.counter("jobs.transport_seconds", engine=engine).inc(
+            self.transport_s
+        )
 
     def merged_with(self, other: "JobTimings") -> "JobTimings":
         """Accumulate two fan-outs (used to total per-round timings)."""
@@ -228,8 +241,19 @@ def _run_spec(spec: SweepSpec) -> StreamRunResult:
 
 def _worker(payload: Dict[str, Any]) -> Dict[str, Any]:
     """Pool worker: payload in, result payload out (must be module-level
-    so every start method can import it)."""
-    return _run_spec(SweepSpec.from_payload(payload)).to_dict()
+    so every start method can import it).
+
+    Telemetry the run recorded in this worker process piggybacks on the
+    result payload under ``"_telemetry"`` (absent when empty, and never
+    attached on the in-parent serial/fallback path); ``run_sweep`` pops
+    and merges it before the result dict is parsed, so it can never
+    reach a fingerprint.
+    """
+    result = _run_spec(SweepSpec.from_payload(payload)).to_dict()
+    telemetry = collect_worker_telemetry()
+    if telemetry is not None:
+        result["_telemetry"] = telemetry
+    return result
 
 
 def _run_serial(
@@ -348,6 +372,8 @@ def run_jobs(
     crashed = [
         index for index, value in enumerate(values) if isinstance(value, retry_types)
     ]
+    if crashed:
+        metrics().counter("jobs.retries").inc(len(crashed))
     for index in crashed:
         warnings.warn(
             f"{values[index]}; re-running job {index} serially",
@@ -413,10 +439,16 @@ def run_sweep(
         start_method=start_method,
     )
     merge_start = time.perf_counter()
-    results = [StreamRunResult.from_dict(payload) for payload in result_payloads]
+    results = []
+    for payload in result_payloads:
+        # Worker-recorded telemetry merges into the parent registry and
+        # never reaches the parsed result (fingerprints stay clean).
+        absorb_worker_telemetry(payload.pop("_telemetry", None))
+        results.append(StreamRunResult.from_dict(payload))
     timings = result_payloads.timings
     timings.serialize_s += serialize_s
     timings.merge_s += time.perf_counter() - merge_start
+    timings.record("sweep")
     return SweepResults(results, timings)
 
 
@@ -431,4 +463,11 @@ def result_fingerprint(result: StreamRunResult) -> Dict[str, Any]:
     payload = result.to_dict()
     for key in TIMING_FIELDS:
         payload.pop(key, None)
+    # Telemetry is observation only: whether metrics were enabled for a
+    # run (config.obs) must never distinguish otherwise-identical runs.
+    config = payload.get("config")
+    if isinstance(config, dict):
+        config = dict(config)
+        config["obs"] = None
+        payload["config"] = config
     return payload

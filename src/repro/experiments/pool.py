@@ -102,6 +102,16 @@ def _worker_main(connection: Any) -> None:
     error, compute_seconds)`` out, until EOF or a ``None`` sentinel."""
     global IN_POOL_WORKER
     IN_POOL_WORKER = True
+    # Telemetry recorded while running jobs ships home with the result
+    # piggyback.  Fork start methods copy the parent's module state, so
+    # start from a clean slate: drop any inherited metrics (the parent
+    # still holds the originals — shipping them back would double-count
+    # on merge) and swap any inherited tracer for this worker's own.
+    from repro.obs.metrics import reset_metrics
+    from repro.obs.trace import ensure_worker_tracer
+
+    reset_metrics()
+    ensure_worker_tracer()
     while True:
         try:
             message = connection.recv()
@@ -189,6 +199,9 @@ class WorkerPool:
     def _respawn(self, index: int) -> None:
         """Replace a dead worker; bumps its generation so channel-state
         senders (delta wire) know its caches are gone."""
+        from repro.obs import metrics
+
+        metrics().counter("pool.respawns").inc()
         process = self._processes[index]
         try:
             self._connections[index].close()
@@ -282,6 +295,9 @@ class WorkerPool:
         """
         if self._closed:
             raise RuntimeError("worker pool is closed")
+        from repro.obs import metrics
+
+        registry = metrics()
         payloads = list(payloads)
         total = len(payloads)
         if sticky_keys is not None:
@@ -331,6 +347,9 @@ class WorkerPool:
                 # fresh process (the job itself never ran).
                 self._respawn(worker_index)
                 self._connections[worker_index].send((job_id, fn, payloads[job]))
+            # The sticky-routing distribution: how many jobs each slot
+            # actually executed this process lifetime.
+            registry.counter("pool.jobs", worker=worker_index).inc()
             inflight[worker_index] = (job, job_id, time.perf_counter())
 
         def note_error(exc: BaseException) -> None:
@@ -343,6 +362,7 @@ class WorkerPool:
             job, _job_id, _sent = inflight.pop(worker_index)
             exitcode = self._processes[worker_index].exitcode
             crashes += 1
+            registry.counter("pool.crashes").inc()
             error = WorkerCrashedError(
                 f"worker process {worker_index} (pid "
                 f"{self._processes[worker_index].pid}) died while running job "

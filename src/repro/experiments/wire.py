@@ -151,6 +151,13 @@ class WireFormat:
         """Sender-side cleanup for a payload that may never have been
         decoded (crashed receiver).  Idempotent; default no-op."""
 
+    def payload_nbytes(self, payload: Dict[str, Any]) -> int:
+        """Approximate array bytes this payload carries across the
+        transport (manifest/JSON framing excluded) — what the fleet's
+        bytes-sent and compression-ratio metrics report.  0 when a
+        codec cannot tell."""
+        return 0
+
     # -- channel-state hooks (no-ops for stateless codecs) --------------
     def note_sent(self, channel: str, arrays: Dict[str, np.ndarray]) -> None:
         """Sender hook: the receiver on ``channel`` now holds exactly
@@ -297,6 +304,12 @@ class JsonB64Format(WireFormat):
             out[key] = flat.reshape(tuple(value["shape"])).copy()
         return out
 
+    def payload_nbytes(self, payload: Dict[str, Any]) -> int:
+        # base64 expands 3 raw bytes into 4 characters (padded).
+        return sum(
+            len(spec["data"]) * 3 // 4 for spec in payload["arrays"].values()
+        )
+
 
 # ----------------------------------------------------------------------
 # shm: one shared-memory segment per payload + a JSON manifest.
@@ -401,6 +414,9 @@ class ShmFormat(WireFormat):
         name = segment.name
         segment.close()  # the *name* keeps the segment alive, not our mapping
         _LIVE_SEGMENTS.add(name)
+        from repro.obs import metrics
+
+        metrics().counter("wire.shm_bytes").inc(size)
         return {"wire": self.name, "segment": name, "size": size, "arrays": manifest}
 
     def decode(
@@ -446,6 +462,9 @@ class ShmFormat(WireFormat):
                 pass
             _LIVE_SEGMENTS.discard(name)
         return out
+
+    def payload_nbytes(self, payload: Dict[str, Any]) -> int:
+        return int(payload.get("size") or 0)
 
     def release(self, payload: Dict[str, Any]) -> None:
         from multiprocessing import shared_memory
@@ -642,6 +661,11 @@ class DeltaFormat(WireFormat):
 
     def release(self, payload: Dict[str, Any]) -> None:
         self._inner.release(payload["inner"])
+
+    def payload_nbytes(self, payload: Dict[str, Any]) -> int:
+        # Only the changed arrays ride the inner codec; hashes/manifest
+        # are negligible next to array bytes.
+        return self._inner.payload_nbytes(payload["inner"])
 
     def note_sent(self, channel: str, arrays: Dict[str, np.ndarray]) -> None:
         self._sent_hashes[channel] = {

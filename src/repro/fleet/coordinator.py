@@ -89,6 +89,14 @@ from repro.fleet.faults import FaultPlan
 from repro.fleet.sampling import ClientSampler, create_client_sampler
 from repro.fleet.spec import DeviceSpec, FleetConfig
 from repro.nn.backend import use_backend
+from repro.obs import (
+    absorb_worker_telemetry,
+    collect_worker_telemetry,
+    metrics,
+    metrics_enabled,
+    use_metrics,
+)
+from repro.obs.trace import set_clock, trace_span
 from repro.registry import (
     AGGREGATORS,
     BACKENDS,
@@ -222,7 +230,7 @@ def _device_round_worker(payload: Dict[str, Any]) -> Dict[str, Any]:
         # base the sender diffs the next broadcast against.
         get_wire_format(wire_name).note_received(channel, out_state["learner"])
     if response_wire is not None:
-        return {
+        out = {
             "state": {
                 "meta": out_state["meta"],
                 "learner": get_wire_format(response_wire).encode(
@@ -232,7 +240,17 @@ def _device_round_worker(payload: Dict[str, Any]) -> Dict[str, Any]:
             "result": result.to_dict(),
             "encoded": True,
         }
-    return {"state": out_state, "result": result.to_dict(), "encoded": False}
+    else:
+        out = {"state": out_state, "result": result.to_dict(), "encoded": False}
+    # Telemetry this worker process recorded during the round piggybacks
+    # on the reply (absent on the in-parent serial/fallback path, where
+    # metrics already land in the parent registry directly); the
+    # coordinator pops it before the result dict is parsed, so it can
+    # never reach a fingerprint.
+    telemetry = collect_worker_telemetry()
+    if telemetry is not None:
+        out["_telemetry"] = telemetry
+    return out
 
 
 # ----------------------------------------------------------------------
@@ -367,8 +385,12 @@ class FleetRunResult:
         produce equal fingerprints (the fleet analogue of
         :func:`repro.experiments.parallel.result_fingerprint`).
         """
+        config = config_to_dict(self.config)
+        # Telemetry is observation only: whether metrics were enabled
+        # (config.obs) must never distinguish otherwise-identical runs.
+        config["obs"] = None
         return {
-            "config": config_to_dict(self.config),
+            "config": config,
             "aggregator": self.aggregator,
             "device_names": list(self.device_names),
             "rounds": [r.to_dict() for r in self.rounds],
@@ -771,8 +793,11 @@ class FleetCoordinator:
             raise ValueError(f"rounds must be >= 1, got {rounds}")
         remaining = self.fleet.rounds - self._round
         count = remaining if rounds is None else min(rounds, remaining)
-        for _ in range(count):
-            self._run_round()
+        # config.obs gates coordinator-side metrics exactly like a
+        # Session run gates its own (None defers to the process default).
+        with use_metrics(self.config.obs):
+            for _ in range(count):
+                self._run_round()
         return self.result()
 
     def _channel(self, device_index: int) -> str:
@@ -816,6 +841,19 @@ class FleetCoordinator:
         }
 
     def _run_round(self) -> None:
+        """One fleet round, wrapped in the ``fleet.round`` trace span
+        with the logical round clock and timed into the
+        ``fleet.round_seconds`` histogram."""
+        set_clock(round=self._round)
+        with trace_span("fleet.round"):
+            start = time.perf_counter()
+            self._run_round_inner()
+            if metrics_enabled():
+                metrics().histogram("fleet.round_seconds").observe(
+                    time.perf_counter() - start
+                )
+
+    def _run_round_inner(self) -> None:
         num = len(self._plans)
         round_index = self._round
         fault_plan = self._fault_plan
@@ -953,6 +991,24 @@ class FleetCoordinator:
             payloads.append(entry)
         serialize_s = time.perf_counter() - serialize_start
 
+        # Per-codec broadcast volume: approximate encoded array bytes
+        # against the raw in-process footprint (the compression-ratio
+        # gauge).  Raw rounds ship nothing over a codec, so both stay 0.
+        bytes_sent = 0
+        raw_bytes = 0
+        if metrics_enabled() and wire is not None:
+            for i, entry in zip(active, payloads):
+                staged = entry.get("state")
+                if staged is None:
+                    continue
+                bytes_sent += wire.payload_nbytes(staged["learner"])
+                state = self._device_states[i]
+                assert state is not None
+                raw_bytes += sum(
+                    np.asarray(value).nbytes
+                    for value in state["learner"].values()
+                )
+
         job_timings: Optional[JobTimings] = None
         outputs: Sequence[Dict[str, Any]] = []
         if payloads:
@@ -985,6 +1041,10 @@ class FleetCoordinator:
         for j, i in enumerate(active):
             plan = self._plans[i]
             output = outputs[j]
+            # Worker-recorded telemetry merges into the parent registry
+            # (and trace) before the result payload is parsed — the
+            # cross-process collection path, fingerprint-invisible.
+            absorb_worker_telemetry(output.pop("_telemetry", None))
             state = (
                 {
                     "meta": output["state"]["meta"],
@@ -1134,6 +1194,27 @@ class FleetCoordinator:
                 "crashes": job_timings.crashes if job_timings is not None else 0,
             }
         )
+        if metrics_enabled():
+            registry = metrics()
+            wire_label = wire_name if wire_name is not None else "raw"
+            registry.counter("fleet.rounds").inc()
+            registry.histogram("fleet.sampled_k").observe(len(sampled))
+            if dropped:
+                registry.counter("fleet.dropouts").inc(len(dropped))
+            if late:
+                registry.counter("fleet.stragglers").inc(len(late))
+            if crashing:
+                registry.counter("fleet.crashes").inc(len(crashing))
+            registry.gauge("fleet.pending_depth").set(len(self._pending))
+            if bytes_sent:
+                registry.counter("fleet.bytes_sent", wire=wire_label).inc(
+                    bytes_sent
+                )
+                registry.gauge("fleet.compression_ratio", wire=wire_label).set(
+                    raw_bytes / bytes_sent
+                )
+            if job_timings is not None:
+                job_timings.record("fleet")
         self._round += 1
 
     def _evaluate_global(self) -> float:

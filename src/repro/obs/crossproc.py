@@ -1,0 +1,64 @@
+"""Cross-process telemetry collection: workers ship, the parent merges.
+
+Pool workers record into their *own* process registry and tracer while
+running a job; just before returning, the job function calls
+:func:`collect_worker_telemetry`, which snapshots-and-resets the worker
+registry (and drains the worker tracer) into a JSON-able dict that
+rides home piggybacked on the existing job payload — no extra pipe, no
+extra wire format.  The parent calls :func:`absorb_worker_telemetry`
+on the shipped dict: metrics merge by label set into the parent
+registry, spans file under a per-worker ``proc`` lane of the parent
+tracer.  A fleet run therefore yields one coherent registry and one
+coherent trace regardless of worker count.
+
+Both functions are no-ops in the right places by construction:
+``collect`` returns ``None`` unless this process *is* a pool worker
+(the serial path and the parent's crash-fallback reruns execute the
+same job functions in-process, and must not wipe the parent registry
+mid-run), and ``absorb`` ignores ``None``/empty payloads.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Any, Dict, Optional
+
+from repro.obs.metrics import metrics, reset_metrics
+from repro.obs.trace import current_tracer
+
+__all__ = ["collect_worker_telemetry", "absorb_worker_telemetry"]
+
+
+def collect_worker_telemetry() -> Optional[Dict[str, Any]]:
+    """Snapshot-and-reset this pool worker's telemetry for shipping.
+
+    Returns ``None`` when this process is not a pool worker, or when
+    there is nothing to ship.
+    """
+    from repro.experiments import pool as pool_module
+
+    if not pool_module.IN_POOL_WORKER:
+        return None
+    snapshot = metrics().snapshot()
+    if snapshot:
+        reset_metrics()
+    tracer = current_tracer()
+    spans = tracer.drain() if tracer is not None else []
+    if not snapshot and not spans:
+        return None
+    proc = tracer.proc if tracer is not None else f"worker-{os.getpid()}"
+    return {"metrics": snapshot, "spans": spans, "proc": proc}
+
+
+def absorb_worker_telemetry(payload: Optional[Dict[str, Any]]) -> None:
+    """Merge a shipped telemetry dict into this process's registry/tracer."""
+    if not payload:
+        return
+    snapshot = payload.get("metrics") or []
+    if snapshot:
+        metrics().merge(snapshot)
+    spans = payload.get("spans") or []
+    if spans:
+        tracer = current_tracer()
+        if tracer is not None:
+            tracer.extend(spans, proc=payload.get("proc"))

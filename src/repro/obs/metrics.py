@@ -1,0 +1,379 @@
+"""Metrics primitives: counters, gauges, and histograms with label sets.
+
+One :class:`MetricsRegistry` per process (``metrics()``) is the single
+source for runtime telemetry across every layer — Session step loops,
+the fleet coordinator, the worker pool, and the scoring service.
+Components ask the registry for an instrument once (cheap dict lookup,
+keyed by metric name plus a frozen label set) and then record into it
+directly on the hot path.
+
+Two rules keep telemetry out of the science:
+
+* **Observation only.**  Instruments never touch RNG streams, never
+  reorder work, and never feed values back into training — enabling
+  them is bitwise-invisible to every fingerprint (enforced by
+  ``tests/property/test_obs_identity.py``).
+* **Gated hot paths.**  Per-step experiment metrics check
+  :func:`metrics_enabled` (the ``REPRO_METRICS`` env var, the CLI
+  ``--metrics`` flag, or ``config.obs``); infrastructure counters that
+  fire at most once per round/batch/crash (pool respawns, serve
+  errors, wire bytes) record unconditionally so they are never silently
+  missing from a post-mortem.
+
+Cross-process collection works by value, not by shared memory: a worker
+records into *its own* process registry, ships
+:meth:`MetricsRegistry.snapshot` home piggybacked on the existing job
+payloads, and the parent :meth:`MetricsRegistry.merge`\\ s it in —
+counters add, gauges last-write-win, histograms merge bucket-by-bucket
+— so a fleet run yields one coherent registry no matter how many
+processes trained.
+"""
+
+from __future__ import annotations
+
+import math
+import os
+import threading
+from contextlib import contextmanager
+from typing import Any, Dict, Iterator, List, Optional, Tuple
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "METRICS_ENV",
+    "metrics",
+    "metrics_enabled",
+    "set_metrics_enabled",
+    "use_metrics",
+    "reset_metrics",
+]
+
+METRICS_ENV = "REPRO_METRICS"
+
+# Exponential histogram grid shared by every process: bucket ``i`` holds
+# values in ``(START * FACTOR**(i-1), START * FACTOR**i]`` (bucket 0 is
+# everything <= START, the last bucket is open-ended).  Fixed bounds are
+# what make cross-process merges exact: two processes never disagree on
+# which bucket a value lands in.
+_BUCKET_START = 1e-6
+_BUCKET_FACTOR = 2.0
+_NUM_BUCKETS = 64
+_LOG_FACTOR = math.log(_BUCKET_FACTOR)
+
+LabelSet = Tuple[Tuple[str, str], ...]
+
+
+def _freeze_labels(labels: Dict[str, Any]) -> LabelSet:
+    return tuple(sorted((str(k), str(v)) for k, v in labels.items()))
+
+
+def bucket_index(value: float) -> int:
+    """Grid bucket for ``value`` (values <= 0 land in bucket 0)."""
+    if value <= _BUCKET_START:
+        return 0
+    index = int(math.ceil(math.log(value / _BUCKET_START) / _LOG_FACTOR))
+    # Guard the float edge: log/ceil can land one short of the true
+    # bucket when value sits exactly on a bound.
+    if value > _BUCKET_START * _BUCKET_FACTOR ** index:
+        index += 1
+    return min(index, _NUM_BUCKETS - 1)
+
+
+def bucket_bounds(index: int) -> Tuple[float, float]:
+    """``(low, high]`` value bounds of grid bucket ``index``."""
+    high = _BUCKET_START * _BUCKET_FACTOR ** index
+    low = 0.0 if index == 0 else _BUCKET_START * _BUCKET_FACTOR ** (index - 1)
+    return low, high
+
+
+class Counter:
+    """Monotonically increasing count (float increments allowed)."""
+
+    kind = "counter"
+    __slots__ = ("_value",)
+
+    def __init__(self) -> None:
+        self._value = 0.0
+
+    def inc(self, amount: float = 1.0) -> None:
+        if amount < 0:
+            raise ValueError(f"counters only go up, got inc({amount})")
+        self._value += amount
+
+    @property
+    def value(self) -> float:
+        return self._value
+
+    def state(self) -> Dict[str, Any]:
+        return {"value": self._value}
+
+    def merge_state(self, state: Dict[str, Any]) -> None:
+        self._value += float(state["value"])
+
+
+class Gauge:
+    """Last-written value (queue depth, diversity, compression ratio)."""
+
+    kind = "gauge"
+    __slots__ = ("_value",)
+
+    def __init__(self) -> None:
+        self._value = 0.0
+
+    def set(self, value: float) -> None:
+        self._value = float(value)
+
+    def inc(self, amount: float = 1.0) -> None:
+        self._value += amount
+
+    def dec(self, amount: float = 1.0) -> None:
+        self._value -= amount
+
+    @property
+    def value(self) -> float:
+        return self._value
+
+    def state(self) -> Dict[str, Any]:
+        return {"value": self._value}
+
+    def merge_state(self, state: Dict[str, Any]) -> None:
+        self._value = float(state["value"])  # last write wins
+
+
+class Histogram:
+    """Exponential-bucket distribution with exact count/sum/min/max.
+
+    Buckets are sparse (index -> count) on the fixed process-wide grid,
+    so :meth:`merge_state` is exact across processes.  Percentiles
+    interpolate linearly inside the bucket the rank falls in, clamped
+    to the observed min/max — good to a factor-of-2 bucket width, which
+    is plenty for p50/p99 latency reporting.
+    """
+
+    kind = "histogram"
+    __slots__ = ("_buckets", "_count", "_sum", "_min", "_max")
+
+    def __init__(self) -> None:
+        self._buckets: Dict[int, int] = {}
+        self._count = 0
+        self._sum = 0.0
+        self._min = math.inf
+        self._max = -math.inf
+
+    def observe(self, value: float) -> None:
+        value = float(value)
+        index = bucket_index(value)
+        self._buckets[index] = self._buckets.get(index, 0) + 1
+        self._count += 1
+        self._sum += value
+        if value < self._min:
+            self._min = value
+        if value > self._max:
+            self._max = value
+
+    @property
+    def count(self) -> int:
+        return self._count
+
+    @property
+    def sum(self) -> float:
+        return self._sum
+
+    @property
+    def min(self) -> float:
+        return self._min if self._count else 0.0
+
+    @property
+    def max(self) -> float:
+        return self._max if self._count else 0.0
+
+    @property
+    def mean(self) -> float:
+        return self._sum / self._count if self._count else 0.0
+
+    def percentile(self, q: float) -> float:
+        """Approximate ``q``-th percentile (``q`` in [0, 100])."""
+        if not 0.0 <= q <= 100.0:
+            raise ValueError(f"percentile wants q in [0, 100], got {q}")
+        if self._count == 0:
+            return 0.0
+        rank = q / 100.0 * self._count
+        seen = 0
+        for index in sorted(self._buckets):
+            in_bucket = self._buckets[index]
+            if seen + in_bucket >= rank:
+                low, high = bucket_bounds(index)
+                fraction = 0.5 if in_bucket == 0 else (rank - seen) / in_bucket
+                estimate = low + (high - low) * min(max(fraction, 0.0), 1.0)
+                return min(max(estimate, self._min), self._max)
+            seen += in_bucket
+        return self._max
+
+    def state(self) -> Dict[str, Any]:
+        return {
+            # JSON round-trips dict keys as strings; stringify here so a
+            # snapshot is identical whether or not it crossed a pipe.
+            "buckets": {str(k): v for k, v in self._buckets.items()},
+            "count": self._count,
+            "sum": self._sum,
+            "min": self._min if self._count else None,
+            "max": self._max if self._count else None,
+        }
+
+    def merge_state(self, state: Dict[str, Any]) -> None:
+        for key, value in state["buckets"].items():
+            index = int(key)
+            self._buckets[index] = self._buckets.get(index, 0) + int(value)
+        self._count += int(state["count"])
+        self._sum += float(state["sum"])
+        if state["min"] is not None:
+            self._min = min(self._min, float(state["min"]))
+        if state["max"] is not None:
+            self._max = max(self._max, float(state["max"]))
+
+
+_INSTRUMENT_TYPES = {"counter": Counter, "gauge": Gauge, "histogram": Histogram}
+
+
+class MetricsRegistry:
+    """Instruments keyed by name + label set, mergeable across processes.
+
+    Family creation is locked (serve's TCP transport touches the
+    registry from a second thread); recording into an instrument you
+    already hold is plain attribute arithmetic and is left unlocked on
+    purpose — every hot path resolves its instruments once, outside the
+    loop.
+    """
+
+    def __init__(self) -> None:
+        self._families: Dict[str, Dict[LabelSet, Any]] = {}
+        self._kinds: Dict[str, str] = {}
+        self._lock = threading.Lock()
+
+    # -- instrument accessors (get-or-create) ---------------------------
+    def counter(self, name: str, **labels: Any) -> Counter:
+        return self._instrument("counter", name, labels)
+
+    def gauge(self, name: str, **labels: Any) -> Gauge:
+        return self._instrument("gauge", name, labels)
+
+    def histogram(self, name: str, **labels: Any) -> Histogram:
+        return self._instrument("histogram", name, labels)
+
+    def _instrument(self, kind: str, name: str, labels: Dict[str, Any]) -> Any:
+        key = _freeze_labels(labels)
+        with self._lock:
+            existing_kind = self._kinds.get(name)
+            if existing_kind is None:
+                self._kinds[name] = kind
+                self._families[name] = {}
+            elif existing_kind != kind:
+                raise ValueError(
+                    f"metric {name!r} is a {existing_kind}, not a {kind}"
+                )
+            family = self._families[name]
+            instrument = family.get(key)
+            if instrument is None:
+                instrument = _INSTRUMENT_TYPES[kind]()
+                family[key] = instrument
+            return instrument
+
+    # -- introspection ---------------------------------------------------
+    def kind(self, name: str) -> Optional[str]:
+        return self._kinds.get(name)
+
+    def names(self) -> List[str]:
+        with self._lock:
+            return sorted(self._families)
+
+    def series(self) -> Iterator[Tuple[str, str, Dict[str, str], Any]]:
+        """Yield ``(kind, name, labels, instrument)`` sorted by name/labels."""
+        with self._lock:
+            items = [
+                (self._kinds[name], name, dict(key), instrument)
+                for name in sorted(self._families)
+                for key, instrument in sorted(self._families[name].items())
+            ]
+        return iter(items)
+
+    def value(self, name: str, **labels: Any) -> Optional[float]:
+        """Scalar value of a counter/gauge series, ``None`` if unrecorded."""
+        family = self._families.get(name)
+        if family is None:
+            return None
+        instrument = family.get(_freeze_labels(labels))
+        return None if instrument is None else instrument.value
+
+    # -- cross-process ---------------------------------------------------
+    def snapshot(self) -> List[Dict[str, Any]]:
+        """JSON-able dump of every series (the wire unit of merging)."""
+        entries: List[Dict[str, Any]] = []
+        for kind, name, labels, instrument in self.series():
+            entry = {"kind": kind, "name": name, "labels": labels}
+            entry.update(instrument.state())
+            entries.append(entry)
+        return entries
+
+    def merge(self, snapshot: List[Dict[str, Any]]) -> None:
+        """Merge a :meth:`snapshot` by label set: counters add, gauges
+        last-write-win, histograms combine buckets/count/sum/min/max."""
+        for entry in snapshot:
+            instrument = self._instrument(
+                entry["kind"], entry["name"], dict(entry.get("labels") or {})
+            )
+            instrument.merge_state(entry)
+
+    def reset(self) -> None:
+        with self._lock:
+            self._families.clear()
+            self._kinds.clear()
+
+
+# ----------------------------------------------------------------------
+# Process-wide registry and the enabled gate.
+# ----------------------------------------------------------------------
+_PROCESS_REGISTRY = MetricsRegistry()
+
+
+def _env_truthy(value: Optional[str]) -> bool:
+    return (value or "").strip().lower() in ("1", "true", "on", "yes")
+
+
+_ENABLED = _env_truthy(os.environ.get(METRICS_ENV))
+
+
+def metrics() -> MetricsRegistry:
+    """The process-wide registry every layer records into."""
+    return _PROCESS_REGISTRY
+
+
+def metrics_enabled() -> bool:
+    """Whether per-step experiment instrumentation should record."""
+    return _ENABLED
+
+
+def set_metrics_enabled(enabled: bool) -> None:
+    global _ENABLED
+    _ENABLED = bool(enabled)
+
+
+@contextmanager
+def use_metrics(enabled: Optional[bool]):
+    """Scoped :func:`set_metrics_enabled`; ``None`` leaves the gate as-is
+    (that is what ``config.obs = None`` means: defer to env/CLI)."""
+    if enabled is None:
+        yield
+        return
+    previous = _ENABLED
+    set_metrics_enabled(enabled)
+    try:
+        yield
+    finally:
+        set_metrics_enabled(previous)
+
+
+def reset_metrics() -> None:
+    """Drop every recorded series (test isolation; workers after a ship)."""
+    _PROCESS_REGISTRY.reset()

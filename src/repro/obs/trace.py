@@ -1,0 +1,217 @@
+"""Span tracing with logical clocks, exportable as JSONL or Chrome traces.
+
+A :class:`SpanTracer` records nested wall-clock spans (name, duration,
+attributes, parent) stamped with whatever *logical* clocks the runtime
+has advanced — Session step indices, fleet round indices — via
+:meth:`SpanTracer.set_clock`.  Logical clocks are what make a trace
+legible across processes: worker spans from round 3 line up with the
+parent's round-3 span even though their wall clocks never met.
+
+Instrumented code never holds a tracer; it calls the module-level
+:func:`trace_span` context manager, which records into the active
+tracer or costs a single ``None`` check when tracing is off.  Parents
+install a tracer with :func:`use_tracer` (the CLI's ``--trace-out``
+does); pool workers auto-install one when the ``REPRO_TRACE`` env var
+is set, and their spans ride home with the metrics piggyback where
+:meth:`SpanTracer.extend` files them under a per-worker ``proc`` lane.
+
+Exports:
+
+* :meth:`SpanTracer.to_jsonl` — one JSON object per span, grep-able.
+* :meth:`SpanTracer.to_chrome` — Chrome trace-event JSON (complete
+  ``"ph": "X"`` events, microsecond timestamps, one pid lane per
+  process); load it at ``chrome://tracing`` or https://ui.perfetto.dev.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from contextlib import contextmanager
+from typing import Any, Dict, Iterable, List, Optional
+
+__all__ = [
+    "SpanTracer",
+    "TRACE_ENV",
+    "trace_span",
+    "use_tracer",
+    "current_tracer",
+    "set_tracer",
+    "set_clock",
+]
+
+TRACE_ENV = "REPRO_TRACE"
+
+
+class SpanTracer:
+    """Collects finished spans as plain dicts (JSON-able by construction)."""
+
+    def __init__(self, proc: str = "main") -> None:
+        self.proc = proc
+        self.spans: List[Dict[str, Any]] = []
+        self._origin = time.perf_counter()
+        self._stack: List[int] = []  # span ids of open ancestors
+        self._clocks: Dict[str, int] = {}
+        self._next_id = 1
+
+    # -- logical clocks --------------------------------------------------
+    def set_clock(self, **clocks: int) -> None:
+        """Advance logical clocks (``step=1024``, ``round=3``); every span
+        opened afterwards carries the current reading."""
+        for name, value in clocks.items():
+            self._clocks[name] = int(value)
+
+    # -- recording -------------------------------------------------------
+    @contextmanager
+    def span(self, name: str, **attrs: Any):
+        span_id = self._next_id
+        self._next_id += 1
+        start = time.perf_counter()
+        entry: Dict[str, Any] = {
+            "name": name,
+            "proc": self.proc,
+            "span_id": span_id,
+            "parent_id": self._stack[-1] if self._stack else None,
+            "start_s": start - self._origin,
+            "clocks": dict(self._clocks),
+        }
+        if attrs:
+            entry["attrs"] = {k: v for k, v in attrs.items()}
+        self._stack.append(span_id)
+        try:
+            yield entry
+        finally:
+            self._stack.pop()
+            entry["duration_s"] = time.perf_counter() - start
+            self.spans.append(entry)
+
+    def extend(self, spans: Iterable[Dict[str, Any]], proc: Optional[str] = None) -> None:
+        """File spans from another process under their own ``proc`` lane.
+
+        Span ids are re-based so they cannot collide with local ids;
+        parent links inside the shipped batch are preserved.
+        """
+        batch = [dict(span) for span in spans]
+        if not batch:
+            return
+        offset = self._next_id
+        for span in batch:
+            span["span_id"] = int(span.get("span_id", 0)) + offset
+            if span.get("parent_id") is not None:
+                span["parent_id"] = int(span["parent_id"]) + offset
+            if proc is not None:
+                span["proc"] = proc
+            self.spans.append(span)
+        self._next_id = offset + max(int(s["span_id"]) for s in batch) + 1
+
+    def drain(self) -> List[Dict[str, Any]]:
+        """Return and clear every finished span (the cross-process unit)."""
+        spans, self.spans = self.spans, []
+        return spans
+
+    # -- exports ---------------------------------------------------------
+    def to_jsonl(self, path: str) -> None:
+        with open(path, "w") as fh:
+            for span in self.spans:
+                fh.write(json.dumps(span, sort_keys=True, default=str))
+                fh.write("\n")
+
+    def to_chrome(self, path: str) -> None:
+        """Chrome trace-event format: one complete event per span, one
+        pid lane per ``proc`` (with a process_name metadata event)."""
+        procs: Dict[str, int] = {}
+        events: List[Dict[str, Any]] = []
+        for span in self.spans:
+            proc = str(span.get("proc", "main"))
+            pid = procs.setdefault(proc, len(procs) + 1)
+            args = dict(span.get("attrs") or {})
+            args.update(span.get("clocks") or {})
+            events.append(
+                {
+                    "name": span["name"],
+                    "ph": "X",
+                    "pid": pid,
+                    "tid": 1,
+                    "ts": round(float(span["start_s"]) * 1e6, 3),
+                    "dur": round(float(span.get("duration_s", 0.0)) * 1e6, 3),
+                    "args": args,
+                }
+            )
+        meta = [
+            {
+                "name": "process_name",
+                "ph": "M",
+                "pid": pid,
+                "args": {"name": proc},
+            }
+            for proc, pid in procs.items()
+        ]
+        with open(path, "w") as fh:
+            json.dump({"traceEvents": meta + events}, fh, default=str)
+            fh.write("\n")
+
+
+# ----------------------------------------------------------------------
+# Module-level active tracer (what instrumented code talks to).
+# ----------------------------------------------------------------------
+_ACTIVE: Optional[SpanTracer] = None
+
+
+def current_tracer() -> Optional[SpanTracer]:
+    return _ACTIVE
+
+
+def set_tracer(tracer: Optional[SpanTracer]) -> None:
+    global _ACTIVE
+    _ACTIVE = tracer
+
+
+@contextmanager
+def use_tracer(tracer: Optional[SpanTracer]):
+    """Install ``tracer`` as the active tracer for the enclosed block."""
+    global _ACTIVE
+    previous = _ACTIVE
+    _ACTIVE = tracer
+    try:
+        yield tracer
+    finally:
+        _ACTIVE = previous
+
+
+@contextmanager
+def _null_span():
+    yield None
+
+
+def trace_span(name: str, **attrs: Any):
+    """Record a span on the active tracer, or do nothing when tracing is
+    off (one ``None`` check — safe on hot paths)."""
+    tracer = _ACTIVE
+    if tracer is None:
+        return _null_span()
+    return tracer.span(name, **attrs)
+
+
+def set_clock(**clocks: int) -> None:
+    """Advance the active tracer's logical clocks (no-op when off)."""
+    tracer = _ACTIVE
+    if tracer is not None:
+        tracer.set_clock(**clocks)
+
+
+def ensure_worker_tracer() -> Optional[SpanTracer]:
+    """Install this pool worker's own tracer (idempotent per process).
+
+    Tracing is wanted when ``REPRO_TRACE`` is set *or* the worker
+    inherited an active tracer (fork start methods copy the parent's
+    module state).  Either way the worker gets a *fresh* per-process
+    tracer: recording into a fork-inherited parent tracer would ship
+    the parent's pre-fork spans home as duplicates."""
+    global _ACTIVE
+    mine = f"worker-{os.getpid()}"
+    if _ACTIVE is not None and _ACTIVE.proc == mine:
+        return _ACTIVE
+    if _ACTIVE is not None or os.environ.get(TRACE_ENV):
+        _ACTIVE = SpanTracer(proc=mine)
+    return _ACTIVE

@@ -52,6 +52,7 @@ __all__ = [
     "SERVE_POLICIES",
     "WIRE_FORMATS",
     "CLIENT_SAMPLERS",
+    "EXPORTERS",
     "register_policy",
     "register_dataset",
     "register_encoder",
@@ -62,6 +63,7 @@ __all__ = [
     "register_serve_policy",
     "register_wire_format",
     "register_client_sampler",
+    "register_exporter",
     "create_policy",
     "canonical_policy_names",
     "policy_names",
@@ -77,6 +79,7 @@ __all__ = [
     "serve_policy_names",
     "wire_format_names",
     "client_sampler_names",
+    "exporter_names",
 ]
 
 #: Valid component names: lowercase kebab-case, digits allowed.
@@ -409,6 +412,10 @@ def _ensure_client_samplers() -> None:
     import repro.fleet.sampling  # noqa: F401  (registers uniform/weighted/round-robin)
 
 
+def _ensure_exporters() -> None:
+    import repro.obs.exporters  # noqa: F401  (registers console/jsonl/prometheus)
+
+
 POLICIES = Registry("policy", ensure=_ensure_policies)
 DATASETS = Registry("dataset", ensure=_ensure_datasets)
 ENCODERS = Registry("encoder", ensure=_ensure_encoders)
@@ -419,6 +426,7 @@ AGGREGATORS = Registry("aggregator", ensure=_ensure_aggregators)
 SERVE_POLICIES = Registry("serve policy", ensure=_ensure_serve_policies)
 WIRE_FORMATS = Registry("wire format", ensure=_ensure_wire_formats)
 CLIENT_SAMPLERS = Registry("client sampler", ensure=_ensure_client_samplers)
+EXPORTERS = Registry("exporter", ensure=_ensure_exporters)
 
 register_policy = POLICIES.register
 register_dataset = DATASETS.register
@@ -430,6 +438,7 @@ register_aggregator = AGGREGATORS.register
 register_serve_policy = SERVE_POLICIES.register
 register_wire_format = WIRE_FORMATS.register
 register_client_sampler = CLIENT_SAMPLERS.register
+register_exporter = EXPORTERS.register
 
 
 def create_policy(
@@ -557,3 +566,8 @@ def wire_format_names() -> List[str]:
 def client_sampler_names() -> List[str]:
     """Sorted names of all registered fleet client samplers."""
     return CLIENT_SAMPLERS.names()
+
+
+def exporter_names() -> List[str]:
+    """Sorted names of all registered metric exporters."""
+    return EXPORTERS.names()

@@ -53,6 +53,10 @@ from typing import Any, Dict, List, Optional, Sequence
 import numpy as np
 
 from repro.core.scoring import ContrastScorer, content_hash
+from repro.obs import metrics as process_metrics
+from repro.obs import metrics_enabled
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.trace import trace_span
 from repro.registry import SERVE_POLICIES, UnknownComponentError
 from repro.serve.cache import EmbeddingCache
 from repro.serve.models import ModelRegistry
@@ -214,12 +218,23 @@ class ScoringServer:
         self._batcher: Optional[asyncio.Task] = None
         self._closed = False
         self._loaded_version: Optional[int] = None
-        self._counts: Dict[str, int] = {status: 0 for status in DECISION_STATUSES}
-        self._errors = 0
-        self._batches = 0
-        self._batched_requests = 0
-        self._forwarded = 0
+        # Telemetry: the per-instance registry is the single source the
+        # old ad-hoc counters collapsed into — stats() is a thin view
+        # over it.  When process metrics are enabled (REPRO_METRICS /
+        # --metrics / config.obs), every recording mirrors into the
+        # process-global registry too, so a serve run shows up in the
+        # same exporters as everything else.  ``serve.errors`` always
+        # hits the process-global registry as well: unlike the old
+        # instance attribute, the error count stats() reports survives
+        # tearing the server down and building a new one in-process.
+        self.metrics = MetricsRegistry()
         models.on_publish(self._on_model_publish)
+
+    def _registries(self) -> Sequence[MetricsRegistry]:
+        """Where hot-path recordings land (instance + process when on)."""
+        if metrics_enabled():
+            return (self.metrics, process_metrics())
+        return (self.metrics,)
 
     # -- lifecycle ------------------------------------------------------
     async def start(self) -> "ScoringServer":
@@ -338,7 +353,7 @@ class ScoringServer:
         if self._queue.full():
             fallback = self.policy.on_full(request, self)
             if fallback is not None:
-                self._counts[fallback.status] += 1
+                self._note_decision(fallback)
                 return fallback
             await self._queue.put(request)
         else:
@@ -392,8 +407,12 @@ class ScoringServer:
 
     def _execute(self, batch: List[ScoreRequest]) -> None:
         """Resolve one micro-batch: expire, group by version, fuse, answer."""
-        self._batches += 1
-        self._batched_requests += len(batch)
+        for registry in self._registries():
+            registry.counter("serve.batches").inc()
+            registry.histogram("serve.batch_size").observe(len(batch))
+            registry.gauge("serve.queue_depth").set(
+                self._queue.qsize() if self._queue is not None else 0
+            )
         now = time.perf_counter()
         live: List[ScoreRequest] = []
         for request in batch:
@@ -455,11 +474,20 @@ class ScoringServer:
                 first_row[digest] = [i]
                 miss_rows.append(i)
                 miss_keys.append(digest)
+        if self.cache is not None:
+            hits = sum(hit)
+            for registry in self._registries():
+                if hits:
+                    registry.counter("serve.cache_hits").inc(hits)
+                if miss_rows:
+                    registry.counter("serve.cache_misses").inc(len(miss_rows))
         if miss_rows:
             self._activate(version)
             stacked = np.stack([group[i].sample for i in miss_rows], axis=0)
-            fresh = self.scorer.score(stacked)
-            self._forwarded += len(miss_rows)
+            with trace_span("serve.forward", batch=len(miss_rows)):
+                fresh = self.scorer.score(stacked)
+            for registry in self._registries():
+                registry.counter("serve.forwarded").inc(len(miss_rows))
             for digest, value in zip(miss_keys, fresh):
                 value = float(value)
                 if self.cache is not None:
@@ -483,18 +511,28 @@ class ScoringServer:
                 ),
             )
 
+    def _note_decision(self, decision: Decision) -> None:
+        for registry in self._registries():
+            registry.counter("serve.decisions", status=decision.status).inc()
+            registry.histogram("serve.latency_ms").observe(decision.latency_ms)
+
     def _resolve(self, request: ScoreRequest, decision: Decision) -> None:
-        self._counts[decision.status] += 1
+        self._note_decision(decision)
         if not request.future.done():
             request.future.set_result(decision)
 
     def _fail(self, requests: Sequence[ScoreRequest], error: BaseException) -> None:
         """Answer failed requests with the exception itself — the
         batcher never dies with futures left pending."""
-        for request in requests:
-            if not request.future.done():
-                self._errors += 1
-                request.future.set_exception(error)
+        failed = [r for r in requests if not r.future.done()]
+        if failed:
+            # Always recorded process-globally (not just when metrics
+            # are enabled): this is the counter stats()["errors"]
+            # reports, and it must survive server re-creation.
+            self.metrics.counter("serve.errors").inc(len(failed))
+            process_metrics().counter("serve.errors").inc(len(failed))
+        for request in failed:
+            request.future.set_exception(error)
 
     # -- model activation / invalidation --------------------------------
     def _activate(self, version: int) -> None:
@@ -570,16 +608,29 @@ class ScoringServer:
         return self._batcher is not None
 
     def stats(self) -> Dict[str, Any]:
-        """Service counters (decision statuses, batching, cache, model)."""
+        """Service counters (decision statuses, batching, cache, model).
+
+        A thin view over the ``serve.*`` metrics families — the
+        instance registry (:attr:`metrics`) is the single source, and
+        every key keeps its historical meaning.  The one deliberate
+        change: ``errors`` reads the *process-global* ``serve.errors``
+        counter, so the count no longer silently resets when a server
+        (and its batcher) is torn down and recreated in-process.
+        """
+        registry = self.metrics
+        batch_size = registry.histogram("serve.batch_size")
         out: Dict[str, Any] = {
             "policy": self.policy_name,
-            "decisions": dict(self._counts),
-            "errors": self._errors,
-            "batches": self._batches,
-            "mean_batch": (
-                self._batched_requests / self._batches if self._batches else 0.0
-            ),
-            "forwarded": self._forwarded,
+            "decisions": {
+                status: int(
+                    registry.value("serve.decisions", status=status) or 0
+                )
+                for status in DECISION_STATUSES
+            },
+            "errors": int(process_metrics().value("serve.errors") or 0),
+            "batches": int(registry.value("serve.batches") or 0),
+            "mean_batch": batch_size.mean,
+            "forwarded": int(registry.value("serve.forwarded") or 0),
             "queue_depth": self.queue_depth,
             "queued": self._queue.qsize() if self._queue is not None else 0,
             "loaded_version": self._loaded_version,

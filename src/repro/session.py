@@ -47,6 +47,8 @@ from repro.data.scenarios import StreamSource, canonical_scenario, create_scenar
 from repro.metrics.curves import LearningCurve
 from repro.nn.backend import use_backend
 from repro.nn.projection import ProjectionHead
+from repro.obs import metrics, metrics_enabled, use_metrics
+from repro.obs.trace import set_clock, trace_span
 from repro.registry import AUGMENTS, ENCODERS, POLICIES, create_policy
 from repro.selection.base import ReplacementPolicy
 from repro.train.classifier import evaluate_encoder
@@ -331,6 +333,19 @@ class Session:
         self.config = self.config.with_(backend=name)
         return self
 
+    def with_metrics(self, enabled: Optional[bool] = True) -> "Session":
+        """Gate hot-path metrics recording (:mod:`repro.obs`) for this run.
+
+        Sugar for ``config.with_(obs=enabled)`` — the flag lives on the
+        config so it serializes into checkpoints and crosses the wire
+        to sweep/fleet workers, exactly like the backend selection.
+        ``None`` defers to the process default (``REPRO_METRICS`` env or
+        the CLI ``--metrics`` flag).  Telemetry never alters results:
+        runs are bitwise-identical with it on or off.
+        """
+        self.config = self.config.with_(obs=enabled)
+        return self
+
     def with_scenario(self, name: str) -> "Session":
         """Stream the run through a registered scenario.
 
@@ -416,7 +431,7 @@ class Session:
         cross the wire to parallel-sweep workers and survive in
         checkpoints.
         """
-        with use_backend(self.config.backend):
+        with use_backend(self.config.backend), use_metrics(self.config.obs):
             return self._run(stop_after)
 
     def _run(self, stop_after: Optional[int]) -> StreamRunResult:
@@ -524,6 +539,21 @@ class Session:
         if stop_after is not None and stop_after < 0:
             raise ValueError(f"stop_after must be >= 0, got {stop_after}")
 
+        # Hot-path instrumentation (repro.obs): resolve every instrument
+        # once, outside the loop, so the per-step cost when enabled is a
+        # few attribute ops — and a single bool check when disabled.
+        # Recording is observation only (no RNG draws, no reordering),
+        # so enabling it is bitwise-invisible to the run's results.
+        step_counter = select_hist = train_hist = probe_hist = diversity_gauge = None
+        if metrics_enabled():
+            registry = metrics()
+            labels = {"policy": self._policy_name}
+            step_counter = registry.counter("session.steps", **labels)
+            select_hist = registry.histogram("session.select_seconds", **labels)
+            train_hist = registry.histogram("session.train_seconds", **labels)
+            probe_hist = registry.histogram("session.probe_seconds", **labels)
+            diversity_gauge = registry.gauge("session.buffer_diversity", **labels)
+
         start = time.perf_counter()
         self._run_started = start
         steps_this_call = 0
@@ -534,18 +564,29 @@ class Session:
             else ()
         )
         for segment in segments:
-            stats = learner.process_segment(segment)
+            set_clock(step=learner.iteration + 1)
+            with trace_span("session.step"):
+                stats = learner.process_segment(segment)
             self._final_loss = stats.loss
             self._diversity.append(
                 float(
                     (learner.buffer_class_histogram(comp.dataset.num_classes) > 0).sum()
                 )
             )
+            if step_counter is not None:
+                step_counter.inc()
+                select_hist.observe(stats.select_seconds)
+                train_hist.observe(stats.train_seconds)
+                diversity_gauge.set(self._diversity[-1])
             for fn in self._on_step:
                 fn(learner, stats)
             is_last = learner.seen_inputs >= config.total_samples
             if learner.iteration % eval_every == 0 or is_last:
-                accuracy = probe()
+                probe_start = time.perf_counter()
+                with trace_span("session.probe"):
+                    accuracy = probe()
+                if probe_hist is not None:
+                    probe_hist.observe(time.perf_counter() - probe_start)
                 curve.add(learner.seen_inputs, accuracy)
                 for fn in self._on_probe:
                     fn(learner, learner.seen_inputs, accuracy)

@@ -1,0 +1,93 @@
+"""Cross-process collection: workers snapshot-and-reset, parents merge."""
+
+import pytest
+
+from repro.experiments import pool as pool_module
+from repro.obs import (
+    absorb_worker_telemetry,
+    collect_worker_telemetry,
+    metrics,
+    reset_metrics,
+)
+from repro.obs.trace import SpanTracer, set_tracer, use_tracer
+
+
+@pytest.fixture(autouse=True)
+def _clean(monkeypatch):
+    reset_metrics()
+    previous_tracer = __import__(
+        "repro.obs.trace", fromlist=["current_tracer"]
+    ).current_tracer()
+    set_tracer(None)
+    yield
+    set_tracer(previous_tracer)
+    reset_metrics()
+
+
+@pytest.fixture()
+def in_pool_worker(monkeypatch):
+    monkeypatch.setattr(pool_module, "IN_POOL_WORKER", True)
+
+
+class TestCollect:
+    def test_none_outside_pool_worker(self):
+        # Serial runs and in-parent crash fallbacks execute the same job
+        # functions; collecting there would wipe the parent registry.
+        metrics().counter("session.steps").inc()
+        assert collect_worker_telemetry() is None
+        assert metrics().value("session.steps") == 1.0
+
+    def test_none_when_nothing_recorded(self, in_pool_worker):
+        assert collect_worker_telemetry() is None
+
+    def test_snapshots_and_resets(self, in_pool_worker):
+        metrics().counter("session.steps").inc(5)
+        payload = collect_worker_telemetry()
+        assert payload is not None
+        assert payload["metrics"][0]["name"] == "session.steps"
+        assert payload["proc"].startswith("worker-")
+        assert metrics().value("session.steps") is None  # reset after ship
+
+    def test_drains_the_worker_tracer(self, in_pool_worker):
+        tracer = SpanTracer(proc="worker-123")
+        with use_tracer(tracer):
+            with tracer.span("session.step"):
+                pass
+            payload = collect_worker_telemetry()
+        assert payload["proc"] == "worker-123"
+        assert [s["name"] for s in payload["spans"]] == ["session.step"]
+        assert tracer.spans == []
+
+
+class TestAbsorb:
+    def test_none_and_empty_are_noops(self):
+        absorb_worker_telemetry(None)
+        absorb_worker_telemetry({})
+        assert list(metrics().series()) == []
+
+    def test_same_label_sets_add_across_workers(self, monkeypatch):
+        payloads = []
+        monkeypatch.setattr(pool_module, "IN_POOL_WORKER", True)
+        for steps in (3, 4):
+            metrics().counter("session.steps", policy="c").inc(steps)
+            metrics().histogram("session.train_seconds").observe(0.1)
+            payloads.append(collect_worker_telemetry())
+        monkeypatch.setattr(pool_module, "IN_POOL_WORKER", False)
+        for payload in payloads:
+            absorb_worker_telemetry(payload)
+        assert metrics().value("session.steps", policy="c") == 7.0
+        assert metrics().histogram("session.train_seconds").count == 2
+
+    def test_spans_land_in_the_shipping_procs_lane(self):
+        worker = SpanTracer(proc="worker-9")
+        with worker.span("session.step"):
+            pass
+        payload = {"metrics": [], "spans": worker.drain(), "proc": "worker-9"}
+        parent = SpanTracer()
+        with use_tracer(parent):
+            absorb_worker_telemetry(payload)
+        assert parent.spans[0]["proc"] == "worker-9"
+
+    def test_spans_dropped_when_parent_has_no_tracer(self):
+        payload = {"metrics": [], "spans": [{"name": "x", "span_id": 1}]}
+        absorb_worker_telemetry(payload)  # must not raise

@@ -1,0 +1,170 @@
+"""SpanTracer: nesting, logical clocks, extend/drain, exports, gating."""
+
+import json
+import os
+
+import pytest
+
+from repro.obs.trace import (
+    TRACE_ENV,
+    SpanTracer,
+    current_tracer,
+    ensure_worker_tracer,
+    set_clock,
+    set_tracer,
+    trace_span,
+    use_tracer,
+)
+
+
+@pytest.fixture(autouse=True)
+def _no_active_tracer(monkeypatch):
+    monkeypatch.delenv(TRACE_ENV, raising=False)
+    previous = current_tracer()
+    set_tracer(None)
+    yield
+    set_tracer(previous)
+
+
+class TestRecording:
+    def test_nesting_links_parents(self):
+        tracer = SpanTracer()
+        with tracer.span("outer"):
+            with tracer.span("inner"):
+                pass
+        inner, outer = tracer.spans  # inner closes (and files) first
+        assert inner["name"] == "inner"
+        assert inner["parent_id"] == outer["span_id"]
+        assert outer["parent_id"] is None
+        assert inner["duration_s"] <= outer["duration_s"]
+
+    def test_clocks_stamp_later_spans(self):
+        tracer = SpanTracer()
+        tracer.set_clock(step=3)
+        with tracer.span("a"):
+            pass
+        tracer.set_clock(step=4, round=1)
+        with tracer.span("b"):
+            pass
+        assert tracer.spans[0]["clocks"] == {"step": 3}
+        assert tracer.spans[1]["clocks"] == {"step": 4, "round": 1}
+
+    def test_attrs_recorded(self):
+        tracer = SpanTracer()
+        with tracer.span("fwd", batch=8):
+            pass
+        assert tracer.spans[0]["attrs"] == {"batch": 8}
+
+    def test_spans_are_json_able(self):
+        tracer = SpanTracer()
+        with tracer.span("a", k="v"):
+            pass
+        assert json.loads(json.dumps(tracer.spans)) == tracer.spans
+
+
+class TestExtendDrain:
+    def test_extend_rebases_ids_and_sets_proc(self):
+        parent, worker = SpanTracer(), SpanTracer(proc="w")
+        with parent.span("round"):
+            pass
+        with worker.span("outer"):
+            with worker.span("inner"):
+                pass
+        parent.extend(worker.drain(), proc="worker-7")
+        assert worker.spans == []
+        names = {s["name"]: s for s in parent.spans}
+        assert names["inner"]["proc"] == "worker-7"
+        assert names["inner"]["parent_id"] == names["outer"]["span_id"]
+        ids = [s["span_id"] for s in parent.spans]
+        assert len(ids) == len(set(ids))  # no collisions after re-base
+        # Later local spans keep allocating above the shipped batch.
+        with parent.span("after"):
+            pass
+        assert parent.spans[-1]["span_id"] > max(ids)
+
+
+class TestExports:
+    def _traced(self):
+        tracer = SpanTracer()
+        tracer.set_clock(step=1)
+        with tracer.span("outer", phase="x"):
+            with tracer.span("inner"):
+                pass
+        return tracer
+
+    def test_jsonl(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        self._traced().to_jsonl(str(path))
+        lines = path.read_text().splitlines()
+        assert len(lines) == 2
+        assert {json.loads(line)["name"] for line in lines} == {
+            "outer",
+            "inner",
+        }
+
+    def test_chrome(self, tmp_path):
+        path = tmp_path / "trace.json"
+        self._traced().to_chrome(str(path))
+        doc = json.loads(path.read_text())
+        events = doc["traceEvents"]
+        meta = [e for e in events if e["ph"] == "M"]
+        spans = [e for e in events if e["ph"] == "X"]
+        assert meta[0]["args"]["name"] == "main"
+        assert {e["name"] for e in spans} == {"outer", "inner"}
+        for event in spans:
+            assert event["ts"] >= 0 and event["dur"] >= 0  # microseconds
+            assert event["args"]["step"] == 1
+
+    def test_chrome_gives_each_proc_a_pid(self, tmp_path):
+        tracer = self._traced()
+        tracer.extend(
+            [{"name": "w", "span_id": 1, "parent_id": None, "start_s": 0.0}],
+            proc="worker-1",
+        )
+        path = tmp_path / "trace.json"
+        tracer.to_chrome(str(path))
+        events = json.loads(path.read_text())["traceEvents"]
+        pids = {e["args"]["name"]: e["pid"] for e in events if e["ph"] == "M"}
+        assert set(pids) == {"main", "worker-1"}
+        assert pids["main"] != pids["worker-1"]
+
+
+class TestModuleGate:
+    def test_trace_span_is_noop_without_tracer(self):
+        assert current_tracer() is None
+        with trace_span("nothing"):  # must not raise, records nowhere
+            set_clock(step=1)
+
+    def test_use_tracer_installs_and_restores(self):
+        tracer = SpanTracer()
+        with use_tracer(tracer):
+            assert current_tracer() is tracer
+            with trace_span("seen"):
+                pass
+        assert current_tracer() is None
+        assert tracer.spans[0]["name"] == "seen"
+
+
+class TestWorkerTracer:
+    def test_absent_without_env_or_inherited(self):
+        assert ensure_worker_tracer() is None
+
+    def test_env_installs_fresh_worker_tracer(self, monkeypatch):
+        monkeypatch.setenv(TRACE_ENV, "1")
+        tracer = ensure_worker_tracer()
+        assert tracer is not None
+        assert tracer.proc == f"worker-{os.getpid()}"
+        assert ensure_worker_tracer() is tracer  # idempotent
+
+    def test_inherited_tracer_is_replaced_not_reused(self):
+        # Fork-started workers inherit the parent's active tracer
+        # (pre-fork spans included); recording into it would ship those
+        # spans home as duplicates, so the worker swaps in its own.
+        inherited = SpanTracer(proc="main")
+        with inherited.span("pre-fork"):
+            pass
+        set_tracer(inherited)
+        tracer = ensure_worker_tracer()
+        assert tracer is not inherited
+        assert tracer.proc == f"worker-{os.getpid()}"
+        assert tracer.spans == []

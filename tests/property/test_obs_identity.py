@@ -1,0 +1,113 @@
+"""The observability contract: telemetry never changes a result.
+
+Session, fleet, and sweep outputs must be bitwise identical with
+metrics/tracing enabled or disabled, serial or parallel, under every
+backend.  ``config.obs`` is normalized away by every fingerprint; these
+tests enforce the whole matrix end to end.
+"""
+
+import pytest
+
+from repro.experiments.config import StreamExperimentConfig
+from repro.experiments.parallel import SweepSpec, result_fingerprint, run_sweep
+from repro.experiments.runner import run_stream_experiment
+from repro.fleet import DeviceSpec, FleetConfig, FleetCoordinator
+from repro.obs import metrics, reset_metrics
+from repro.obs.trace import SpanTracer, use_tracer
+from repro.registry import BACKENDS
+
+BACKENDS_UNDER_TEST = tuple(BACKENDS.names())
+
+
+@pytest.fixture(autouse=True)
+def _clean_registry():
+    reset_metrics()
+    yield
+    reset_metrics()
+
+
+def tiny_config(**overrides):
+    base = dict(
+        dataset="cifar10",
+        image_size=8,
+        stc=8,
+        total_samples=64,
+        buffer_size=8,
+        encoder_widths=(8, 16),
+        encoder_blocks=1,
+        projection_dim=8,
+        probe_train_per_class=4,
+        probe_test_per_class=2,
+        probe_epochs=2,
+        seed=0,
+    )
+    base.update(overrides)
+    return StreamExperimentConfig(**base)
+
+
+def fleet_config(**overrides):
+    return tiny_config(**overrides).with_(
+        fleet=FleetConfig(devices=(DeviceSpec(), DeviceSpec()), rounds=2),
+        aggregator="fedavg",
+    )
+
+
+def recorded_names():
+    return {name for _, name, _, _ in metrics().series()}
+
+
+class TestSessionIdentity:
+    @pytest.mark.parametrize("backend", BACKENDS_UNDER_TEST)
+    def test_metrics_and_tracing_change_no_field(self, backend):
+        config = tiny_config(backend=backend)
+        plain = run_stream_experiment(
+            config.with_(obs=False), "contrast-scoring", eval_points=2
+        )
+        tracer = SpanTracer()
+        with use_tracer(tracer):
+            observed = run_stream_experiment(
+                config.with_(obs=True), "contrast-scoring", eval_points=2
+            )
+        assert result_fingerprint(observed) == result_fingerprint(plain)
+        # The observed run really was instrumented, not silently off.
+        assert "session.steps" in recorded_names()
+        assert any(s["name"] == "session.step" for s in tracer.spans)
+
+
+class TestFleetIdentity:
+    def test_obs_on_equals_obs_off(self):
+        off = FleetCoordinator(fleet_config().with_(obs=False)).run()
+        on = FleetCoordinator(fleet_config().with_(obs=True)).run()
+        assert on.fingerprint() == off.fingerprint()
+        assert "fleet.rounds" in recorded_names()
+
+    def test_serial_equals_parallel_with_metrics_on(self):
+        config = fleet_config().with_(obs=True)
+        serial = FleetCoordinator(config).run()
+        parallel = FleetCoordinator(config, workers=2).run()
+        assert serial.fingerprint() == parallel.fingerprint()
+        # Worker-side telemetry shipped home and merged by label set.
+        assert "session.steps" in recorded_names()
+
+
+class TestSweepIdentity:
+    def test_serial_equals_parallel_with_metrics_on(self):
+        specs = [
+            SweepSpec(
+                config=tiny_config(seed=seed).with_(obs=True), policy="fifo"
+            )
+            for seed in (0, 1)
+        ]
+        serial = run_sweep(specs, workers=1)
+        parallel = run_sweep(specs, workers=2)
+        assert [result_fingerprint(r) for r in serial] == [
+            result_fingerprint(r) for r in parallel
+        ]
+
+    def test_obs_on_equals_obs_off(self):
+        spec = lambda obs: SweepSpec(  # noqa: E731
+            config=tiny_config().with_(obs=obs), policy="contrast-scoring"
+        )
+        (off,) = run_sweep([spec(False)], workers=1)
+        (on,) = run_sweep([spec(True)], workers=1)
+        assert result_fingerprint(on) == result_fingerprint(off)

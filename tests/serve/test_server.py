@@ -379,6 +379,9 @@ class TestRobustness:
         samples = make_samples(2)
 
         async def run():
+            # stats()["errors"] is process-cumulative by design (it
+            # survives server re-creation), so measure the delta.
+            before = make_server(published).stats()["errors"]
             async with make_server(published, cache=None) as server:
                 original = server.scorer.score
                 server.scorer.score = lambda batch: (_ for _ in ()).throw(
@@ -390,11 +393,33 @@ class TestRobustness:
                 finally:
                     server.scorer.score = original
                 decision = await server.submit(samples[1])
-                return decision, server.stats()
+                return decision, server.stats()["errors"] - before
 
-        decision, stats = asyncio.run(run())
+        decision, new_errors = asyncio.run(run())
         assert decision.status == "ok"
-        assert stats["errors"] == 1
+        assert new_errors == 1
+
+    def test_error_count_survives_server_recreation(self, published):
+        # The old instance attribute silently reset to 0 whenever the
+        # server (and its batcher) was rebuilt; the registry-backed
+        # counter is process-wide, so a fresh server still reports the
+        # errors its predecessors saw.
+        sample = make_samples(1)[0]
+
+        async def run():
+            before = make_server(published).stats()["errors"]
+            async with make_server(published, cache=None) as server:
+                server.scorer.score = lambda batch: (_ for _ in ()).throw(
+                    RuntimeError("boom")
+                )
+                with pytest.raises(RuntimeError, match="boom"):
+                    await server.submit(sample)
+            fresh = make_server(published)
+            assert fresh.stats()["errors"] == before + 1
+            # ... while per-instance counters start clean.
+            assert fresh.metrics.value("serve.errors") is None
+
+        asyncio.run(run())
 
     def test_pruned_version_re_resolves_instead_of_crashing(self, published):
         config, _, _ = published

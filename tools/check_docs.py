@@ -5,10 +5,13 @@ Asserts, in both directions:
 * every experiment id (``repro.cli.EXPERIMENTS``), backend
   (``BACKENDS``), scenario (``SCENARIOS``), scenario wrapper
   (``scenario_wrapper_names()``), aggregator (``AGGREGATORS``), serve
-  admission policy (``SERVE_POLICIES``), and wire format
-  (``WIRE_FORMATS``) appears in the matching
-  ``<!-- inventory:KIND -->`` block of docs/API.md, and every name
-  listed there is actually registered;
+  admission policy (``SERVE_POLICIES``), wire format
+  (``WIRE_FORMATS``), and metrics exporter (``EXPORTERS``) appears in
+  the matching ``<!-- inventory:KIND -->`` block of docs/API.md, and
+  every name listed there is actually registered;
+* every metric name in ``repro.obs.METRIC_INVENTORY`` appears in the
+  ``<!-- inventory:metrics -->`` block of docs/OBSERVABILITY.md, and
+  every dotted name listed there is in the code inventory;
 * every registered scenario has a ``## `name` `` section in
   docs/SCENARIOS.md, and every such section names a registered
   scenario;
@@ -38,11 +41,15 @@ API_MD = ROOT / "docs" / "API.md"
 SCENARIOS_MD = ROOT / "docs" / "SCENARIOS.md"
 FLEET_MD = ROOT / "docs" / "FLEET.md"
 SERVE_MD = ROOT / "docs" / "SERVE.md"
+OBSERVABILITY_MD = ROOT / "docs" / "OBSERVABILITY.md"
 
 INVENTORY_RE = re.compile(
     r"<!--\s*inventory:([a-z-]+)\s*-->(.*?)<!--\s*/inventory\s*-->", re.S
 )
 BACKTICKED_RE = re.compile(r"`([a-z0-9]+(?:-[a-z0-9]+)*)`")
+#: Metric names are dotted (``fleet.bytes_sent``), unlike kebab-case
+#: component names, so the metrics inventory uses its own pattern.
+METRIC_NAME_RE = re.compile(r"`([a-z]+(?:\.[a-z0-9_]+)+)`")
 SECTION_RE = re.compile(r"^## `([a-z0-9-]+)`", re.M)
 SCENARIO_SECTION_RE = SECTION_RE  # kept: pre-fleet name of the pattern
 
@@ -62,6 +69,7 @@ def registered_names() -> Dict[str, Set[str]]:
         AGGREGATORS,
         BACKENDS,
         CLIENT_SAMPLERS,
+        EXPORTERS,
         SCENARIOS,
         SERVE_POLICIES,
         WIRE_FORMATS,
@@ -77,6 +85,7 @@ def registered_names() -> Dict[str, Set[str]]:
         "client-samplers": set(CLIENT_SAMPLERS.names()),
         "serve-policies": set(SERVE_POLICIES.names()),
         "wire-formats": set(WIRE_FORMATS.names()),
+        "exporters": set(EXPORTERS.names()),
     }
 
 
@@ -121,6 +130,34 @@ def check() -> List[str]:
     problems += _check_sections(
         SERVE_MD, "serve policy", set(SERVE_POLICIES.names())
     )
+    problems += _check_metric_inventory()
+    return problems
+
+
+def _check_metric_inventory() -> List[str]:
+    """docs/OBSERVABILITY.md's metric table must mirror
+    ``repro.obs.METRIC_INVENTORY`` in both directions."""
+    from repro.obs import METRIC_INVENTORY
+
+    if not OBSERVABILITY_MD.exists():
+        return ["docs/OBSERVABILITY.md is missing"]
+    problems: List[str] = []
+    inventoried = set(METRIC_INVENTORY)
+    blocks = dict(INVENTORY_RE.findall(OBSERVABILITY_MD.read_text()))
+    body = blocks.get("metrics")
+    if body is None:
+        return ["docs/OBSERVABILITY.md has no <!-- inventory:metrics --> block"]
+    documented = set(METRIC_NAME_RE.findall(body))
+    for name in sorted(inventoried - documented):
+        problems.append(
+            f"metric: {name!r} is in repro.obs.METRIC_INVENTORY but "
+            "missing from the docs/OBSERVABILITY.md inventory"
+        )
+    for name in sorted(documented - inventoried):
+        problems.append(
+            f"metric: {name!r} is listed in the docs/OBSERVABILITY.md "
+            "inventory but not in repro.obs.METRIC_INVENTORY"
+        )
     return problems
 
 
